@@ -1,0 +1,424 @@
+//! The §5.3 echo microbenchmark (also used by MegaPipe and mTCP).
+//!
+//! "18 clients connect to a single server listening on a single port,
+//! send a remote request of size s bytes, and wait for an echo of a
+//! message of the same size. ... the server holds off its echo response
+//! until the message has been entirely received. Each client performs
+//! this synchronous remote procedure call n times before closing the
+//! connection. ... clients close the connection using a reset (TCP RST)
+//! to avoid exhausting ephemeral ports."
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use ix_core::libix::{ConnCtx, LibixCtx, LibixHandler};
+use ix_sim::Histogram;
+
+/// The echo server: buffers until a full `msg_size` request arrives,
+/// then echoes it back ("the server holds off its echo response until
+/// the message has been entirely received").
+pub struct EchoServer {
+    /// Request/response size in bytes.
+    pub msg_size: usize,
+    /// Application CPU per fully received request (request parsing and
+    /// response construction).
+    pub service_ns: u64,
+    /// Bytes received so far per connection (keyed by libix cookie).
+    partial: HashMap<u64, usize>,
+}
+
+impl EchoServer {
+    /// Creates a server for `msg_size`-byte messages.
+    pub fn new(msg_size: usize, service_ns: u64) -> EchoServer {
+        EchoServer {
+            msg_size,
+            service_ns,
+            partial: HashMap::new(),
+        }
+    }
+}
+
+impl LibixHandler for EchoServer {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+        let got = self.partial.entry(ctx.conn.cookie).or_insert(0);
+        *got += data.len();
+        while *got >= self.msg_size {
+            *got -= self.msg_size;
+            ctx.charge(self.service_ns);
+            ctx.write(Bytes::from(vec![0u8; self.msg_size]));
+        }
+    }
+
+    fn on_dead(&mut self, ctx: &mut ConnCtx<'_>, _reason: ix_tcp::DeadReason) {
+        self.partial.remove(&ctx.conn.cookie);
+    }
+}
+
+/// Shared measurement sink for echo clients.
+#[derive(Debug)]
+pub struct EchoBenchStats {
+    /// Round-trip latencies (recorded only inside the measurement
+    /// window).
+    pub rtt: Histogram,
+    /// Completed messages inside the window.
+    pub messages: u64,
+    /// Completed messages overall.
+    pub messages_total: u64,
+    /// Connections fully completed (n round trips + close).
+    pub conns_closed: u64,
+    /// Measurement window start (ns); zero disables gating.
+    pub window_start_ns: u64,
+    /// Measurement window end (ns); `u64::MAX` leaves it open.
+    pub window_end_ns: u64,
+}
+
+impl EchoBenchStats {
+    /// Creates a sink measuring inside `[start, end)`.
+    pub fn new(window_start_ns: u64, window_end_ns: u64) -> Rc<RefCell<EchoBenchStats>> {
+        Rc::new(RefCell::new(EchoBenchStats {
+            rtt: Histogram::new(),
+            messages: 0,
+            messages_total: 0,
+            conns_closed: 0,
+            window_start_ns,
+            window_end_ns,
+        }))
+    }
+
+    fn record(&mut self, now_ns: u64, rtt_ns: u64) {
+        self.messages_total += 1;
+        if now_ns >= self.window_start_ns && now_ns < self.window_end_ns {
+            self.messages += 1;
+            self.rtt.record(ix_sim::Nanos(rtt_ns));
+        }
+    }
+}
+
+/// Per-connection client state.
+#[derive(Debug, Clone, Copy)]
+struct ConnState {
+    received: usize,
+    done_msgs: usize,
+    sent_at: u64,
+}
+
+/// The closed-loop echo client: keeps `conns` connections busy, each
+/// performing `n` round trips of `msg_size` bytes before an RST close
+/// and (optionally) a fresh connection — the §5.3 churn pattern.
+pub struct EchoClient {
+    /// Server address.
+    pub server: ix_net::Ipv4Addr,
+    /// Server port.
+    pub port: u16,
+    /// Message size `s`.
+    pub msg_size: usize,
+    /// Round trips per connection `n`.
+    pub n_per_conn: usize,
+    /// Concurrent connections to maintain.
+    pub conns: usize,
+    /// Whether to reopen after closing (sustained churn) or stop.
+    pub reopen: bool,
+    /// Client-side application CPU per round trip.
+    pub think_ns: u64,
+    stats: Rc<RefCell<EchoBenchStats>>,
+    states: HashMap<u64, ConnState>,
+    opened: usize,
+    live: usize,
+    next_user: u64,
+    /// Stop issuing new work after this instant (lets the run drain).
+    pub stop_at_ns: u64,
+}
+
+impl EchoClient {
+    /// Creates a client handler feeding `stats`.
+    pub fn new(
+        server: ix_net::Ipv4Addr,
+        port: u16,
+        msg_size: usize,
+        n_per_conn: usize,
+        conns: usize,
+        reopen: bool,
+        stats: Rc<RefCell<EchoBenchStats>>,
+    ) -> EchoClient {
+        EchoClient {
+            server,
+            port,
+            msg_size,
+            n_per_conn,
+            conns,
+            reopen,
+            think_ns: 0,
+            stats,
+            states: HashMap::new(),
+            opened: 0,
+            live: 0,
+            next_user: 0,
+            stop_at_ns: u64::MAX,
+        }
+    }
+
+    fn fire(&mut self, ctx: &mut ConnCtx<'_>) {
+        let st = self.states.get_mut(&ctx.conn.user).expect("tracked");
+        st.sent_at = ctx.now_ns;
+        ctx.charge(self.think_ns);
+        ctx.write(Bytes::from(vec![0u8; self.msg_size]));
+    }
+}
+
+impl LibixHandler for EchoClient {
+    fn on_tick(&mut self, ctx: &mut LibixCtx<'_>) {
+        while self.live < self.conns && ctx.now_ns < self.stop_at_ns {
+            let user = self.next_user;
+            self.next_user += 1;
+            self.states.insert(
+                user,
+                ConnState { received: 0, done_msgs: 0, sent_at: 0 },
+            );
+            ctx.connect(self.server, self.port, user);
+            self.opened += 1;
+            self.live += 1;
+        }
+    }
+
+    fn on_connected(&mut self, ctx: &mut ConnCtx<'_>, ok: bool) {
+        if !ok {
+            self.live -= 1;
+            self.states.remove(&ctx.conn.user);
+            return;
+        }
+        self.fire(ctx);
+    }
+
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+        let user = ctx.conn.user;
+        let now = ctx.now_ns;
+        let Some(st) = self.states.get_mut(&user) else { return };
+        st.received += data.len();
+        if st.received < self.msg_size {
+            return;
+        }
+        st.received -= self.msg_size;
+        st.done_msgs += 1;
+        let rtt = now - st.sent_at;
+        self.stats.borrow_mut().record(now, rtt);
+        if st.done_msgs >= self.n_per_conn || now >= self.stop_at_ns {
+            // RST close, per the benchmark definition.
+            ctx.abort();
+            self.states.remove(&user);
+            self.live -= 1;
+            self.stats.borrow_mut().conns_closed += 1;
+            // on_tick reopens if configured.
+        } else {
+            self.fire(ctx);
+        }
+    }
+
+    fn on_dead(&mut self, ctx: &mut ConnCtx<'_>, _reason: ix_tcp::DeadReason) {
+        if self.states.remove(&ctx.conn.user).is_some() {
+            self.live -= 1;
+        }
+    }
+
+    fn wants_tick(&self, now_ns: u64) -> bool {
+        (self.reopen || self.opened < self.conns) && self.live < self.conns && now_ns < self.stop_at_ns
+    }
+}
+
+/// The §5.4 connection-scalability client (Fig 4): each thread holds a
+/// large set of established connections and rotates a small number of
+/// outstanding RPCs across them round-robin, so every connection stays
+/// live while total concurrency stays bounded ("18 client machines run n
+/// threads, each thread repeatedly performing a 64B RPC to the server
+/// with a variable number of active connections").
+pub struct RotatingEchoClient {
+    /// Server address.
+    pub server: ix_net::Ipv4Addr,
+    /// Server port.
+    pub port: u16,
+    /// Message size.
+    pub msg_size: usize,
+    /// Total connections this thread maintains.
+    pub conns: usize,
+    /// Concurrent outstanding RPCs.
+    pub outstanding: usize,
+    /// Connections opened per ramp round (avoids SYN floods).
+    pub ramp_batch: usize,
+    stats: Rc<RefCell<EchoBenchStats>>,
+    /// user -> (cookie, partial bytes, sent_at).
+    conns_up: HashMap<u64, (u64, usize, u64)>,
+    opened: usize,
+    connected: usize,
+    cursor: u64,
+    inflight: usize,
+    rotating: bool,
+    /// Start rotating no later than this instant, even if some
+    /// connections failed to establish (robustness at 250k-connection
+    /// scale).
+    pub start_at_ns: u64,
+    /// Stop issuing new RPCs after this instant.
+    pub stop_at_ns: u64,
+}
+
+impl RotatingEchoClient {
+    /// Creates a rotating client.
+    pub fn new(
+        server: ix_net::Ipv4Addr,
+        port: u16,
+        msg_size: usize,
+        conns: usize,
+        outstanding: usize,
+        stats: Rc<RefCell<EchoBenchStats>>,
+    ) -> RotatingEchoClient {
+        RotatingEchoClient {
+            server,
+            port,
+            msg_size,
+            conns,
+            outstanding,
+            ramp_batch: 64,
+            stats,
+            conns_up: HashMap::new(),
+            opened: 0,
+            connected: 0,
+            cursor: 0,
+            inflight: 0,
+            rotating: false,
+            start_at_ns: 0,
+            stop_at_ns: u64::MAX,
+        }
+    }
+
+    /// Fires an RPC on the next connection in rotation via a deferred
+    /// write (we are outside that connection's callback).
+    fn fire_next(&mut self, now_ns: u64, mut write: impl FnMut(u64, Bytes)) {
+        if now_ns >= self.stop_at_ns || self.connected == 0 {
+            return;
+        }
+        for _ in 0..self.conns as u64 {
+            let user = self.cursor % self.conns as u64;
+            self.cursor += 1;
+            if let Some((cookie, _, sent_at)) = self.conns_up.get_mut(&user) {
+                if *sent_at == 0 {
+                    *sent_at = now_ns;
+                    let c = *cookie;
+                    write(c, Bytes::from(vec![0u8; self.msg_size]));
+                    self.inflight += 1;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl LibixHandler for RotatingEchoClient {
+    fn on_tick(&mut self, ctx: &mut LibixCtx<'_>) {
+        // Ramp: open connections in bounded batches.
+        while self.opened < self.conns && self.opened < self.connected + self.ramp_batch {
+            ctx.connect(self.server, self.port, self.opened as u64);
+            self.opened += 1;
+        }
+        // Deadline start: rotate over whatever is established.
+        if !self.rotating && ctx.now_ns >= self.start_at_ns && self.connected > 0 {
+            self.rotating = true;
+            for _ in 0..self.outstanding {
+                let now = ctx.now_ns;
+                self.fire_next(now, |cookie, data| ctx.write_to(cookie, data));
+            }
+        }
+    }
+
+    fn on_connected(&mut self, ctx: &mut ConnCtx<'_>, ok: bool) {
+        assert!(ok, "rotating client connect failed");
+        self.conns_up.insert(ctx.conn.user, (ctx.conn.cookie, 0, 0));
+        self.connected += 1;
+        if self.connected == self.conns && !self.rotating {
+            // Everything established: start the rotation.
+            self.rotating = true;
+            for _ in 0..self.outstanding {
+                let now = ctx.now_ns;
+                self.fire_next(now, |cookie, data| {
+                    if cookie == ctx.conn.cookie {
+                        ctx.write(data);
+                    } else {
+                        ctx.write_to(cookie, data);
+                    }
+                });
+            }
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+        let user = ctx.conn.user;
+        let now = ctx.now_ns;
+        let full = {
+            let Some((_, partial, sent_at)) = self.conns_up.get_mut(&user) else { return };
+            *partial += data.len();
+            if *partial < self.msg_size {
+                false
+            } else {
+                *partial -= self.msg_size;
+                let rtt = now - *sent_at;
+                *sent_at = 0;
+                self.stats.borrow_mut().record(now, rtt);
+                true
+            }
+        };
+        if full {
+            self.inflight -= 1;
+            self.fire_next(now, |cookie, d| {
+                if cookie == ctx.conn.cookie {
+                    ctx.write(d);
+                } else {
+                    ctx.write_to(cookie, d);
+                }
+            });
+        }
+    }
+
+    fn wants_tick(&self, now_ns: u64) -> bool {
+        self.opened < self.conns || (!self.rotating && now_ns >= self.start_at_ns)
+    }
+
+    fn next_deadline_ns(&self) -> Option<u64> {
+        if self.rotating {
+            None
+        } else {
+            Some(self.start_at_ns)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_echoes_only_complete_messages() {
+        // Drive the handler directly with a fake ConnCtx via libix is
+        // heavyweight; instead verify the partial-buffer arithmetic.
+        let mut s = EchoServer::new(100, 0);
+        assert_eq!(*s.partial.entry(1).or_insert(0), 0);
+        // Simulate accumulation logic.
+        let got = s.partial.get_mut(&1).unwrap();
+        *got += 60;
+        assert!(*got < s.msg_size);
+        *got += 50;
+        assert!(*got >= s.msg_size);
+        *got -= s.msg_size;
+        assert_eq!(*got, 10);
+    }
+
+    #[test]
+    fn stats_window_gating() {
+        let stats = EchoBenchStats::new(1_000, 2_000);
+        stats.borrow_mut().record(500, 10);
+        stats.borrow_mut().record(1_500, 10);
+        stats.borrow_mut().record(2_500, 10);
+        let s = stats.borrow();
+        assert_eq!(s.messages_total, 3);
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.rtt.count(), 1);
+    }
+}

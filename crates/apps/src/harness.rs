@@ -1,0 +1,747 @@
+//! Testbed assembly and experiment runners (§5.1).
+//!
+//! "Our experimental setup consists of a cluster of 24 clients and one
+//! server connected by a Quanta/Cumulus 48x10GbE switch ... For 10GbE
+//! experiments, we use a single NIC port, and for 4x10GbE experiments, we
+//! use four NIC ports bonded by the switch with a L3+L4 hash. ... Except
+//! for §5.2, client machines always run Linux."
+//!
+//! [`Testbed`] builds that cluster for any server system; the `run_*`
+//! functions execute one measured experiment and return the numbers the
+//! paper's tables and figures report. Integration tests and every bench
+//! binary go through this module, so the experiment definitions live in
+//! exactly one place.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ix_baselines::linux::{LinuxHost, LinuxParams};
+use ix_baselines::mtcp::{MtcpHost, MtcpParams};
+use ix_core::api::IxApp;
+use ix_core::dataplane::Dataplane;
+use ix_core::libix::{Libix, LibixHandler};
+use ix_core::params::CostParams;
+use ix_nic::fabric::Fabric;
+use ix_nic::host::HostId;
+use ix_nic::params::MachineParams;
+use ix_sim::{Nanos, SimRng, SimTime, Simulator};
+use ix_tcp::StackConfig;
+
+use crate::echo::{EchoBenchStats, EchoClient, EchoServer};
+use crate::kvstore::{KvServer, SharedStore};
+use crate::mutilate::{LoadStats, MutilateAgent, MutilateClient};
+use crate::netpipe::{NetpipeClient, NetpipeServer};
+use crate::workload::Workload;
+
+/// Which system runs the server (and, for NetPIPE, both ends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// The IX dataplane.
+    Ix,
+    /// The Linux kernel model.
+    Linux,
+    /// The mTCP user-level stack model.
+    Mtcp,
+}
+
+impl System {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            System::Ix => "IX",
+            System::Linux => "Linux",
+            System::Mtcp => "mTCP",
+        }
+    }
+}
+
+/// A launched server engine (any system).
+pub enum ServerEngine {
+    /// IX dataplane.
+    Ix(Dataplane),
+    /// Linux model.
+    Linux(LinuxHost),
+    /// mTCP model.
+    Mtcp(MtcpHost),
+}
+
+impl ServerEngine {
+    /// `(kernel_ns, user_ns)` CPU split across server cores.
+    pub fn cpu_split(&self) -> (u64, u64) {
+        match self {
+            ServerEngine::Ix(d) => d.cpu_split(),
+            ServerEngine::Linux(l) => l.cpu_split(),
+            ServerEngine::Mtcp(m) => {
+                let mut k = 0;
+                let mut u = 0;
+                for c in &m.cores {
+                    let t = c.borrow();
+                    let core = t.core_ref().borrow();
+                    k += core.kernel_ns;
+                    u += core.user_ns;
+                }
+                (k, u)
+            }
+        }
+    }
+}
+
+/// The assembled cluster.
+pub struct Testbed {
+    /// The event engine.
+    pub sim: Simulator,
+    /// Hosts and switch.
+    pub fabric: Fabric,
+    /// The server's host id.
+    pub server: HostId,
+    /// Client host ids.
+    pub clients: Vec<HostId>,
+    /// The launched server engine.
+    pub engine: Option<ServerEngine>,
+}
+
+/// Overridable engine knobs for an experiment.
+#[derive(Debug, Clone)]
+pub struct EngineTuning {
+    /// IX dataplane cost model.
+    pub ix: CostParams,
+    /// Linux model parameters (server side and clients).
+    pub linux: LinuxParams,
+    /// mTCP model parameters.
+    pub mtcp: MtcpParams,
+    /// TCP stack configuration (all systems).
+    pub stack: StackConfig,
+}
+
+impl Default for EngineTuning {
+    fn default() -> EngineTuning {
+        EngineTuning {
+            ix: CostParams::default(),
+            linux: LinuxParams::default(),
+            mtcp: MtcpParams::default(),
+            stack: StackConfig::default(),
+        }
+    }
+}
+
+impl Testbed {
+    /// Builds the cluster: one server with `server_ports` bonded ports
+    /// and `n_clients` single-port clients, all on one switch.
+    pub fn new(seed: u64, server_ports: usize, n_clients: usize) -> Testbed {
+        let params = MachineParams::default();
+        let mut fabric = Fabric::new(server_ports + n_clients + 2, params);
+        // Server: 8 cores + 8 hyperthreads, as the Xeon E5-2665 socket.
+        let server = fabric.add_host(server_ports, 8, 8);
+        let clients: Vec<HostId> = (0..n_clients).map(|_| fabric.add_host(1, 8, 0)).collect();
+        Testbed {
+            sim: Simulator::new(seed),
+            fabric,
+            server,
+            clients,
+            engine: None,
+        }
+    }
+
+    /// Launches the server engine with one app handler per core.
+    pub fn launch_server<H, F>(
+        &mut self,
+        system: System,
+        cores: usize,
+        tuning: &EngineTuning,
+        listen_port: u16,
+        mut handler: F,
+    ) where
+        H: LibixHandler + 'static,
+        F: FnMut(usize) -> H,
+    {
+        let host = self.fabric.host(self.server);
+        let engine = match system {
+            System::Ix => ServerEngine::Ix(Dataplane::launch(
+                &mut self.sim,
+                host,
+                cores,
+                tuning.ix.clone(),
+                tuning.stack.clone(),
+                Some(listen_port),
+                |i| Box::new(Libix::new(handler(i))) as Box<dyn IxApp>,
+            )),
+            System::Linux => ServerEngine::Linux(LinuxHost::launch(
+                &mut self.sim,
+                host,
+                cores,
+                tuning.linux.clone(),
+                tuning.stack.clone(),
+                Some(listen_port),
+                |i| Box::new(Libix::new(handler(i))) as Box<dyn IxApp>,
+            )),
+            System::Mtcp => ServerEngine::Mtcp(MtcpHost::launch(
+                &mut self.sim,
+                host,
+                cores,
+                tuning.mtcp.clone(),
+                tuning.stack.clone(),
+                Some(listen_port),
+                |i| Box::new(Libix::new(handler(i))) as Box<dyn IxApp>,
+            )),
+        };
+        self.engine = Some(engine);
+    }
+
+    /// Launches a client application on every client host (Linux model,
+    /// per §5.1), `threads` handler instances per host.
+    pub fn launch_linux_clients<H, F>(&mut self, threads: usize, tuning: &EngineTuning, mut handler: F)
+    where
+        H: LibixHandler + 'static,
+        F: FnMut(usize, usize) -> H,
+    {
+        for (ci, id) in self.clients.clone().into_iter().enumerate() {
+            let host = self.fabric.host(id);
+            let lh = LinuxHost::launch(
+                &mut self.sim,
+                host,
+                threads,
+                tuning.linux.clone(),
+                tuning.stack.clone(),
+                None,
+                |t| Box::new(Libix::new(handler(ci, t))) as Box<dyn IxApp>,
+            );
+            // ARP bring-up.
+            let (sip, smac) = {
+                let s = self.fabric.host(self.server);
+                (s.ip, s.mac)
+            };
+            lh.seed_arp(sip, smac);
+            self.seed_server_arp(id);
+        }
+    }
+
+    /// Seeds the server engine's ARP with a client's address.
+    fn seed_server_arp(&mut self, client: HostId) {
+        let (cip, cmac) = {
+            let c = self.fabric.host(client);
+            (c.ip, c.mac)
+        };
+        match self.engine.as_ref().expect("server launched") {
+            ServerEngine::Ix(d) => d.seed_arp(cip, cmac),
+            ServerEngine::Linux(l) => l.seed_arp(cip, cmac),
+            ServerEngine::Mtcp(m) => m.seed_arp(cip, cmac),
+        }
+    }
+
+    /// The server's IP.
+    pub fn server_ip(&self) -> ix_net::Ipv4Addr {
+        self.fabric.host(self.server).ip
+    }
+
+    /// Runs the simulation until `t`.
+    pub fn run_until_ns(&mut self, t: u64) {
+        self.sim.run_until(SimTime(t));
+    }
+
+    /// One-line engine diagnostics: batching, NIC drops, retransmits,
+    /// core busy times.
+    pub fn debug_line(&self) -> String {
+        let host = self.fabric.host(self.server);
+        let mut nic_rx = 0u64;
+        let mut nic_drops = 0u64;
+        let mut rings = String::new();
+        for nic in &host.nics {
+            let mut n = nic.borrow_mut();
+            nic_rx += n.stats.rx_frames;
+            nic_drops += n.stats.rx_ring_drops;
+            for q in 0..8 {
+                let r = n.rx_ring(q);
+                rings += &format!("q{q}:p{}/w{}/d{} ", r.posted(), r.pending(), r.drops);
+            }
+        }
+        let busy: Vec<String> = host
+            .cores
+            .iter()
+            .take(8)
+            .map(|c| format!("{:.0}%", c.borrow().busy_ns as f64 / self.sim.now().as_nanos().max(1) as f64 * 100.0))
+            .collect();
+        let extra = match self.engine.as_ref() {
+            Some(ServerEngine::Ix(d)) => {
+                let st = d.stats();
+                let retx: u64 = d
+                    .threads
+                    .iter()
+                    .map(|t| t.borrow().shard.stats.retransmits)
+                    .sum();
+                format!(
+                    "avg_batch={:.1} full={} iters={} retx={}",
+                    st.batch_sum as f64 / st.iterations.max(1) as f64,
+                    st.full_batches,
+                    st.iterations,
+                    retx
+                )
+            }
+            Some(ServerEngine::Linux(l)) => {
+                let st = l.stats();
+                format!("irqs={} softirqs={} wakeups={}", st.interrupts, st.softirqs, st.wakeups)
+            }
+            Some(ServerEngine::Mtcp(m)) => {
+                let st = m.stats();
+                format!("polls={} batches={}", st.polls, st.app_batches)
+            }
+            None => String::new(),
+        };
+        format!("nic_rx={nic_rx} drops={nic_drops} busy={busy:?} {extra}
+  rings: {rings}")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Echo experiment (Figs 3a, 3b, 3c, 4).
+// ---------------------------------------------------------------------
+
+/// Configuration of one echo measurement.
+#[derive(Debug, Clone)]
+pub struct EchoConfig {
+    /// Server system.
+    pub system: System,
+    /// Server elastic threads / cores.
+    pub server_cores: usize,
+    /// Server NIC ports (1 = 10GbE, 4 = 4x10GbE).
+    pub server_ports: usize,
+    /// Client machines.
+    pub n_clients: usize,
+    /// Handler threads per client machine.
+    pub client_threads: usize,
+    /// Connections per client thread.
+    pub conns_per_thread: usize,
+    /// Message size `s`.
+    pub msg_size: usize,
+    /// Round trips per connection `n` (RST close + reopen after).
+    pub n_per_conn: usize,
+    /// Warmup before the measurement window.
+    pub warmup: Nanos,
+    /// Measurement window length.
+    pub measure: Nanos,
+    /// Engine knobs.
+    pub tuning: EngineTuning,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EchoConfig {
+    fn default() -> EchoConfig {
+        EchoConfig {
+            system: System::Ix,
+            server_cores: 8,
+            server_ports: 1,
+            n_clients: 18,
+            client_threads: 8,
+            conns_per_thread: 16,
+            msg_size: 64,
+            n_per_conn: 1024,
+            warmup: Nanos::from_millis(6),
+            measure: Nanos::from_millis(12),
+            tuning: EngineTuning::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// Results of one echo measurement.
+#[derive(Debug, Clone)]
+pub struct EchoResult {
+    /// Messages per second through the measurement window.
+    pub msgs_per_sec: f64,
+    /// Goodput in Gbps (payload bits, both directions counted once).
+    pub goodput_gbps: f64,
+    /// Mean RTT, ns.
+    pub rtt_avg_ns: u64,
+    /// 99th-percentile RTT, ns.
+    pub rtt_p99_ns: u64,
+    /// Connections completed (n round trips + RST).
+    pub conns_closed: u64,
+    /// Messages observed in the window.
+    pub messages: u64,
+    /// Server CPU split `(kernel_ns, user_ns)`.
+    pub cpu_split: (u64, u64),
+    /// Engine diagnostics (batching, drops, retransmissions).
+    pub debug: String,
+}
+
+/// Runs one echo experiment point.
+pub fn run_echo(cfg: &EchoConfig) -> EchoResult {
+    let mut tb = Testbed::new(cfg.seed, cfg.server_ports, cfg.n_clients);
+    let warmup_end = cfg.warmup.as_nanos();
+    let window_end = warmup_end + cfg.measure.as_nanos();
+    let stats = EchoBenchStats::new(warmup_end, window_end);
+    let msg = cfg.msg_size;
+    tb.launch_server(cfg.system, cfg.server_cores, &cfg.tuning, 7000, |_| {
+        EchoServer::new(msg, 120)
+    });
+    let server_ip = tb.server_ip();
+    let st = stats.clone();
+    let (n_per_conn, conns, stop) = (cfg.n_per_conn, cfg.conns_per_thread, window_end);
+    tb.launch_linux_clients(cfg.client_threads, &cfg.tuning, move |_, _| {
+        let mut c = EchoClient::new(server_ip, 7000, msg, n_per_conn, conns, true, st.clone());
+        c.stop_at_ns = stop;
+        c
+    });
+    // Run a little past the window so in-flight messages drain.
+    tb.run_until_ns(window_end + Nanos::from_millis(2).as_nanos());
+    let s = stats.borrow();
+    let secs = cfg.measure.as_secs_f64();
+    let msgs_per_sec = s.messages as f64 / secs;
+    EchoResult {
+        msgs_per_sec,
+        goodput_gbps: msgs_per_sec * (cfg.msg_size as f64 * 8.0) / 1e9,
+        rtt_avg_ns: s.rtt.mean().as_nanos(),
+        rtt_p99_ns: s.rtt.p99().as_nanos(),
+        conns_closed: s.conns_closed,
+        messages: s.messages,
+        cpu_split: tb.engine.as_ref().expect("launched").cpu_split(),
+        debug: tb.debug_line(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection-scalability experiment (Fig 4).
+// ---------------------------------------------------------------------
+
+/// Configuration for the §5.4 connection-count sweep.
+#[derive(Debug, Clone)]
+pub struct ConnScaleConfig {
+    /// Server system.
+    pub system: System,
+    /// Server NIC ports (1 or 4).
+    pub server_ports: usize,
+    /// Server cores.
+    pub server_cores: usize,
+    /// Total established connections across all clients.
+    pub total_conns: usize,
+    /// Concurrent outstanding RPCs per client thread (paper: n=24
+    /// threads per client tuned for max throughput; we bound outstanding
+    /// instead).
+    pub outstanding_per_thread: usize,
+    /// Client machines / threads per machine.
+    pub n_clients: usize,
+    /// Threads per client.
+    pub client_threads: usize,
+    /// Measurement window after the ramp.
+    pub measure: Nanos,
+    /// Engine knobs.
+    pub tuning: EngineTuning,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ConnScaleConfig {
+    fn default() -> ConnScaleConfig {
+        ConnScaleConfig {
+            system: System::Ix,
+            server_ports: 4,
+            server_cores: 8,
+            total_conns: 10_000,
+            outstanding_per_thread: 3,
+            n_clients: 18,
+            client_threads: 8,
+            measure: Nanos::from_millis(12),
+            tuning: EngineTuning::default(),
+            seed: 5,
+        }
+    }
+}
+
+/// Result of one connection-scalability point.
+#[derive(Debug, Clone)]
+pub struct ConnScaleResult {
+    /// Messages per second in the window.
+    pub msgs_per_sec: f64,
+    /// Mean RTT in the window, ns.
+    pub rtt_avg_ns: u64,
+    /// Modeled L3 misses per message at this connection count.
+    pub misses_per_msg: f64,
+    /// Live server-side connection count at the end.
+    pub server_conns: u64,
+}
+
+/// Runs one Fig 4 point.
+pub fn run_connscale(cfg: &ConnScaleConfig) -> ConnScaleResult {
+    let mut tb = Testbed::new(cfg.seed, cfg.server_ports, cfg.n_clients);
+    // Ramp budget scales with connection count (bounded-batch opens).
+    let ramp_ns = 20_000_000 + (cfg.total_conns as u64) * 1_500;
+    let warmup_end = ramp_ns + 10_000_000;
+    let window_end = warmup_end + cfg.measure.as_nanos();
+    let stats = EchoBenchStats::new(warmup_end, window_end);
+    tb.launch_server(cfg.system, cfg.server_cores, &cfg.tuning, 7000, |_| {
+        EchoServer::new(64, 120)
+    });
+    let server_ip = tb.server_ip();
+    let threads_total = cfg.n_clients * cfg.client_threads;
+    let per_thread = cfg.total_conns.div_ceil(threads_total);
+    let st = stats.clone();
+    let outstanding = cfg.outstanding_per_thread;
+    tb.launch_linux_clients(cfg.client_threads, &cfg.tuning, move |_, _| {
+        let mut c = crate::echo::RotatingEchoClient::new(
+            server_ip,
+            7000,
+            64,
+            per_thread,
+            outstanding,
+            st.clone(),
+        );
+        c.start_at_ns = ramp_ns.saturating_sub(5_000_000);
+        c.stop_at_ns = window_end;
+        c
+    });
+    tb.run_until_ns(window_end + Nanos::from_millis(2).as_nanos());
+    let s = stats.borrow();
+    let secs = cfg.measure.as_secs_f64();
+    let server_conns = match tb.engine.as_ref().expect("launched") {
+        ServerEngine::Ix(d) => d.host_conns.get(),
+        ServerEngine::Linux(l) => l
+            .cores
+            .iter()
+            .map(|c| c.borrow().shard.flow_count() as u64)
+            .sum(),
+        ServerEngine::Mtcp(m) => m
+            .cores
+            .iter()
+            .map(|c| c.borrow().shard.flow_count() as u64)
+            .sum(),
+    };
+    let misses = ix_nic::cache::DdioModel::new(tb.fabric.params())
+        .misses_per_message(cfg.total_conns as u64);
+    ConnScaleResult {
+        msgs_per_sec: s.messages as f64 / secs,
+        rtt_avg_ns: s.rtt.mean().as_nanos(),
+        misses_per_msg: misses,
+        server_conns,
+    }
+}
+
+// ---------------------------------------------------------------------
+// NetPIPE experiment (Fig 2).
+// ---------------------------------------------------------------------
+
+/// Runs NetPIPE between two hosts running `system` on both ends.
+/// Returns `(one_way_ns, goodput_gbps)`.
+pub fn run_netpipe(system: System, msg_size: usize, reps: usize, tuning: &EngineTuning) -> (u64, f64) {
+    let mut tb = Testbed::new(11, 1, 1);
+    tb.launch_server(system, 1, tuning, 7100, move |_| NetpipeServer::new(msg_size));
+    let server_ip = tb.server_ip();
+    // NetPIPE runs the *same* system on both ends (§5.2) — launch the
+    // client engine accordingly on the client host.
+    let host_id = tb.clients[0];
+    let result = {
+        let host = tb.fabric.host(host_id);
+        let cell: Rc<RefCell<Option<Rc<RefCell<crate::netpipe::NetpipeResult>>>>> =
+            Rc::new(RefCell::new(None));
+        let cell2 = cell.clone();
+        let mk = move |_i: usize| {
+            let (client, res) = NetpipeClient::new(server_ip, 7100, msg_size, reps, 4);
+            *cell2.borrow_mut() = Some(res);
+            Box::new(Libix::new(client)) as Box<dyn IxApp>
+        };
+        let eng: ServerEngine = match system {
+            System::Ix => ServerEngine::Ix(Dataplane::launch(
+                &mut tb.sim, host, 1, tuning.ix.clone(), tuning.stack.clone(), None, mk,
+            )),
+            System::Linux => ServerEngine::Linux(LinuxHost::launch(
+                &mut tb.sim, host, 1, tuning.linux.clone(), tuning.stack.clone(), None, mk,
+            )),
+            System::Mtcp => ServerEngine::Mtcp(MtcpHost::launch(
+                &mut tb.sim, host, 1, tuning.mtcp.clone(), tuning.stack.clone(), None, mk,
+            )),
+        };
+        // ARP bring-up both ways.
+        let (cip, cmac) = (host.ip, host.mac);
+        match (&eng, tb.engine.as_ref().expect("server")) {
+            (_, ServerEngine::Ix(d)) => d.seed_arp(cip, cmac),
+            (_, ServerEngine::Linux(l)) => l.seed_arp(cip, cmac),
+            (_, ServerEngine::Mtcp(m)) => m.seed_arp(cip, cmac),
+        }
+        let (sip, smac) = {
+            let s = tb.fabric.host(tb.server);
+            (s.ip, s.mac)
+        };
+        match &eng {
+            ServerEngine::Ix(d) => d.seed_arp(sip, smac),
+            ServerEngine::Linux(l) => l.seed_arp(sip, smac),
+            ServerEngine::Mtcp(m) => m.seed_arp(sip, smac),
+        }
+        let taken = cell.borrow().clone();
+        taken.expect("client app created")
+    };
+    // Size-dependent budget: large messages at low bandwidth need time.
+    let budget = Nanos::from_millis(200 + (msg_size as u64 * reps as u64) / 100_000);
+    tb.run_until_ns(budget.as_nanos());
+    let r = result.borrow();
+    assert!(r.done, "NetPIPE did not finish (size {msg_size}, {} reps done)", r.reps);
+    (r.one_way_ns(), r.goodput_gbps())
+}
+
+// ---------------------------------------------------------------------
+// memcached experiment (Figs 5, 6; Table 2).
+// ---------------------------------------------------------------------
+
+/// Configuration of one memcached measurement point.
+#[derive(Debug, Clone)]
+pub struct KvConfig {
+    /// Server system.
+    pub system: System,
+    /// Server cores (paper: 8 for Linux, 6 for IX).
+    pub server_cores: usize,
+    /// Workload profile.
+    pub workload: crate::workload::WorkloadKind,
+    /// Aggregate target load, requests/second.
+    pub target_rps: f64,
+    /// Client machines (paper: 23).
+    pub n_clients: usize,
+    /// Handler threads per client machine.
+    pub client_threads: usize,
+    /// Connections per client thread (paper total: 1476).
+    pub conns_per_thread: usize,
+    /// Warmup before measurement.
+    pub warmup: Nanos,
+    /// Measurement window.
+    pub measure: Nanos,
+    /// Engine knobs.
+    pub tuning: EngineTuning,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KvConfig {
+    fn default() -> KvConfig {
+        KvConfig {
+            system: System::Ix,
+            server_cores: 6,
+            workload: crate::workload::WorkloadKind::Usr,
+            target_rps: 500_000.0,
+            n_clients: 23,
+            client_threads: 4,
+            conns_per_thread: 16, // 23 * 4 * 16 = 1472 ≈ the paper's 1476.
+            warmup: Nanos::from_millis(8),
+            measure: Nanos::from_millis(22),
+            tuning: EngineTuning::default(),
+            seed: 3,
+        }
+    }
+}
+
+/// Results of one memcached measurement point.
+#[derive(Debug, Clone)]
+pub struct KvResult {
+    /// Achieved requests/second in the window.
+    pub rps: f64,
+    /// Mean latency (load clients, includes client queueing), ns.
+    pub avg_ns: u64,
+    /// 99th-percentile latency (load clients), ns.
+    pub p99_ns: u64,
+    /// Mean network+server service time (issue→response), ns.
+    pub net_avg_ns: u64,
+    /// p99 network+server service time, ns.
+    pub net_p99_ns: u64,
+    /// Unloaded-agent mean latency, ns.
+    pub agent_avg_ns: u64,
+    /// Unloaded-agent p99 latency, ns.
+    pub agent_p99_ns: u64,
+    /// Server CPU split `(kernel_ns, user_ns)`.
+    pub cpu_split: (u64, u64),
+    /// Requests shed by the generator (hopeless overload indicator).
+    pub shed: u64,
+    /// Engine diagnostics.
+    pub debug: String,
+    /// Store operations served and total lock-wait time (contention).
+    pub store_ops: u64,
+    /// Total ns threads spent waiting on the store lock.
+    pub store_lock_wait_ns: u64,
+}
+
+/// Runs one memcached measurement point.
+pub fn run_kv(cfg: &KvConfig) -> KvResult {
+    let mut tb = Testbed::new(cfg.seed, 1, cfg.n_clients);
+    let warmup_end = cfg.warmup.as_nanos();
+    let window_end = warmup_end + cfg.measure.as_nanos();
+    let stats = LoadStats::new(warmup_end, window_end);
+    let store = SharedStore::new();
+    let st = store.clone();
+    tb.launch_server(cfg.system, cfg.server_cores, &cfg.tuning, 11211, move |_| {
+        KvServer::new(st.clone())
+    });
+    let server_ip = tb.server_ip();
+    let total_threads = (cfg.n_clients * cfg.client_threads) as f64;
+    let rate_per_thread = cfg.target_rps / total_threads;
+    let workload = Workload::new(cfg.workload);
+    let mut seeder = SimRng::new(cfg.seed.wrapping_mul(0x9e37));
+    let st2 = stats.clone();
+    let wl = workload.clone();
+    let conns = cfg.conns_per_thread;
+    let stop = window_end;
+    tb.launch_linux_clients(cfg.client_threads, &cfg.tuning, move |_ci, _t| {
+        let mut c = MutilateClient::new(
+            server_ip,
+            11211,
+            conns,
+            rate_per_thread,
+            wl.clone(),
+            seeder.fork(),
+            st2.clone(),
+        );
+        c.stop_at_ns = stop;
+        c
+    });
+    // The separate unloaded latency-measuring client gets its own
+    // dedicated host (the paper uses a separate unloaded client, §5.5).
+    let agent_id = tb.fabric.add_host(1, 2, 0);
+    {
+        let host = tb.fabric.host(agent_id);
+        let wl2 = workload.clone();
+        let st3 = stats.clone();
+        let rng = SimRng::new(cfg.seed.wrapping_add(99));
+        let mut agent = Some(MutilateAgent::new(server_ip, 11211, wl2, rng, st3));
+        if let Some(a) = agent.as_mut() {
+            a.stop_at_ns = stop;
+        }
+        let lh = LinuxHost::launch(
+            &mut tb.sim,
+            host,
+            1,
+            cfg.tuning.linux.clone(),
+            cfg.tuning.stack.clone(),
+            None,
+            move |_| Box::new(Libix::new(agent.take().expect("single thread"))) as Box<dyn IxApp>,
+        );
+        let (sip, smac) = {
+            let s = tb.fabric.host(tb.server);
+            (s.ip, s.mac)
+        };
+        lh.seed_arp(sip, smac);
+        let (aip, amac) = {
+            let a = tb.fabric.host(agent_id);
+            (a.ip, a.mac)
+        };
+        match tb.engine.as_ref().expect("server") {
+            ServerEngine::Ix(d) => d.seed_arp(aip, amac),
+            ServerEngine::Linux(l) => l.seed_arp(aip, amac),
+            ServerEngine::Mtcp(m) => m.seed_arp(aip, amac),
+        }
+    }
+    tb.run_until_ns(window_end + Nanos::from_millis(3).as_nanos());
+    let (store_ops, store_lock_wait_ns) = {
+        let st = store.borrow();
+        (st.ops, st.lock_wait_ns)
+    };
+    let s = stats.borrow();
+    let secs = cfg.measure.as_secs_f64();
+    KvResult {
+        rps: s.completed as f64 / secs,
+        avg_ns: s.latency.mean().as_nanos(),
+        p99_ns: s.latency.p99().as_nanos(),
+        net_avg_ns: s.net_latency.mean().as_nanos(),
+        net_p99_ns: s.net_latency.p99().as_nanos(),
+        agent_avg_ns: s.agent_latency.mean().as_nanos(),
+        agent_p99_ns: s.agent_latency.p99().as_nanos(),
+        cpu_split: tb.engine.as_ref().expect("launched").cpu_split(),
+        shed: s.shed,
+        debug: tb.debug_line(),
+        store_ops,
+        store_lock_wait_ns,
+    }
+}

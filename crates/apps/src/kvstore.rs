@@ -1,0 +1,222 @@
+//! A memcached-style in-memory key-value store (§5.5).
+//!
+//! "memcached is a network-bound application, with threads spending over
+//! 75% of execution time in kernel mode for network processing ...
+//! Porting memcached to IX primarily consisted of adapting it to use our
+//! event library." The server here is that port: a libix event-loop
+//! application, stream-parsing the binary protocol of
+//! [`crate::workload::proto`], with a shared store whose lock contention
+//! is modeled — the effect the paper blames for ETC's lower speedup and
+//! for IX's plateau beyond 6 cores ("increased lock contention within
+//! the application itself, in particular because it has a higher write
+//! frequency").
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use ix_core::libix::{ConnCtx, LibixHandler};
+
+use crate::workload::proto;
+
+/// The store shared by all server threads, with an explicit lock model:
+/// critical sections serialize on a virtual-time `busy_until`, so
+/// concurrent threads pay queueing delay exactly as a contended mutex
+/// imposes.
+#[derive(Debug)]
+pub struct SharedStore {
+    map: HashMap<Vec<u8>, Bytes>,
+    lock_busy_until_ns: u64,
+    /// Critical-section length for a GET (hash lookup + refcount).
+    pub crit_get_ns: u64,
+    /// Critical-section length for a SET (allocation + insert + LRU).
+    pub crit_set_ns: u64,
+    /// Total operations served.
+    pub ops: u64,
+    /// Total virtual time threads spent waiting for the lock.
+    pub lock_wait_ns: u64,
+}
+
+/// Shared handle to the store.
+pub type StoreRef = Rc<RefCell<SharedStore>>;
+
+impl SharedStore {
+    /// Creates an empty store with the default contention profile.
+    pub fn new() -> StoreRef {
+        Rc::new(RefCell::new(SharedStore {
+            map: HashMap::new(),
+            lock_busy_until_ns: 0,
+            crit_get_ns: 60,
+            crit_set_ns: 400,
+            ops: 0,
+            lock_wait_ns: 0,
+        }))
+    }
+
+    /// Executes a GET under the lock; returns `(charge_ns, value)`.
+    /// Missing keys synthesize a value of `expected_len` bytes so the
+    /// wire traffic matches the workload without a pre-population phase.
+    pub fn get(&mut self, now_ns: u64, key: &[u8], expected_len: usize) -> (u64, Bytes) {
+        let charge = self.lock(now_ns, self.crit_get_ns);
+        let val = match self.map.get(key) {
+            Some(v) => v.clone(),
+            None => Bytes::from(vec![b'v'; expected_len]),
+        };
+        (charge, val)
+    }
+
+    /// Executes a SET under the lock; returns the charge.
+    pub fn set(&mut self, now_ns: u64, key: &[u8], val: Bytes) -> u64 {
+        let charge = self.lock(now_ns, self.crit_set_ns);
+        self.map.insert(key.to_vec(), val);
+        charge
+    }
+
+    /// Acquires the lock at `now_ns` for `crit_ns`: the caller is
+    /// charged the wait plus the critical section; the lock stays busy
+    /// until the section ends.
+    fn lock(&mut self, now_ns: u64, crit_ns: u64) -> u64 {
+        let wait = self.lock_busy_until_ns.saturating_sub(now_ns);
+        self.lock_busy_until_ns = now_ns.max(self.lock_busy_until_ns) + crit_ns;
+        self.ops += 1;
+        self.lock_wait_ns += wait;
+        wait + crit_ns
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// One server thread's event handler.
+pub struct KvServer {
+    store: StoreRef,
+    /// Fixed request-handling CPU outside the lock (parse, hash,
+    /// response building).
+    pub base_ns: u64,
+    /// Stream-reassembly buffers per connection cookie.
+    partial: HashMap<u64, Vec<u8>>,
+    /// Requests served by this thread.
+    pub served: u64,
+}
+
+impl KvServer {
+    /// Creates a handler over the shared store.
+    pub fn new(store: StoreRef) -> KvServer {
+        KvServer {
+            store,
+            base_ns: 1_300,
+            partial: HashMap::new(),
+            served: 0,
+        }
+    }
+}
+
+impl LibixHandler for KvServer {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+        let buf = self.partial.entry(ctx.conn.cookie).or_default();
+        buf.extend_from_slice(data);
+        let mut consumed = 0usize;
+        // The thread's *local* clock: the cycle start plus CPU it has
+        // already burned in this callback. Lock acquisitions use it so a
+        // batch of requests from one thread serializes once (its own
+        // compute), not quadratically against its own lock holds.
+        let mut local_now = ctx.now_ns;
+        loop {
+            let rest = &buf[consumed..];
+            let Some(h) = proto::decode_request_header(rest) else { break };
+            let total = h.total_len();
+            if rest.len() < total {
+                break;
+            }
+            let key = &rest[proto::REQ_HDR..proto::REQ_HDR + h.klen];
+            ctx.charge(self.base_ns);
+            local_now += self.base_ns;
+            self.served += 1;
+            match h.op {
+                proto::OP_GET => {
+                    let (charge, val) = self.store.borrow_mut().get(local_now, key, h.vlen);
+                    ctx.charge(charge);
+                    local_now += charge;
+                    let rsp = proto::encode_response(proto::ST_OK, h.seq, &val);
+                    ctx.write(Bytes::from(rsp));
+                }
+                proto::OP_SET => {
+                    let val = Bytes::copy_from_slice(
+                        &rest[proto::REQ_HDR + h.klen..proto::REQ_HDR + h.klen + h.vlen],
+                    );
+                    let charge = self.store.borrow_mut().set(local_now, key, val);
+                    ctx.charge(charge);
+                    local_now += charge;
+                    let rsp = proto::encode_response(proto::ST_OK, h.seq, &[]);
+                    ctx.write(Bytes::from(rsp));
+                }
+                _ => {
+                    let rsp = proto::encode_response(proto::ST_MISS, h.seq, &[]);
+                    ctx.write(Bytes::from(rsp));
+                }
+            }
+            consumed += total;
+        }
+        if consumed > 0 {
+            buf.drain(..consumed);
+        }
+    }
+
+    fn on_dead(&mut self, ctx: &mut ConnCtx<'_>, _reason: ix_tcp::DeadReason) {
+        self.partial.remove(&ctx.conn.cookie);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_serializes_concurrent_ops() {
+        let store = SharedStore::new();
+        let mut s = store.borrow_mut();
+        // Two GETs at the same instant: the second waits for the first.
+        let (c1, _) = s.get(1_000, b"k", 8);
+        assert_eq!(c1, s.crit_get_ns);
+        let (c2, _) = s.get(1_000, b"k", 8);
+        assert_eq!(c2, 2 * s.crit_get_ns);
+        assert_eq!(s.lock_wait_ns, s.crit_get_ns);
+        // A later op after the lock drained pays only the section.
+        let (c3, _) = s.get(1_000_000, b"k", 8);
+        assert_eq!(c3, s.crit_get_ns);
+    }
+
+    #[test]
+    fn set_then_get_roundtrip() {
+        let store = SharedStore::new();
+        let mut s = store.borrow_mut();
+        s.set(0, b"alpha", Bytes::from_static(b"12"));
+        let (_, v) = s.get(10_000, b"alpha", 99);
+        assert_eq!(&v[..], b"12");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn get_miss_synthesizes_expected_size() {
+        let store = SharedStore::new();
+        let mut s = store.borrow_mut();
+        let (_, v) = s.get(0, b"missing", 500);
+        assert_eq!(v.len(), 500, "traffic shape preserved on miss");
+        assert!(s.is_empty(), "synthesized values are not stored");
+    }
+
+    #[test]
+    fn sets_contend_harder_than_gets() {
+        let store = SharedStore::new();
+        let s = store.borrow();
+        assert!(s.crit_set_ns > 4 * s.crit_get_ns);
+    }
+}

@@ -1,0 +1,455 @@
+//! The mutilate-style load generator (§5.5).
+//!
+//! "We use the mutilate load-generator to place a selected load on the
+//! server in terms of requests per second (RPS) and measure response
+//! latency. mutilate coordinates a large number of client threads across
+//! multiple machines to generate the desired RPS load, while a separate
+//! unloaded client measures latency by issuing one request at the time.
+//! ... clients are permitted to pipeline up to four requests per
+//! connection if needed to keep up with their target request rate."
+//!
+//! [`MutilateClient`] is one coordinated load thread: open-loop Poisson
+//! arrivals at a per-thread target rate, spread over its connections
+//! with a pipeline bound of four. [`MutilateAgent`] is the unloaded
+//! latency sampler. Both feed a shared [`LoadStats`].
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use ix_core::libix::{ConnCtx, LibixCtx, LibixHandler};
+use ix_sim::{Histogram, SimRng};
+
+use crate::workload::{proto, Workload};
+
+/// Shared measurement sink for a memcached experiment.
+#[derive(Debug)]
+pub struct LoadStats {
+    /// Latency across all load-generator requests (windowed).
+    pub latency: Histogram,
+    /// Wire+server portion only (issue to response), for diagnostics.
+    pub net_latency: Histogram,
+    /// Latency from the unloaded agent (windowed) — the paper's
+    /// reported metric.
+    pub agent_latency: Histogram,
+    /// Requests completed inside the window.
+    pub completed: u64,
+    /// Requests completed overall.
+    pub completed_total: u64,
+    /// Requests dropped because the client backlog exceeded its bound
+    /// (the generator has fallen hopelessly behind its target).
+    pub shed: u64,
+    /// Measurement window start.
+    pub window_start_ns: u64,
+    /// Measurement window end.
+    pub window_end_ns: u64,
+}
+
+impl LoadStats {
+    /// Creates a sink for the given measurement window.
+    pub fn new(window_start_ns: u64, window_end_ns: u64) -> Rc<RefCell<LoadStats>> {
+        Rc::new(RefCell::new(LoadStats {
+            latency: Histogram::new(),
+            net_latency: Histogram::new(),
+            agent_latency: Histogram::new(),
+            completed: 0,
+            completed_total: 0,
+            shed: 0,
+            window_start_ns,
+            window_end_ns,
+        }))
+    }
+
+    fn in_window(&self, now_ns: u64) -> bool {
+        now_ns >= self.window_start_ns && now_ns < self.window_end_ns
+    }
+}
+
+/// An in-flight request awaiting its response on a connection.
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    seq: u64,
+    /// Arrival time of the *intent* (for open-loop latency accounting,
+    /// which includes client-side queueing).
+    arrived_at: u64,
+    /// When the request was actually written to the connection.
+    issued_at: u64,
+}
+
+#[derive(Debug, Default)]
+struct ConnIo {
+    rx: Vec<u8>,
+    fifo: VecDeque<Outstanding>,
+}
+
+/// One coordinated load-generation thread.
+pub struct MutilateClient {
+    server: ix_net::Ipv4Addr,
+    port: u16,
+    /// Connections this thread maintains.
+    pub conns: usize,
+    /// Pipeline bound per connection (the paper: 4).
+    pub pipeline: usize,
+    /// Target request rate for this thread, requests/second.
+    pub rate_rps: f64,
+    workload: Workload,
+    rng: SimRng,
+    stats: Rc<RefCell<LoadStats>>,
+    io: HashMap<u64, ConnIo>,
+    ready: Vec<u64>,
+    /// user -> libix cookie, filled at on_connected.
+    cookies: HashMap<u64, u64>,
+    rr: usize,
+    opened: usize,
+    next_seq: u64,
+    next_arrival_ns: u64,
+    /// Arrivals waiting for pipeline capacity.
+    backlog: VecDeque<u64>,
+    /// Shed requests beyond this backlog depth.
+    pub backlog_cap: usize,
+    started: bool,
+    /// Stop issuing at this time.
+    pub stop_at_ns: u64,
+}
+
+impl MutilateClient {
+    /// Creates a load thread.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        server: ix_net::Ipv4Addr,
+        port: u16,
+        conns: usize,
+        rate_rps: f64,
+        workload: Workload,
+        rng: SimRng,
+        stats: Rc<RefCell<LoadStats>>,
+    ) -> MutilateClient {
+        MutilateClient {
+            server,
+            port,
+            conns,
+            pipeline: 4,
+            rate_rps,
+            workload,
+            rng,
+            stats,
+            io: HashMap::new(),
+            ready: Vec::new(),
+            cookies: HashMap::new(),
+            rr: 0,
+            opened: 0,
+            next_seq: 1,
+            next_arrival_ns: 0,
+            backlog: VecDeque::new(),
+            backlog_cap: 4096,
+            started: false,
+            stop_at_ns: u64::MAX,
+        }
+    }
+
+    /// Builds the next request and records it on `user`'s FIFO.
+    fn build(&mut self, user: u64, arrived_at: u64, now_ns: u64) -> Bytes {
+        let op = self.workload.next_op(&mut self.rng);
+        let key = Workload::key_bytes(op.key, op.key_len);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let req = if op.is_get {
+            proto::encode_request(proto::OP_GET, seq, &key, &vec![0u8; op.val_len])
+        } else {
+            proto::encode_request(proto::OP_SET, seq, &key, &vec![b'w'; op.val_len])
+        };
+        let io = self.io.get_mut(&user).expect("tracked");
+        io.fifo.push_back(Outstanding { seq, arrived_at, issued_at: now_ns });
+        Bytes::from(req)
+    }
+
+    /// Drains the backlog onto connections with pipeline capacity,
+    /// round-robin; `write` sends bytes to a cookie.
+    fn drain_backlog(&mut self, now_ns: u64, mut write: impl FnMut(u64, Bytes)) {
+        if self.ready.is_empty() {
+            return;
+        }
+        'outer: while let Some(&arrived) = self.backlog.front() {
+            // Find a connection with room, starting at the RR cursor.
+            for probe in 0..self.ready.len() {
+                let idx = (self.rr + probe) % self.ready.len();
+                let user = self.ready[idx];
+                let room = self
+                    .io
+                    .get(&user)
+                    .map(|io| io.fifo.len() < self.pipeline)
+                    .unwrap_or(false);
+                if room {
+                    self.rr = (idx + 1) % self.ready.len();
+                    self.backlog.pop_front();
+                    let req = self.build(user, arrived, now_ns);
+                    let cookie = *self.cookies.get(&user).expect("connected");
+                    write(cookie, req);
+                    continue 'outer;
+                }
+            }
+            break; // Everything is pipeline-full.
+        }
+    }
+}
+
+impl LibixHandler for MutilateClient {
+    fn on_tick(&mut self, ctx: &mut LibixCtx<'_>) {
+        if !self.started {
+            self.started = true;
+            // Let the connection ramp complete before the open loop
+            // starts (mutilate's own warmup behaviour).
+            self.next_arrival_ns = ctx.now_ns
+                + 2_000_000
+                + self.rng.exponential(1e9 / self.rate_rps.max(1.0)) as u64;
+            for user in 0..self.conns as u64 {
+                self.io.insert(user, ConnIo::default());
+                ctx.connect(self.server, self.port, user);
+                self.opened += 1;
+            }
+        }
+        // Open-loop arrivals since the last tick.
+        while self.next_arrival_ns <= ctx.now_ns && ctx.now_ns < self.stop_at_ns {
+            let gap = self.rng.exponential(1e9 / self.rate_rps.max(1.0)) as u64;
+            let arrived = self.next_arrival_ns;
+            self.next_arrival_ns += gap.max(1);
+            if self.backlog.len() >= self.backlog_cap {
+                self.stats.borrow_mut().shed += 1;
+                continue;
+            }
+            self.backlog.push_back(arrived);
+        }
+        // Issue onto idle connections right away (open loop).
+        ctx.charge(120);
+        let now = ctx.now_ns;
+        self.drain_backlog(now, |cookie, req| ctx.write_to(cookie, req));
+    }
+
+    fn on_connected(&mut self, ctx: &mut ConnCtx<'_>, ok: bool) {
+        assert!(ok, "mutilate connect failed");
+        self.ready.push(ctx.conn.user);
+        self.cookies.insert(ctx.conn.user, ctx.conn.cookie);
+        let me = ctx.conn.cookie;
+        let now = ctx.now_ns;
+        self.drain_backlog(now, |cookie, req| {
+            if cookie == me {
+                // Writing to the own conn directly avoids a deferred
+                // action round trip.
+                ctx.write(req);
+            } else {
+                ctx.write_to(cookie, req);
+            }
+        });
+    }
+
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+        let user = ctx.conn.user;
+        let now = ctx.now_ns;
+        let Some(io) = self.io.get_mut(&user) else { return };
+        io.rx.extend_from_slice(data);
+        let mut consumed = 0usize;
+        let mut completed = 0u32;
+        loop {
+            let rest = &io.rx[consumed..];
+            let Some(h) = proto::decode_response_header(rest) else { break };
+            if rest.len() < h.total_len() {
+                break;
+            }
+            let out = io.fifo.pop_front().expect("response matches a request");
+            debug_assert_eq!(out.seq, h.seq, "responses must be in order");
+            consumed += h.total_len();
+            completed += 1;
+            let mut st = self.stats.borrow_mut();
+            st.completed_total += 1;
+            // Gate on the request's arrival instant so ramp-up backlogs
+            // cannot leak giant latencies into the window.
+            if st.in_window(out.arrived_at) {
+                st.completed += 1;
+                // Open-loop latency includes client-side queueing.
+                st.latency.record(ix_sim::Nanos(now - out.arrived_at));
+                st.net_latency.record(ix_sim::Nanos(now - out.issued_at));
+            }
+        }
+        if consumed > 0 {
+            io.rx.drain(..consumed);
+        }
+        ctx.charge(250 * completed as u64);
+        // Capacity freed: pull from the backlog.
+        let me = ctx.conn.cookie;
+        let now2 = ctx.now_ns;
+        self.drain_backlog(now2, |cookie, req| {
+            if cookie == me {
+                ctx.write(req);
+            } else {
+                ctx.write_to(cookie, req);
+            }
+        });
+    }
+
+    fn on_dead(&mut self, ctx: &mut ConnCtx<'_>, reason: ix_tcp::DeadReason) {
+        panic!("mutilate connection died mid-run: {reason:?} (user {})", ctx.conn.user);
+    }
+
+    fn wants_tick(&self, now_ns: u64) -> bool {
+        !self.started || (self.next_arrival_ns <= now_ns && now_ns < self.stop_at_ns)
+    }
+
+    fn next_deadline_ns(&self) -> Option<u64> {
+        if self.started && self.next_arrival_ns < self.stop_at_ns {
+            Some(self.next_arrival_ns)
+        } else {
+            None
+        }
+    }
+}
+
+/// The unloaded latency-measuring client: one connection, one request
+/// outstanding at a time, paced slowly.
+pub struct MutilateAgent {
+    server: ix_net::Ipv4Addr,
+    port: u16,
+    workload: Workload,
+    rng: SimRng,
+    stats: Rc<RefCell<LoadStats>>,
+    /// Pause between samples.
+    pub gap_ns: u64,
+    started: bool,
+    rx: Vec<u8>,
+    sent_at: u64,
+    next_fire_ns: u64,
+    awaiting: Option<u64>,
+    next_seq: u64,
+    cookie: Option<u64>,
+    /// Stop sampling at this time.
+    pub stop_at_ns: u64,
+}
+
+impl MutilateAgent {
+    /// Creates the sampling agent.
+    pub fn new(
+        server: ix_net::Ipv4Addr,
+        port: u16,
+        workload: Workload,
+        rng: SimRng,
+        stats: Rc<RefCell<LoadStats>>,
+    ) -> MutilateAgent {
+        MutilateAgent {
+            server,
+            port,
+            workload,
+            rng,
+            stats,
+            gap_ns: 50_000,
+            started: false,
+            rx: Vec::new(),
+            sent_at: 0,
+            next_fire_ns: 0,
+            awaiting: None,
+            next_seq: 1,
+            cookie: None,
+            stop_at_ns: u64::MAX,
+        }
+    }
+
+    /// Builds the next request and marks it outstanding.
+    fn build_request(&mut self, now_ns: u64) -> Bytes {
+        let op = self.workload.next_op(&mut self.rng);
+        let key = Workload::key_bytes(op.key, op.key_len);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let req = if op.is_get {
+            proto::encode_request(proto::OP_GET, seq, &key, &vec![0u8; op.val_len])
+        } else {
+            proto::encode_request(proto::OP_SET, seq, &key, &vec![b'w'; op.val_len])
+        };
+        self.sent_at = now_ns;
+        self.awaiting = Some(seq);
+        Bytes::from(req)
+    }
+}
+
+impl LibixHandler for MutilateAgent {
+    fn on_tick(&mut self, ctx: &mut LibixCtx<'_>) {
+        if !self.started {
+            self.started = true;
+            ctx.connect(self.server, self.port, 0);
+            return;
+        }
+        // Timer-paced sampling between responses.
+        if let Some(cookie) = self.cookie {
+            if self.awaiting.is_none() && self.next_fire_ns <= ctx.now_ns && ctx.now_ns < self.stop_at_ns
+            {
+                let req = self.build_request(ctx.now_ns);
+                ctx.write_to(cookie, req);
+            }
+        }
+    }
+
+    fn on_connected(&mut self, ctx: &mut ConnCtx<'_>, ok: bool) {
+        assert!(ok, "agent connect failed");
+        self.cookie = Some(ctx.conn.cookie);
+        let req = self.build_request(ctx.now_ns);
+        ctx.write(req);
+    }
+
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+        self.rx.extend_from_slice(data);
+        let Some(h) = proto::decode_response_header(&self.rx) else { return };
+        if self.rx.len() < h.total_len() {
+            return;
+        }
+        debug_assert_eq!(Some(h.seq), self.awaiting);
+        self.rx.drain(..h.total_len());
+        self.awaiting = None;
+        let now = ctx.now_ns;
+        {
+            let mut st = self.stats.borrow_mut();
+            if st.in_window(now) {
+                st.agent_latency.record(ix_sim::Nanos(now - self.sent_at));
+            }
+        }
+        if now < self.stop_at_ns {
+            // Pause, then sample again from on_tick at the deadline.
+            self.next_fire_ns = now + self.gap_ns;
+        }
+        let _ = ctx;
+    }
+
+    fn wants_tick(&self, now_ns: u64) -> bool {
+        !self.started
+            || (self.awaiting.is_none() && self.next_fire_ns <= now_ns && now_ns < self.stop_at_ns)
+    }
+
+    fn next_deadline_ns(&self) -> Option<u64> {
+        if self.started && self.awaiting.is_none() && self.next_fire_ns < self.stop_at_ns {
+            Some(self.next_fire_ns)
+        } else {
+            None
+        }
+    }
+
+    fn on_sent(&mut self, _ctx: &mut ConnCtx<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_window() {
+        let st = LoadStats::new(100, 200);
+        assert!(!st.borrow().in_window(50));
+        assert!(st.borrow().in_window(150));
+        assert!(!st.borrow().in_window(200));
+    }
+
+    #[test]
+    fn outstanding_fifo_order() {
+        let mut io = ConnIo::default();
+        io.fifo.push_back(Outstanding { seq: 1, arrived_at: 0, issued_at: 0 });
+        io.fifo.push_back(Outstanding { seq: 2, arrived_at: 0, issued_at: 0 });
+        assert_eq!(io.fifo.pop_front().unwrap().seq, 1);
+        assert_eq!(io.fifo.pop_front().unwrap().seq, 2);
+    }
+}

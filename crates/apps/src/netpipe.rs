@@ -1,0 +1,186 @@
+//! NetPIPE (§5.2): ping-pong of fixed-size messages on one connection.
+//!
+//! "NetPIPE simply exchanges a fixed-size message between two servers and
+//! helps calibrate the latency and bandwidth of a single flow. In all
+//! cases, we run the same system on both ends."
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use ix_core::libix::{ConnCtx, LibixCtx, LibixHandler};
+
+/// Results of one NetPIPE run.
+#[derive(Debug, Default)]
+pub struct NetpipeResult {
+    /// Message size in bytes.
+    pub msg_size: usize,
+    /// Completed round trips.
+    pub reps: usize,
+    /// Total time across measured round trips, ns.
+    pub total_rtt_ns: u64,
+    /// Smallest observed RTT, ns.
+    pub min_rtt_ns: u64,
+    /// Run finished.
+    pub done: bool,
+}
+
+impl NetpipeResult {
+    /// Mean one-way latency, ns.
+    pub fn one_way_ns(&self) -> u64 {
+        if self.reps == 0 {
+            return 0;
+        }
+        self.total_rtt_ns / (2 * self.reps as u64)
+    }
+
+    /// NetPIPE goodput in Gbps: message bits over one-way time.
+    pub fn goodput_gbps(&self) -> f64 {
+        let one_way = self.one_way_ns();
+        if one_way == 0 {
+            return 0.0;
+        }
+        (self.msg_size as f64 * 8.0) / one_way as f64
+    }
+}
+
+/// The NetPIPE responder: echoes full messages (same logic as the echo
+/// server, kept separate for clarity of the experiment mapping).
+pub struct NetpipeServer {
+    msg_size: usize,
+    got: usize,
+}
+
+impl NetpipeServer {
+    /// Creates a responder for `msg_size`-byte messages.
+    pub fn new(msg_size: usize) -> NetpipeServer {
+        NetpipeServer { msg_size, got: 0 }
+    }
+}
+
+impl LibixHandler for NetpipeServer {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+        self.got += data.len();
+        while self.got >= self.msg_size {
+            self.got -= self.msg_size;
+            ctx.write(Bytes::from(vec![0u8; self.msg_size]));
+        }
+    }
+}
+
+/// The NetPIPE initiator: `warmup + reps` round trips of `msg_size`.
+pub struct NetpipeClient {
+    server: ix_net::Ipv4Addr,
+    port: u16,
+    msg_size: usize,
+    reps: usize,
+    warmup: usize,
+    started: bool,
+    got: usize,
+    done_reps: usize,
+    sent_at: u64,
+    result: Rc<RefCell<NetpipeResult>>,
+}
+
+impl NetpipeClient {
+    /// Creates the initiator; results land in the returned cell.
+    pub fn new(
+        server: ix_net::Ipv4Addr,
+        port: u16,
+        msg_size: usize,
+        reps: usize,
+        warmup: usize,
+    ) -> (NetpipeClient, Rc<RefCell<NetpipeResult>>) {
+        let result = Rc::new(RefCell::new(NetpipeResult {
+            msg_size,
+            min_rtt_ns: u64::MAX,
+            ..NetpipeResult::default()
+        }));
+        (
+            NetpipeClient {
+                server,
+                port,
+                msg_size,
+                reps,
+                warmup,
+                started: false,
+                got: 0,
+                done_reps: 0,
+                sent_at: 0,
+                result: result.clone(),
+            },
+            result,
+        )
+    }
+
+    fn fire(&mut self, ctx: &mut ConnCtx<'_>) {
+        self.sent_at = ctx.now_ns;
+        ctx.write(Bytes::from(vec![0u8; self.msg_size]));
+    }
+}
+
+impl LibixHandler for NetpipeClient {
+    fn on_tick(&mut self, ctx: &mut LibixCtx<'_>) {
+        if !self.started {
+            self.started = true;
+            ctx.connect(self.server, self.port, 0);
+        }
+    }
+
+    fn on_connected(&mut self, ctx: &mut ConnCtx<'_>, ok: bool) {
+        assert!(ok, "netpipe connect failed");
+        self.fire(ctx);
+    }
+
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+        self.got += data.len();
+        if self.got < self.msg_size {
+            return;
+        }
+        self.got -= self.msg_size;
+        let rtt = ctx.now_ns - self.sent_at;
+        self.done_reps += 1;
+        if self.done_reps > self.warmup {
+            let mut r = self.result.borrow_mut();
+            r.reps += 1;
+            r.total_rtt_ns += rtt;
+            r.min_rtt_ns = r.min_rtt_ns.min(rtt);
+        }
+        if self.done_reps >= self.warmup + self.reps {
+            self.result.borrow_mut().done = true;
+            ctx.close();
+        } else {
+            self.fire(ctx);
+        }
+    }
+
+    fn wants_tick(&self, _now: u64) -> bool {
+        !self.started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_math() {
+        let r = NetpipeResult {
+            msg_size: 20_000,
+            reps: 10,
+            total_rtt_ns: 10 * 64_000, // 64 µs RTT → 32 µs one-way.
+            min_rtt_ns: 60_000,
+            done: true,
+        };
+        assert_eq!(r.one_way_ns(), 32_000);
+        // 160_000 bits / 32_000 ns = 5 Gbps.
+        assert!((r.goodput_gbps() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_result_is_zero() {
+        let r = NetpipeResult::default();
+        assert_eq!(r.one_way_ns(), 0);
+        assert_eq!(r.goodput_gbps(), 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! The paper's baselines: simulated Linux and mTCP network stacks.
+//!
+//! §5 compares IX against a tuned Linux 3.16 kernel and against mTCP, the
+//! state-of-the-art user-level TCP stack of the time. Both baselines here
+//! drive the *same* protocol logic ([`ix_tcp::TcpShard`]) and the *same*
+//! application trait ([`ix_core::IxApp`]) as the IX dataplane — what
+//! differs is the execution model, which is precisely the paper's thesis:
+//!
+//! * [`linux`] — interrupt-driven kernel stack: NAPI interrupt coalescing
+//!   and softirq batches, scheduler wake-ups of blocked application
+//!   threads, per-call `epoll`/`read`/`write` system calls with user-copy
+//!   costs, kernel socket buffering on both sides, and immediate ACKs
+//!   from softirq context. Tuned as §5.1 describes: threads pinned,
+//!   interrupts affinitized to the RSS queue's core.
+//! * [`mtcp`] — user-level stack with *aggressive batching*: a dedicated
+//!   per-core TCP thread exchanges batches with the application thread at
+//!   coarse granularity, eliminating per-packet syscalls (high
+//!   throughput) at the price of queueing latency in both directions —
+//!   "which comes at the expense of higher latency than both IX and
+//!   Linux" (§5.2).
+
+pub mod linux;
+pub mod mtcp;
+
+pub use linux::{LinuxHost, LinuxParams};
+pub use mtcp::{MtcpHost, MtcpParams};

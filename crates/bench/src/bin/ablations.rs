@@ -1,0 +1,105 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Adaptive batching** (§3/§6): B=64 adaptive vs B=1 — unloaded
+//!    latency must be unaffected ("we never wait to batch"), loaded
+//!    throughput must improve with B.
+//! 2. **PCIe doorbell coalescing** (§6): replenishing RX descriptors in
+//!    ≥32-entry batches vs per-iteration doorbells.
+//! 3. **Zero-copy API** (§3): charging POSIX-style per-byte copies in
+//!    both directions, visible at large message sizes.
+//! 4. **Decoupled pipeline granularity** (§2.3): the mTCP batching
+//!    quantum sweep — the latency/throughput trade IX's run-to-completion
+//!    design avoids.
+
+use ix_apps::harness::{run_echo, run_netpipe, EchoConfig, EngineTuning, System};
+use ix_core::params::CostParams;
+use ix_sim::Nanos;
+
+fn echo_cfg(tuning: EngineTuning, msg: usize) -> EchoConfig {
+    EchoConfig {
+        system: System::Ix,
+        server_cores: 8,
+        msg_size: msg,
+        n_per_conn: 1024,
+        warmup: Nanos::from_millis(6),
+        measure: Nanos::from_millis(14),
+        tuning,
+        ..EchoConfig::default()
+    }
+}
+
+fn main() {
+    ix_bench::banner("Ablation 1", "adaptive batching: B=64 vs B=1");
+    for b in [1usize, 64] {
+        let mut t = EngineTuning::default();
+        t.ix = CostParams::with_batch_bound(b);
+        let (one_way, _) = run_netpipe(System::Ix, 64, 100, &t);
+        let r = run_echo(&echo_cfg(t, 64));
+        println!(
+            "  B={b:<3} unloaded one-way {:>6.2} us | loaded {:>5.2} M msg/s",
+            one_way as f64 / 1e3,
+            r.msgs_per_sec / 1e6
+        );
+    }
+    println!("  expectation: identical unloaded latency (never wait to batch); higher B wins loaded.");
+
+    ix_bench::banner("Ablation 2", "PCIe doorbell coalescing on the RX replenish path (§6)");
+    for coalesce in [32usize, 1] {
+        let mut t = EngineTuning::default();
+        t.ix.rx_replenish_batch = coalesce;
+        let r = run_echo(&echo_cfg(t, 64));
+        println!(
+            "  replenish>={coalesce:<3} -> {:>5.2} M msg/s   {}",
+            r.msgs_per_sec / 1e6,
+            r.debug
+        );
+    }
+    println!("  note: with 8 queues the echo workload is wire-limited before the");
+    println!("  doorbell CPU cost binds; the §6 bottleneck was a shared-PCIe-bus");
+    println!("  limit at 16 hyperthreads, which this model does not bind (see");
+    println!("  EXPERIMENTS.md).");
+
+    ix_bench::banner("Ablation 3", "zero-copy API vs POSIX-style copies");
+    // The large-message case runs CPU-bound (2 cores, 4x10GbE) so the
+    // copy cost is visible rather than hidden behind the wire limit.
+    for (label, copy) in [("zero-copy", false), ("copying  ", true)] {
+        let mut t = EngineTuning::default();
+        t.ix.copy_api = copy;
+        let small = run_echo(&echo_cfg(t.clone(), 64));
+        let large = run_echo(&EchoConfig {
+            server_cores: 2,
+            server_ports: 4,
+            ..echo_cfg(t, 8192)
+        });
+        println!(
+            "  {label} 64B: {:>5.2} M msg/s | 8KB (2 cores, 40G): {:>6.2} Gbps",
+            small.msgs_per_sec / 1e6,
+            large.goodput_gbps
+        );
+    }
+    println!("  expectation: copies barely matter at 64B, cost real bandwidth at 8KB.");
+
+    ix_bench::banner("Ablation 4", "pipeline decoupling granularity (mTCP quantum sweep)");
+    for q_us in [5u64, 20, 50, 100] {
+        let mut t = EngineTuning::default();
+        t.mtcp.quantum_ns = q_us * 1_000;
+        let (one_way, _) = run_netpipe(System::Mtcp, 64, 100, &t);
+        let cfg = EchoConfig {
+            system: System::Mtcp,
+            server_cores: 8,
+            n_per_conn: 1024,
+            warmup: Nanos::from_millis(6),
+            measure: Nanos::from_millis(14),
+            tuning: t,
+            ..EchoConfig::default()
+        };
+        let r = run_echo(&cfg);
+        println!(
+            "  quantum {q_us:>3} us -> one-way {:>7.2} us, {:>5.2} M msg/s",
+            one_way as f64 / 1e3,
+            r.msgs_per_sec / 1e6
+        );
+    }
+    println!("  expectation: latency scales with the quantum — the trade IX's");
+    println!("  run-to-completion + adaptive batching avoids entirely.");
+}

@@ -1,0 +1,24 @@
+//! One Fig-4 point: `connpoint <ix|linux> <ports> <conns>`.
+use ix_apps::harness::{run_connscale, ConnScaleConfig, System};
+
+fn main() {
+    let a: Vec<String> = std::env::args().collect();
+    let system = if a[1] == "ix" { System::Ix } else { System::Linux };
+    let cfg = ConnScaleConfig {
+        system,
+        server_ports: a[2].parse().expect("ports"),
+        total_conns: a[3].parse().expect("conns"),
+        ..ConnScaleConfig::default()
+    };
+    let r = run_connscale(&cfg);
+    println!(
+        "{}-{}G conns={} -> {:.2}M msg/s rtt_avg={:.1}us misses/msg={:.1} server_conns={}",
+        system.name(),
+        if a[2] == "1" { 10 } else { 40 },
+        a[3],
+        r.msgs_per_sec / 1e6,
+        r.rtt_avg_ns as f64 / 1e3,
+        r.misses_per_msg,
+        r.server_conns
+    );
+}

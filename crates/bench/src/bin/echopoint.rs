@@ -1,0 +1,26 @@
+//! One echo point runner: `echopoint <ix|linux|mtcp> <cores> <ports> <msg> <n>`.
+use ix_apps::harness::{run_echo, EchoConfig, System};
+
+fn main() {
+    let a: Vec<String> = std::env::args().collect();
+    let system = match a[1].as_str() {
+        "ix" => System::Ix,
+        "linux" => System::Linux,
+        _ => System::Mtcp,
+    };
+    let cfg = EchoConfig {
+        system,
+        server_cores: a[2].parse().expect("cores"),
+        server_ports: a[3].parse().expect("ports"),
+        msg_size: a[4].parse().expect("msg"),
+        n_per_conn: a[5].parse().expect("n"),
+        ..EchoConfig::default()
+    };
+    let r = run_echo(&cfg);
+    println!(
+        "{} cores={} ports={} s={} n={} -> {:.2}M msg/s {:.2}Gbps rtt_avg={:.1}us p99={:.1}us",
+        system.name(), a[2], a[3], a[4], a[5],
+        r.msgs_per_sec / 1e6, r.goodput_gbps,
+        r.rtt_avg_ns as f64 / 1e3, r.rtt_p99_ns as f64 / 1e3
+    );
+}

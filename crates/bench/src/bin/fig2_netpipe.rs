@@ -1,0 +1,42 @@
+//! Fig 2 — "NetPIPE performance for varying message sizes and system
+//! software configurations."
+//!
+//! Paper shape: IX-IX reaches 5 Gbps (half of 10GbE) with ~20 KB
+//! messages and has 5.7 µs one-way latency at 64 B; Linux needs ~385 KB
+//! for 5 Gbps with 24 µs at 64 B; mTCP trades latency for throughput and
+//! is an order of magnitude worse than IX at small sizes.
+
+use ix_apps::harness::{run_netpipe, EngineTuning, System};
+
+fn main() {
+    ix_bench::banner("Figure 2", "NetPIPE goodput vs message size (same system on both ends)");
+    let tuning = EngineTuning::default();
+    let sizes: &[usize] = &[
+        64, 256, 1_024, 4_096, 16_384, 32_768, 65_536, 131_072, 262_144, 524_288,
+    ];
+    println!(
+        "{:>9} | {:>12} {:>10} | {:>12} {:>10} | {:>12} {:>10}",
+        "size(B)", "IX 1-way us", "IX Gbps", "Lnx 1-way us", "Lnx Gbps", "mTCP 1-way", "mTCP Gbps"
+    );
+    let mut half_bw: [Option<usize>; 3] = [None, None, None];
+    for &size in sizes {
+        let reps = if size >= 65_536 { 30 } else { 60 };
+        let mut row = format!("{size:>9} |");
+        for (i, sys) in [System::Ix, System::Linux, System::Mtcp].into_iter().enumerate() {
+            let (one_way, gbps) = run_netpipe(sys, size, reps, &tuning);
+            row += &format!(" {:>12.2} {:>10.2} |", one_way as f64 / 1e3, gbps);
+            if gbps >= 5.0 && half_bw[i].is_none() {
+                half_bw[i] = Some(size);
+            }
+        }
+        println!("{}", row.trim_end_matches('|'));
+    }
+    println!();
+    println!("Half-bandwidth (5 Gbps) crossing points (paper: IX ~20KB, Linux ~385KB):");
+    for (i, sys) in [System::Ix, System::Linux, System::Mtcp].into_iter().enumerate() {
+        match half_bw[i] {
+            Some(s) => println!("  {:<6} <= {} B", sys.name(), s),
+            None => println!("  {:<6} not reached in sweep", sys.name()),
+        }
+    }
+}

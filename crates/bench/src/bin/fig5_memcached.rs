@@ -1,0 +1,60 @@
+//! Fig 5 — "Average and 99th percentile latency as a function of
+//! throughput for two memcached workloads" (ETC and USR), Linux vs IX.
+//!
+//! Paper shape: IX halves the unloaded latency and sustains 2.8× (ETC)
+//! and 3.6× (USR) the RPS of Linux at the 500 µs 99th-percentile SLA.
+//! Linux runs 8 cores; IX runs 6 (application lock contention stops IX
+//! gaining beyond 6, §5.5).
+
+use ix_apps::harness::{run_kv, KvConfig, System};
+use ix_apps::workload::WorkloadKind;
+
+fn sweep(system: System, wl: WorkloadKind, targets: &[f64]) {
+    println!(
+        "--- {} / {:?} ({} cores)",
+        system.name(),
+        wl,
+        if system == System::Ix { 6 } else { 8 }
+    );
+    println!(
+        "{:>9} | {:>9} | {:>9} {:>9} | {:>10} {:>10}",
+        "target", "RPS", "avg us", "p99 us", "agent avg", "agent p99"
+    );
+    for &t in targets {
+        let cfg = KvConfig {
+            system,
+            workload: wl,
+            target_rps: t,
+            server_cores: if system == System::Ix { 6 } else { 8 },
+            ..KvConfig::default()
+        };
+        let r = run_kv(&cfg);
+        println!(
+            "{:>8.0}K | {:>8.0}K | {:>9.1} {:>9.1} | {:>10.1} {:>10.1}{}",
+            t / 1e3,
+            r.rps / 1e3,
+            r.avg_ns as f64 / 1e3,
+            r.p99_ns as f64 / 1e3,
+            r.agent_avg_ns as f64 / 1e3,
+            r.agent_p99_ns as f64 / 1e3,
+            if r.shed > 0 { "  (overload)" } else { "" },
+        );
+    }
+}
+
+fn main() {
+    ix_bench::banner(
+        "Figure 5",
+        "memcached latency vs throughput, ETC and USR (SLA: p99 <= 500us)",
+    );
+    let linux_targets: &[f64] = &[100e3, 200e3, 300e3, 400e3, 500e3, 600e3, 700e3];
+    let ix_targets: &[f64] = &[
+        100e3, 400e3, 800e3, 1200e3, 1600e3, 2000e3, 2300e3,
+    ];
+    for wl in [WorkloadKind::Etc, WorkloadKind::Usr] {
+        sweep(System::Linux, wl, linux_targets);
+        sweep(System::Ix, wl, ix_targets);
+    }
+    println!();
+    println!("Paper (Table 2 SLA capacities): ETC-Linux 550K, ETC-IX 1550K, USR-Linux 500K, USR-IX 1800K.");
+}

@@ -1,0 +1,33 @@
+//! One-off KV point runner for calibration: `kvpoint <ix|linux> <etc|usr> <rps>`.
+use ix_apps::harness::{run_kv, KvConfig, System};
+use ix_apps::workload::WorkloadKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let system = match args[1].as_str() {
+        "ix" => System::Ix,
+        "linux" => System::Linux,
+        other => panic!("unknown system {other}"),
+    };
+    let wl = match args[2].as_str() {
+        "etc" => WorkloadKind::Etc,
+        _ => WorkloadKind::Usr,
+    };
+    let rps: f64 = args[3].parse().expect("rps");
+    let cfg = KvConfig {
+        system,
+        workload: wl,
+        target_rps: rps,
+        server_cores: if system == System::Ix { 6 } else { 8 },
+        ..KvConfig::default()
+    };
+    let r = run_kv(&cfg);
+    println!(
+        "{} {:?} target {:.0}K -> rps {:.0}K avg {:.1}us p99 {:.1}us agent {:.1}/{:.1}us shed {}",
+        system.name(), wl, rps / 1e3, r.rps / 1e3,
+        r.avg_ns as f64 / 1e3, r.p99_ns as f64 / 1e3,
+        r.agent_avg_ns as f64 / 1e3, r.agent_p99_ns as f64 / 1e3, r.shed
+    );
+    println!("  {}", r.debug);
+    println!("  store: ops={} lock_wait_total={:.1}ms", r.store_ops, r.store_lock_wait_ns as f64 / 1e6);
+}

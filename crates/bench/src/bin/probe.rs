@@ -1,0 +1,57 @@
+//! Calibration probe: quick sanity numbers for all three systems.
+//! Not a paper figure — a development aid kept for reproducibility work.
+
+use ix_apps::harness::{run_echo, run_kv, run_netpipe, EchoConfig, EngineTuning, KvConfig, System};
+use ix_apps::workload::WorkloadKind;
+
+fn main() {
+    let tuning = EngineTuning::default();
+    println!("== NetPIPE 64B one-way latency (paper: IX 5.7us, Linux 24us, mTCP ~10x IX)");
+    for sys in [System::Ix, System::Linux, System::Mtcp] {
+        let (one_way, _) = run_netpipe(sys, 64, 200, &tuning);
+        println!("  {:<6} {:>8.2} us", sys.name(), one_way as f64 / 1000.0);
+    }
+
+    println!("== Echo 64B, n=1024, 8 cores, 10GbE (paper: IX 8.8M, mTCP ~4.6M, Linux ~1M)");
+    for sys in [System::Ix, System::Linux, System::Mtcp] {
+        let cfg = EchoConfig {
+            system: sys,
+            ..EchoConfig::default()
+        };
+        let r = run_echo(&cfg);
+        println!(
+            "  {:<6} {:>6.2} M msg/s  rtt avg {:>7.1} us  p99 {:>7.1} us  conns {} kernel% {:.0}",
+            sys.name(),
+            r.msgs_per_sec / 1e6,
+            r.rtt_avg_ns as f64 / 1e3,
+            r.rtt_p99_ns as f64 / 1e3,
+            r.conns_closed,
+            100.0 * r.cpu_split.0 as f64 / (r.cpu_split.0 + r.cpu_split.1).max(1) as f64,
+        );
+        println!("         {}", r.debug);
+    }
+
+    println!("== memcached USR @ 300K RPS (sanity)");
+    for sys in [System::Ix, System::Linux] {
+        let cfg = KvConfig {
+            system: sys,
+            workload: WorkloadKind::Usr,
+            target_rps: 300_000.0,
+            server_cores: if sys == System::Ix { 6 } else { 8 },
+            ..KvConfig::default()
+        };
+        let r = run_kv(&cfg);
+        println!(
+            "  {:<6} {:>7.0}K rps  avg {:>7.1} us  p99 {:>7.1} us  agent avg {:>6.1} p99 {:>6.1}  kernel% {:.0} shed {}",
+            sys.name(),
+            r.rps / 1e3,
+            r.avg_ns as f64 / 1e3,
+            r.p99_ns as f64 / 1e3,
+            r.agent_avg_ns as f64 / 1e3,
+            r.agent_p99_ns as f64 / 1e3,
+            100.0 * r.cpu_split.0 as f64 / (r.cpu_split.0 + r.cpu_split.1).max(1) as f64,
+            r.shed,
+        );
+        println!("         net avg {:.1} p99 {:.1} us", r.net_avg_ns as f64/1e3, r.net_p99_ns as f64/1e3);
+    }
+}

@@ -1,0 +1,32 @@
+//! Benchmark harness for the IX reproduction.
+//!
+//! One binary per paper table/figure (see `src/bin/`): each regenerates
+//! the corresponding rows/series. Criterion microbenchmarks of the hot
+//! data structures live under `benches/`. Shared output formatting lives
+//! here.
+
+/// Prints a figure/table header with the paper reference.
+pub fn banner(id: &str, caption: &str) {
+    println!("==========================================================");
+    println!("{id} — {caption}");
+    println!("==========================================================");
+}
+
+/// Formats a nanosecond latency as microseconds with two decimals.
+pub fn us(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1000.0)
+}
+
+/// Formats messages/second in millions with two decimals.
+pub fn mmsgs(v: f64) -> String {
+    format!("{:.2}", v / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn formatting() {
+        assert_eq!(super::us(5_700), "5.70");
+        assert_eq!(super::mmsgs(8_800_000.0), "8.80");
+    }
+}

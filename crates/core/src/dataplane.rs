@@ -1,0 +1,600 @@
+//! Elastic threads and the run-to-completion cycle (Fig 1b).
+//!
+//! Each elastic thread makes exclusive use of one hardware thread and one
+//! NIC queue pair per port (§4.1). An iteration executes the six steps of
+//! Fig 1b:
+//!
+//! 1. poll the RX descriptor ring(s) and replenish buffer descriptors
+//!    (with ≥32-descriptor PCIe doorbell coalescing, §6);
+//! 2. run a *bounded* batch of packets (≤ B) through the TCP/IP stack,
+//!    generating event conditions;
+//! 3. cross into user mode and let the application consume all event
+//!    conditions and emit batched system calls;
+//! 4. process the batched system calls;
+//! 5. run kernel timers;
+//! 6. place outgoing frames on the TX descriptor ring and ring the
+//!    doorbell; reclaim completed descriptors.
+//!
+//! Batching is *adaptive*: the batch is whatever has accumulated, up to
+//! B — the thread never waits to fill a batch (§3), so at low load the
+//! batch size is 1 and latency is minimal, while under load batches grow
+//! and amortize the fixed costs. All CPU work is charged to the thread's
+//! core, split between the kernel (dataplane) and user domains — the
+//! measurement behind the §5.5 "75% kernel time on Linux vs <10% on IX"
+//! result.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use ix_nic::cache::DdioModel;
+use ix_nic::host::{CoreRef, CpuDomain};
+use ix_nic::nic::{Nic, NicRef, QueueId};
+use ix_sim::{Nanos, Simulator};
+use ix_tcp::{StackConfig, TcpShard};
+
+use crate::api::{IxApp, Syscall, SyscallResult, UserCtx};
+use crate::params::CostParams;
+
+/// Counters for one elastic thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DataplaneStats {
+    /// Run-to-completion iterations executed.
+    pub iterations: u64,
+    /// Packets polled from RX rings.
+    pub rx_packets: u64,
+    /// Frames pushed to TX rings.
+    pub tx_packets: u64,
+    /// Event conditions delivered to the application.
+    pub events: u64,
+    /// Batched system calls processed.
+    pub syscalls: u64,
+    /// Iterations whose batch hit the bound B.
+    pub full_batches: u64,
+    /// TX frames dropped because the ring was full.
+    pub tx_ring_drops: u64,
+    /// Sum of batch sizes (for average batch size).
+    pub batch_sum: u64,
+}
+
+/// One elastic thread: a hardware thread + NIC queue(s) + a TCP shard +
+/// the application's per-thread event loop.
+pub struct ElasticThread {
+    /// Thread index within its dataplane.
+    pub id: usize,
+    cost: CostParams,
+    /// The TCP/IP shard owned by this thread.
+    pub shard: TcpShard,
+    app: Box<dyn IxApp>,
+    /// `(nic, queue)` pairs served by this thread (one per port).
+    queues: Vec<(NicRef, QueueId)>,
+    core: CoreRef,
+    ddio: Option<DdioModel>,
+    /// Host-wide connection count (shared across threads) for the DDIO
+    /// working-set model.
+    host_conns: Rc<Cell<u64>>,
+    my_conns_last: u64,
+    pending_results: Vec<SyscallResult>,
+    iteration_scheduled: bool,
+    idle_wake: Option<ix_sim::EventId>,
+    /// Round-robin cursor for TX queue selection.
+    tx_cursor: usize,
+    /// Descriptors consumed since the last replenish doorbell.
+    rx_since_replenish: Vec<usize>,
+    /// Set by the control plane to quiesce this thread (revocation).
+    pub parked: bool,
+    /// Counters.
+    pub stats: DataplaneStats,
+}
+
+/// Shared handle to an elastic thread.
+pub type ThreadRef = Rc<RefCell<ElasticThread>>;
+
+impl ElasticThread {
+    /// Creates a thread; [`Dataplane::launch`] wires it to the NIC.
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        id: usize,
+        cost: CostParams,
+        shard: TcpShard,
+        app: Box<dyn IxApp>,
+        queues: Vec<(NicRef, QueueId)>,
+        core: CoreRef,
+        ddio: Option<DdioModel>,
+        host_conns: Rc<Cell<u64>>,
+    ) -> ElasticThread {
+        let nq = queues.len();
+        ElasticThread {
+            id,
+            cost,
+            shard,
+            app,
+            queues,
+            core,
+            ddio,
+            host_conns,
+            my_conns_last: 0,
+            pending_results: Vec::new(),
+            iteration_scheduled: false,
+            idle_wake: None,
+            tx_cursor: 0,
+            rx_since_replenish: vec![0; nq],
+            parked: false,
+            stats: DataplaneStats::default(),
+        }
+    }
+
+    /// Mutable access to the application (for test/bench inspection).
+    pub fn app_mut(&mut self) -> &mut dyn IxApp {
+        self.app.as_mut()
+    }
+
+    /// The `(nic, queue)` pairs this thread serves (control-plane view).
+    pub fn queues(&self) -> &[(NicRef, QueueId)] {
+        &self.queues
+    }
+
+    /// Schedules an iteration at the earliest instant the core is free.
+    /// Idempotent: a pending iteration absorbs later triggers.
+    pub fn schedule_iteration(th: &ThreadRef, sim: &mut Simulator) {
+        let start = {
+            let mut t = th.borrow_mut();
+            if t.iteration_scheduled || t.parked {
+                return;
+            }
+            t.iteration_scheduled = true;
+            if let Some(w) = t.idle_wake.take() {
+                sim.cancel(w);
+            }
+            let busy = t.core.borrow().busy_until;
+            sim.now().max(busy)
+        };
+        let th = th.clone();
+        sim.schedule_at(start, move |sim| ElasticThread::run_iteration(&th, sim));
+    }
+
+    /// One run-to-completion cycle.
+    fn run_iteration(th: &ThreadRef, sim: &mut Simulator) {
+        let now = sim.now();
+        let now_ns = now.as_nanos();
+        let mut t = th.borrow_mut();
+        t.iteration_scheduled = false;
+        if t.parked {
+            return;
+        }
+        t.stats.iterations += 1;
+        // Fixed per-iteration work and per-packet work accumulate
+        // separately: per-packet work gets the cold-batch scaling.
+        let mut kernel: u64 = t.cost.poll_ns;
+        let mut kernel_pkt: u64 = 0;
+
+        // (1) Poll RX rings, round-robin across ports, bounded by B.
+        let bound = t.cost.batch_bound;
+        let mut frames = Vec::new();
+        let nq = t.queues.len();
+        'poll: for round in 0.. {
+            let mut any = false;
+            for qi in 0..nq {
+                if frames.len() >= bound {
+                    break 'poll;
+                }
+                let (nic, q) = t.queues[qi].clone();
+                let f = nic.borrow_mut().rx_ring(q).poll();
+                if let Some(f) = f {
+                    t.rx_since_replenish[qi] += 1;
+                    frames.push(f);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+            let _ = round;
+        }
+        let batch = frames.len();
+        t.stats.batch_sum += batch as u64;
+        if batch >= bound {
+            t.stats.full_batches += 1;
+        }
+        t.stats.rx_packets += batch as u64;
+        // Replenish descriptors with doorbell coalescing (§6).
+        for qi in 0..nq {
+            let pending = t.rx_since_replenish[qi];
+            if pending >= t.cost.rx_replenish_batch || (pending > 0 && t.cost.rx_replenish_batch <= 1) {
+                let (nic, q) = t.queues[qi].clone();
+                nic.borrow_mut().rx_ring(q).replenish(pending);
+                t.rx_since_replenish[qi] = 0;
+                kernel += t.cost.pcie_doorbell_ns;
+            }
+        }
+
+        // DDIO / connection working-set penalty (§5.4).
+        let ddio_penalty = match (&t.ddio, t.cost.use_ddio_model) {
+            (Some(m), true) => m.penalty_ns(t.host_conns.get()),
+            _ => 0,
+        };
+
+        // (2) Protocol processing.
+        for f in frames {
+            kernel_pkt += t.cost.rx_cost(f.len()) + ddio_penalty;
+            t.shard.input(now_ns, f);
+        }
+
+        // (3) User-mode application processing.
+        let events = t.shard.take_events();
+        let results = std::mem::take(&mut t.pending_results);
+        let run_app = !events.is_empty() || !results.is_empty() || t.app.wants_cycle(now_ns);
+        let mut user: u64 = 0;
+        if run_app {
+            kernel += 2 * t.cost.vmx_transition_ns + t.cost.event_ns * events.len() as u64;
+            t.stats.events += events.len() as u64;
+            let mut ctx = UserCtx {
+                now_ns,
+                events,
+                results,
+                syscalls: Vec::new(),
+                user_ns: 0,
+            };
+            t.app.on_cycle(&mut ctx);
+            user += ctx.user_ns;
+
+            // (4) Batched system calls.
+            t.stats.syscalls += ctx.syscalls.len() as u64;
+            for s in ctx.syscalls {
+                kernel_pkt += t.cost.syscall_ns;
+                let r = ElasticThread::dispatch(&mut t, now_ns, s);
+                t.pending_results.push(r);
+            }
+        }
+
+        // (5) Kernel timers.
+        kernel += t.cost.timer_pass_ns;
+        t.shard.advance_timers(now_ns);
+
+        // (6) Transmit: end-of-cycle ACKs reflect recv_done credits.
+        t.shard.end_cycle(now_ns);
+        let tx = t.shard.take_tx();
+        let mut out: Vec<(NicRef, QueueId, ix_mempool::Mbuf)> = Vec::with_capacity(tx.len());
+        for f in tx {
+            kernel_pkt += t.cost.tx_cost(f.len());
+            let (nic, q) = t.queues[t.tx_cursor % nq].clone();
+            t.tx_cursor = t.tx_cursor.wrapping_add(1);
+            out.push((nic, q, f));
+        }
+        if !out.is_empty() {
+            kernel += t.cost.pcie_doorbell_ns;
+        }
+
+        // Update the host-wide connection count for the DDIO model.
+        let fc = t.shard.flow_count() as u64;
+        let prev = t.my_conns_last;
+        // `host_conns` always includes this thread's previous count, so
+        // subtract-then-add cannot underflow.
+        t.host_conns.set(t.host_conns.get() - prev + fc);
+        t.my_conns_last = fc;
+
+        // Cold-batch scaling of the per-packet work (§3).
+        let scale = 1.0 + t.cost.cold_batch_penalty / batch.max(1) as f64;
+        kernel += (kernel_pkt as f64 * scale).round() as u64;
+        // Charge the core: kernel then user (order does not matter for
+        // the end time; the split feeds the §5.5 measurement).
+        let mid = t.core.borrow_mut().run(now, Nanos(kernel), CpuDomain::Kernel);
+        let end = t.core.borrow_mut().run(mid, Nanos(user), CpuDomain::User);
+        t.stats.tx_packets += out.len() as u64;
+        drop(t);
+
+        // Outputs become visible at the end of the cycle.
+        let th2 = th.clone();
+        sim.schedule_at(end, move |sim| {
+            let mut kicked: Vec<NicRef> = Vec::new();
+            {
+                let mut t = th2.borrow_mut();
+                for (nic, q, f) in out {
+                    if nic.borrow_mut().tx_ring(q).push(f).is_err() {
+                        t.stats.tx_ring_drops += 1;
+                    }
+                    nic.borrow_mut().tx_ring(q).reclaim();
+                    if !kicked.iter().any(|n| Rc::ptr_eq(n, &nic)) {
+                        kicked.push(nic);
+                    }
+                }
+            }
+            for nic in kicked {
+                Nic::kick_tx(&nic, sim);
+            }
+            ElasticThread::post_cycle(&th2, sim);
+        });
+    }
+
+    /// After a cycle commits: either chain the next iteration (work is
+    /// pending) or go quiescent and arm a timer wake-up.
+    fn post_cycle(th: &ThreadRef, sim: &mut Simulator) {
+        let (more, wake_in) = {
+            let t = th.borrow();
+            if t.parked {
+                (false, None)
+            } else {
+                let rx_pending = t.queues.iter().any(|(nic, q)| {
+                    let mut n = nic.borrow_mut();
+                    n.rx_ring(*q).pending() > 0
+                });
+                let more = rx_pending
+                    || !t.shard.quiescent()
+                    || t.app.wants_cycle(sim.now().as_nanos())
+                    || !t.pending_results.is_empty();
+                let mut wake: Option<u64> = t.shard.next_timer_ns();
+                if let Some(d) = t.app.next_deadline_ns() {
+                    let rel = d.saturating_sub(sim.now().as_nanos()).max(1);
+                    wake = Some(wake.map_or(rel, |w| w.min(rel)));
+                }
+                (more, wake)
+            }
+        };
+        if more {
+            ElasticThread::schedule_iteration(th, sim);
+        } else if let Some(ns) = wake_in {
+            // Quiescent state: "hyperthread-friendly polling" — the wake
+            // is free in virtual time; only real work costs CPU.
+            let th2 = th.clone();
+            let id = sim.schedule_in(Nanos(ns.max(1)), move |sim| {
+                th2.borrow_mut().idle_wake = None;
+                ElasticThread::schedule_iteration(&th2, sim);
+            });
+            th.borrow_mut().idle_wake = Some(id);
+        }
+    }
+
+    /// Synchronously completes in-flight user-level work before the
+    /// control plane parks this thread (the Exokernel-style revocation
+    /// protocol of §4.1): pending syscall results are delivered, the
+    /// application flushes its buffered writes into the TCP stack, and
+    /// the produced frames are committed — so migration finds every byte
+    /// inside the (migratable) protocol state rather than stranded in
+    /// user space. Control-plane transitions are rare and coarse-grained
+    /// (§4.4), so their CPU cost is not charged to the measured domains.
+    pub(crate) fn drain_user_work(th: &ThreadRef, sim: &mut Simulator) {
+        for _ in 0..32 {
+            let (out, kick) = {
+                let mut t = th.borrow_mut();
+                let now_ns = sim.now().as_nanos();
+                let events = t.shard.take_events();
+                let results = std::mem::take(&mut t.pending_results);
+                if events.is_empty() && results.is_empty() {
+                    break;
+                }
+                let mut ctx = UserCtx {
+                    now_ns,
+                    events,
+                    results,
+                    syscalls: Vec::new(),
+                    user_ns: 0,
+                };
+                t.app.on_cycle(&mut ctx);
+                for s in ctx.syscalls {
+                    let r = ElasticThread::dispatch(&mut t, now_ns, s);
+                    t.pending_results.push(r);
+                }
+                t.shard.advance_timers(now_ns);
+                t.shard.end_cycle(now_ns);
+                let tx = t.shard.take_tx();
+                let nq = t.queues.len();
+                let mut out: Vec<(NicRef, QueueId, ix_mempool::Mbuf)> = Vec::new();
+                for f in tx {
+                    let (nic, q) = t.queues[t.tx_cursor % nq].clone();
+                    t.tx_cursor = t.tx_cursor.wrapping_add(1);
+                    out.push((nic, q, f));
+                }
+                (out, !t.queues.is_empty())
+            };
+            let mut kicked: Vec<NicRef> = Vec::new();
+            for (nic, q, f) in out {
+                let _ = nic.borrow_mut().tx_ring(q).push(f);
+                nic.borrow_mut().tx_ring(q).reclaim();
+                if !kicked.iter().any(|n| Rc::ptr_eq(n, &nic)) {
+                    kicked.push(nic);
+                }
+            }
+            if kick {
+                for nic in kicked {
+                    Nic::kick_tx(&nic, sim);
+                }
+            }
+        }
+    }
+
+    /// Executes one validated system call against the shard. Validation
+    /// failures return errors rather than corrupting state — the §4.5
+    /// security property that "no sequence of batched system calls ...
+    /// can be used to violate correct adherence to TCP".
+    fn dispatch(t: &mut ElasticThread, now_ns: u64, s: Syscall) -> SyscallResult {
+        match s {
+            Syscall::Connect { cookie, dst_ip, dst_port } => {
+                match t.shard.connect(now_ns, dst_ip, dst_port, cookie) {
+                    Ok(_) => SyscallResult::InProgress,
+                    Err(e) => SyscallResult::Err(e),
+                }
+            }
+            Syscall::Accept { handle, cookie } => match t.shard.accept(handle, cookie) {
+                Ok(()) => SyscallResult::Ok,
+                Err(e) => SyscallResult::Err(e),
+            },
+            Syscall::Sendv { handle, sg } => {
+                let mut total: u32 = 0;
+                for chunk in &sg {
+                    match t.shard.send(now_ns, handle, chunk) {
+                        Ok(n) => {
+                            total += n as u32;
+                            if n < chunk.len() {
+                                break; // Window exhausted: partial send.
+                            }
+                        }
+                        Err(e) => {
+                            if total == 0 {
+                                return SyscallResult::Err(e);
+                            }
+                            break;
+                        }
+                    }
+                }
+                SyscallResult::Sent(total)
+            }
+            Syscall::RecvDone { handle, bytes } => {
+                match t.shard.recv_done(now_ns, handle, bytes) {
+                    Ok(()) => SyscallResult::Ok,
+                    Err(e) => SyscallResult::Err(e),
+                }
+            }
+            Syscall::Close { handle } => match t.shard.close(now_ns, handle) {
+                Ok(()) => SyscallResult::Ok,
+                Err(e) => SyscallResult::Err(e),
+            },
+            Syscall::Abort { handle } => match t.shard.abort(now_ns, handle) {
+                Ok(()) => SyscallResult::Ok,
+                Err(e) => SyscallResult::Err(e),
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for ElasticThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElasticThread")
+            .field("id", &self.id)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// A dataplane: one application, N elastic threads on N hardware threads
+/// (§4.1: "Each IX dataplane supports a single, multithreaded
+/// application").
+pub struct Dataplane {
+    /// The elastic threads.
+    pub threads: Vec<ThreadRef>,
+    /// Host-wide live connection count (for the DDIO model and stats).
+    pub host_conns: Rc<Cell<u64>>,
+}
+
+impl Dataplane {
+    /// Launches a dataplane on `host`, with one elastic thread per entry
+    /// of `cores`; thread *i* serves RSS queue *i* of every port of the
+    /// host and runs the application built by `app_factory(i)`.
+    ///
+    /// `listen_port`, if set, is opened on every thread (flow-consistent
+    /// hashing keeps each connection on one thread).
+    pub fn launch(
+        sim: &mut Simulator,
+        host: &ix_nic::host::Host,
+        n_threads: usize,
+        cost: CostParams,
+        stack_cfg: StackConfig,
+        listen_port: Option<u16>,
+        mut app_factory: impl FnMut(usize) -> Box<dyn IxApp>,
+    ) -> Dataplane {
+        assert!(n_threads <= host.cores.len(), "not enough hardware threads");
+        let n_queues = host.nics[0].borrow().queues();
+        assert!(n_threads <= n_queues, "not enough NIC queues");
+        let host_conns = Rc::new(Cell::new(0u64));
+        let ddio = DdioModel::new(host.nics[0].borrow().params());
+        // Restrict RSS to the queues that have elastic threads behind
+        // them: redirection entry i -> queue (i % n_threads).
+        for nic in &host.nics {
+            nic.borrow_mut()
+                .set_redirection((0..128).map(|i| i % n_threads).collect());
+        }
+        let mut threads = Vec::with_capacity(n_threads);
+        for i in 0..n_threads {
+            let mut shard = TcpShard::new(stack_cfg.clone(), host.ip, host.mac);
+            if let Some(p) = listen_port {
+                shard.listen(p);
+            }
+            // RSS steering oracle for outbound connections (§4.4): the
+            // reply arrives on the queue the local NIC's RSS assigns.
+            let nic0 = host.nics[0].clone();
+            let local_ip = host.ip;
+            shard.set_steering(
+                i,
+                Rc::new(move |remote_ip, remote_port, local_port| {
+                    nic0.borrow()
+                        .queue_for_flow(remote_ip, local_ip, remote_port, local_port)
+                }),
+            );
+            let queues: Vec<(NicRef, QueueId)> =
+                host.nics.iter().map(|n| (n.clone(), i)).collect();
+            let th = Rc::new(RefCell::new(ElasticThread::new(
+                i,
+                cost.clone(),
+                shard,
+                app_factory(i),
+                queues.clone(),
+                host.cores[i].clone(),
+                Some(ddio.clone()),
+                host_conns.clone(),
+            )));
+            // RX notify: wake the thread when a frame lands on its
+            // queue. Weak capture: the NIC must not keep the engine (and
+            // its memory pools) alive — the notify edge would otherwise
+            // close an Rc cycle through the thread's queue list.
+            for (nic, q) in &queues {
+                let th2 = Rc::downgrade(&th);
+                nic.borrow_mut().set_notify(
+                    *q,
+                    Rc::new(move |sim: &mut Simulator, _q| {
+                        if let Some(th) = th2.upgrade() {
+                            ElasticThread::schedule_iteration(&th, sim);
+                        }
+                    }),
+                );
+            }
+            threads.push(th);
+        }
+        // Kick every thread once so pacing apps (load generators) start.
+        for th in &threads {
+            ElasticThread::schedule_iteration(th, sim);
+        }
+        Dataplane { threads, host_conns }
+    }
+
+    /// Seeds the ARP tables of every thread (fabric bring-up helper).
+    pub fn seed_arp(&self, ip: ix_net::Ipv4Addr, mac: ix_net::MacAddr) {
+        for th in &self.threads {
+            th.borrow_mut().shard.arp_seed(ip, mac);
+        }
+    }
+
+    /// Aggregated statistics over all elastic threads.
+    pub fn stats(&self) -> DataplaneStats {
+        let mut s = DataplaneStats::default();
+        for th in &self.threads {
+            let t = th.borrow();
+            s.iterations += t.stats.iterations;
+            s.rx_packets += t.stats.rx_packets;
+            s.tx_packets += t.stats.tx_packets;
+            s.events += t.stats.events;
+            s.syscalls += t.stats.syscalls;
+            s.full_batches += t.stats.full_batches;
+            s.tx_ring_drops += t.stats.tx_ring_drops;
+            s.batch_sum += t.stats.batch_sum;
+        }
+        s
+    }
+
+    /// Total kernel (dataplane) and user CPU nanoseconds across threads.
+    pub fn cpu_split(&self) -> (u64, u64) {
+        let mut k = 0;
+        let mut u = 0;
+        for th in &self.threads {
+            let t = th.borrow();
+            let c = t.core.borrow();
+            k += c.kernel_ns;
+            u += c.user_ns;
+        }
+        (k, u)
+    }
+
+    /// Pokes every thread (e.g. after enqueuing external work).
+    pub fn kick(&self, sim: &mut Simulator) {
+        for th in &self.threads {
+            ElasticThread::schedule_iteration(th, sim);
+        }
+    }
+}

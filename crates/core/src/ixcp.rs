@@ -1,0 +1,187 @@
+//! IXCP — the control plane (§4.1).
+//!
+//! In the real system the control plane is the full Linux kernel plus the
+//! IXCP user-level daemon: it initializes devices, allocates whole cores,
+//! large-page memory, and NIC hardware queues to dataplanes, monitors
+//! their load, and elastically adds or revokes hardware threads using a
+//! protocol similar to Exokernel's resource revocation. The paper leaves
+//! sophisticated *policies* to future work and evaluates static
+//! configurations; this module implements the *mechanisms*:
+//!
+//! * registry of dataplanes and their resource grants,
+//! * elastic thread addition and revocation with RSS flow-group
+//!   migration (reprogramming the NIC redirection table and moving the
+//!   affected protocol control blocks between shards, §4.4),
+//! * queue-depth monitoring — the congestion signal the paper says a
+//!   dataplane can raise so the control plane allocates more resources
+//!   (§3).
+
+use ix_sim::Simulator;
+use ix_tcp::Tcb;
+
+use crate::dataplane::{Dataplane, ElasticThread};
+
+/// Identifies a registered dataplane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataplaneId(pub usize);
+
+/// A queue-depth observation for one dataplane.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CongestionReport {
+    /// Deepest RX ring backlog across queues.
+    pub max_rx_backlog: usize,
+    /// Total frames waiting across queues.
+    pub total_rx_backlog: usize,
+    /// RX descriptor-exhaustion drops so far (queues "build up only at
+    /// the NIC edge", §3 — this is that edge overflowing).
+    pub rx_drops: u64,
+}
+
+/// The control plane: owns the dataplane registry and the elastic
+/// scaling mechanism.
+#[derive(Default)]
+pub struct ControlPlane {
+    dataplanes: Vec<Dataplane>,
+}
+
+impl ControlPlane {
+    /// Creates an empty control plane.
+    pub fn new() -> ControlPlane {
+        ControlPlane::default()
+    }
+
+    /// Registers a dataplane, transferring ownership of its handle.
+    pub fn register(&mut self, dp: Dataplane) -> DataplaneId {
+        self.dataplanes.push(dp);
+        DataplaneId(self.dataplanes.len() - 1)
+    }
+
+    /// Access a registered dataplane.
+    pub fn dataplane(&self, id: DataplaneId) -> &Dataplane {
+        &self.dataplanes[id.0]
+    }
+
+    /// Number of *active* (non-parked) elastic threads.
+    pub fn active_threads(&self, id: DataplaneId) -> usize {
+        self.dataplanes[id.0]
+            .threads
+            .iter()
+            .filter(|t| !t.borrow().parked)
+            .count()
+    }
+
+    /// Samples RX queue depths — the §3 congestion signal.
+    pub fn monitor(&self, id: DataplaneId) -> CongestionReport {
+        let mut rep = CongestionReport::default();
+        for th in &self.dataplanes[id.0].threads {
+            let t = th.borrow();
+            for (nic, q) in t.queues().to_vec() {
+                let mut n = nic.borrow_mut();
+                let ring = n.rx_ring(q);
+                rep.max_rx_backlog = rep.max_rx_backlog.max(ring.pending());
+                rep.total_rx_backlog += ring.pending();
+                rep.rx_drops += ring.drops;
+            }
+        }
+        rep
+    }
+
+    /// Changes the number of active elastic threads to `n`, migrating
+    /// RSS flow groups and live connections (§4.4). Threads `0..n`
+    /// become active; the rest are parked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the dataplane's thread count.
+    pub fn set_active_threads(&mut self, sim: &mut Simulator, id: DataplaneId, n: usize) {
+        let dp = &self.dataplanes[id.0];
+        assert!(n >= 1 && n <= dp.threads.len(), "bad thread count {n}");
+        let now_ns = sim.now().as_nanos();
+
+        // 1. Reprogram the RSS redirection tables: bucket i -> queue
+        //    (i % n). New packets immediately steer to active threads.
+        let nics: Vec<_> = dp.threads[0].borrow().queues().iter().map(|(nic, _)| nic.clone()).collect();
+        for nic in &nics {
+            nic.borrow_mut()
+                .set_redirection((0..128).map(|i| i % n).collect());
+        }
+
+        // 2. Quiesce the threads being revoked: pull any frames still in
+        //    their RX rings through their own stacks, then let the
+        //    application drain its in-flight results and buffered writes
+        //    into TCP (the Exokernel-style revocation handshake). Only
+        //    then park.
+        for (i, th) in dp.threads.iter().enumerate() {
+            if i < n {
+                th.borrow_mut().parked = false;
+                continue;
+            }
+            {
+                let mut t = th.borrow_mut();
+                let queues = t.queues().to_vec();
+                for (nic, q) in queues {
+                    loop {
+                        let frame = nic.borrow_mut().rx_ring(q).poll();
+                        let Some(frame) = frame else { break };
+                        t.shard.input(now_ns, frame);
+                    }
+                    let mut nn = nic.borrow_mut();
+                    let un = nn.rx_ring(q).unreplenished();
+                    nn.rx_ring(q).replenish(un);
+                }
+            }
+            ElasticThread::drain_user_work(th, sim);
+            th.borrow_mut().parked = true;
+        }
+
+        // 3. Migrate existing flows so each lives on the shard its
+        //    bucket now maps to.
+        let steer_nic = nics[0].clone();
+        let mut moving: Vec<(usize, Vec<Tcb>)> = Vec::new();
+        for (i, th) in dp.threads.iter().enumerate() {
+            let mut t = th.borrow_mut();
+            let local_ip = t.shard.local_ip;
+            let nic = steer_nic.clone();
+            let extracted = t.shard.extract_flows(|tcb| {
+                let q = nic.borrow().queue_for_flow(
+                    tcb.remote_ip,
+                    local_ip,
+                    tcb.remote_port,
+                    tcb.local_port,
+                );
+                q != i
+            });
+            if !extracted.is_empty() {
+                moving.push((i, extracted));
+            }
+        }
+        for (_, flows) in moving {
+            for tcb in flows {
+                let th = {
+                    let local_ip = dp.threads[0].borrow().shard.local_ip;
+                    let q = steer_nic.borrow().queue_for_flow(
+                        tcb.remote_ip,
+                        local_ip,
+                        tcb.remote_port,
+                        tcb.local_port,
+                    );
+                    dp.threads[q].clone()
+                };
+                th.borrow_mut().shard.absorb_flows(now_ns, vec![tcb]);
+            }
+        }
+
+        // 4. Wake the active threads so adopted flows make progress.
+        for th in dp.threads.iter().take(n) {
+            ElasticThread::schedule_iteration(th, sim);
+        }
+    }
+}
+
+impl std::fmt::Debug for ControlPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlPlane")
+            .field("dataplanes", &self.dataplanes.len())
+            .finish()
+    }
+}

@@ -1,0 +1,156 @@
+//! Read-copy-update for shared dataplane structures (§4.4).
+//!
+//! IX keeps almost everything per-thread; the ARP table is the notable
+//! shared structure, "protected by RCU locks ... RCU objects are garbage
+//! collected after a quiescent period that spans the time it takes each
+//! elastic thread to finish a run to completion cycle."
+//!
+//! [`Rcu`] reproduces those semantics in simulation form: readers take
+//! reference-counted snapshots (a coherence-free read in the real
+//! system), writers install new versions, and retired versions are
+//! reclaimed only after every registered reader has passed a quiescent
+//! point (its cycle boundary) at or after the retirement epoch.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// A reader registration handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReaderId(usize);
+
+/// An RCU-protected value.
+#[derive(Debug)]
+pub struct Rcu<T> {
+    current: RefCell<Rc<T>>,
+    /// Global epoch, bumped on every update.
+    epoch: Cell<u64>,
+    /// Last epoch at which each reader passed a quiescent point.
+    readers: RefCell<Vec<u64>>,
+    /// Versions awaiting reclamation: `(retired_at_epoch, value)`.
+    retired: RefCell<Vec<(u64, Rc<T>)>>,
+}
+
+impl<T> Rcu<T> {
+    /// Creates an RCU cell with an initial value.
+    pub fn new(value: T) -> Rcu<T> {
+        Rcu {
+            current: RefCell::new(Rc::new(value)),
+            epoch: Cell::new(0),
+            readers: RefCell::new(Vec::new()),
+            retired: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Registers a reader (one per elastic thread).
+    pub fn register_reader(&self) -> ReaderId {
+        let mut r = self.readers.borrow_mut();
+        r.push(self.epoch.get());
+        ReaderId(r.len() - 1)
+    }
+
+    /// Takes a snapshot — the coherence-free common-case read.
+    pub fn read(&self) -> Rc<T> {
+        self.current.borrow().clone()
+    }
+
+    /// Installs a new version computed from the current one; the old
+    /// version is retired, not freed (readers may still hold it).
+    pub fn update(&self, f: impl FnOnce(&T) -> T) {
+        let new = {
+            let cur = self.current.borrow();
+            Rc::new(f(&cur))
+        };
+        let old = std::mem::replace(&mut *self.current.borrow_mut(), new);
+        let e = self.epoch.get() + 1;
+        self.epoch.set(e);
+        self.retired.borrow_mut().push((e, old));
+    }
+
+    /// A reader declares a quiescent point (end of its run-to-completion
+    /// cycle): it holds no snapshot from before this call.
+    pub fn quiescent(&self, id: ReaderId) {
+        self.readers.borrow_mut()[id.0] = self.epoch.get();
+    }
+
+    /// Reclaims retired versions all readers have quiesced past.
+    /// Returns how many versions were freed.
+    pub fn reclaim(&self) -> usize {
+        let min_epoch = {
+            let r = self.readers.borrow();
+            r.iter().copied().min().unwrap_or(self.epoch.get())
+        };
+        let mut retired = self.retired.borrow_mut();
+        let before = retired.len();
+        retired.retain(|(e, _)| *e > min_epoch);
+        before - retired.len()
+    }
+
+    /// Number of retired-but-unreclaimed versions (for tests/metrics).
+    pub fn retired_len(&self) -> usize {
+        self.retired.borrow().len()
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_sees_latest() {
+        let rcu = Rcu::new(1u32);
+        assert_eq!(*rcu.read(), 1);
+        rcu.update(|v| v + 10);
+        assert_eq!(*rcu.read(), 11);
+    }
+
+    #[test]
+    fn old_snapshot_survives_update() {
+        let rcu = Rcu::new(vec![1, 2, 3]);
+        let snap = rcu.read();
+        rcu.update(|_| vec![9]);
+        assert_eq!(*snap, vec![1, 2, 3], "reader's view is stable");
+        assert_eq!(*rcu.read(), vec![9]);
+    }
+
+    #[test]
+    fn reclaim_waits_for_all_readers() {
+        let rcu = Rcu::new(0u32);
+        let r1 = rcu.register_reader();
+        let r2 = rcu.register_reader();
+        rcu.update(|v| v + 1);
+        assert_eq!(rcu.retired_len(), 1);
+        // Nobody has quiesced since the update: nothing reclaimable.
+        assert_eq!(rcu.reclaim(), 0);
+        rcu.quiescent(r1);
+        assert_eq!(rcu.reclaim(), 0, "r2 still outstanding");
+        rcu.quiescent(r2);
+        assert_eq!(rcu.reclaim(), 1, "all readers quiesced");
+        assert_eq!(rcu.retired_len(), 0);
+    }
+
+    #[test]
+    fn multiple_versions_reclaimed_in_epochs() {
+        let rcu = Rcu::new(0u32);
+        let r = rcu.register_reader();
+        rcu.update(|v| v + 1); // epoch 1
+        rcu.quiescent(r);
+        rcu.update(|v| v + 1); // epoch 2
+        assert_eq!(rcu.retired_len(), 2);
+        // Reader quiesced at epoch 1: only the version retired at 1 frees.
+        assert_eq!(rcu.reclaim(), 1);
+        rcu.quiescent(r);
+        assert_eq!(rcu.reclaim(), 1);
+    }
+
+    #[test]
+    fn no_readers_reclaims_immediately() {
+        let rcu = Rcu::new(0u32);
+        rcu.update(|v| v + 1);
+        assert_eq!(rcu.reclaim(), 1);
+    }
+}

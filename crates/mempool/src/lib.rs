@@ -1,0 +1,25 @@
+//! Per-hardware-thread memory pools and mbufs.
+//!
+//! From the paper (§4.2): *"All hot-path data objects are allocated from
+//! per hardware thread memory pools. Each memory pool is structured as
+//! arrays of identically sized objects, provisioned in page-sized blocks.
+//! Free objects are tracked with a simple free list ... Mbufs, the storage
+//! object for network packets, are stored as contiguous chunks of
+//! bookkeeping data and MTU-sized buffers, and are used for both receiving
+//! and transmitting packets."*
+//!
+//! This crate reproduces that allocator: [`MbufPool`] provisions
+//! fixed-size buffers in page-sized blocks and recycles them through a
+//! free list; [`Mbuf`] is the packet storage object, with headroom
+//! management so protocol headers can be prepended without copying — the
+//! mechanism behind IX's zero-copy API.
+//!
+//! Pools are intentionally *not* thread-safe: one pool per elastic thread
+//! is the paper's design (no synchronization or coherence traffic on the
+//! hot path), and the simulation is single-threaded.
+
+pub mod mbuf;
+pub mod pool;
+
+pub use mbuf::{Mbuf, MBUF_DATA_SIZE, MBUF_DEFAULT_HEADROOM};
+pub use pool::{MbufPool, ObjectPool, PoolStats};

@@ -1,0 +1,244 @@
+//! The mbuf: packet storage with headroom for zero-copy header prepends.
+
+use std::cell::RefCell;
+use std::rc::Weak;
+
+use crate::pool::FreeList;
+
+/// Bytes of packet data an mbuf can hold. Sized to one MTU frame plus
+/// slack, like the 2 KB mbufs of the original (one MTU-sized buffer per
+/// mbuf, §4.2).
+pub const MBUF_DATA_SIZE: usize = 2048;
+
+/// Default headroom reserved at allocation so Ethernet + IP + TCP headers
+/// can be prepended to a payload without moving it.
+pub const MBUF_DEFAULT_HEADROOM: usize = 128;
+
+/// A network packet buffer drawn from an [`crate::MbufPool`].
+///
+/// Layout: `[ headroom | data (offset..offset+len) | tailroom ]`.
+/// Protocol layers *prepend* headers by growing into the headroom and
+/// *append* payload by growing into the tailroom; neither moves bytes
+/// already written, which is what makes the transmit path zero-copy.
+///
+/// Dropping an mbuf returns its storage to the owning pool's free list
+/// (if the pool is still alive), modeling the `recv_done` recycle path.
+#[derive(Debug)]
+pub struct Mbuf {
+    buf: Box<[u8]>,
+    offset: usize,
+    len: usize,
+    owner: Weak<RefCell<FreeList>>,
+}
+
+impl Mbuf {
+    /// Creates an mbuf from raw storage; used by the pool only.
+    pub(crate) fn from_storage(buf: Box<[u8]>, owner: Weak<RefCell<FreeList>>) -> Mbuf {
+        Mbuf {
+            buf,
+            offset: MBUF_DEFAULT_HEADROOM,
+            len: 0,
+            owner,
+        }
+    }
+
+    /// Creates a pool-less mbuf (storage from the global allocator).
+    /// Convenient for tests and for hosts that do not model memory
+    /// pressure.
+    pub fn standalone() -> Mbuf {
+        Mbuf {
+            buf: vec![0u8; MBUF_DATA_SIZE].into_boxed_slice(),
+            offset: MBUF_DEFAULT_HEADROOM,
+            len: 0,
+            owner: Weak::new(),
+        }
+    }
+
+    /// Current data length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mbuf holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes available in front of the data for header prepends.
+    pub fn headroom(&self) -> usize {
+        self.offset
+    }
+
+    /// Bytes available after the data for appends.
+    pub fn tailroom(&self) -> usize {
+        self.buf.len() - self.offset - self.len
+    }
+
+    /// The packet data.
+    pub fn data(&self) -> &[u8] {
+        &self.buf[self.offset..self.offset + self.len]
+    }
+
+    /// Mutable access to the packet data.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[self.offset..self.offset + self.len]
+    }
+
+    /// Resets to an empty buffer with the default headroom.
+    pub fn clear(&mut self) {
+        self.offset = MBUF_DEFAULT_HEADROOM;
+        self.len = 0;
+    }
+
+    /// Grows the data region forward by `n` bytes (into the headroom) and
+    /// returns the newly exposed prefix for a header encoder to fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the headroom is smaller than `n`.
+    pub fn prepend(&mut self, n: usize) -> &mut [u8] {
+        assert!(n <= self.offset, "insufficient headroom: {} < {n}", self.offset);
+        self.offset -= n;
+        self.len += n;
+        &mut self.buf[self.offset..self.offset + n]
+    }
+
+    /// Drops `n` bytes from the front of the data (e.g. a parsed header),
+    /// returning them to the headroom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mbuf holds fewer than `n` bytes.
+    pub fn pull(&mut self, n: usize) {
+        assert!(n <= self.len, "pull {n} > len {}", self.len);
+        self.offset += n;
+        self.len -= n;
+    }
+
+    /// Appends `bytes` to the data region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tailroom is smaller than `bytes.len()`.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        assert!(
+            bytes.len() <= self.tailroom(),
+            "insufficient tailroom: {} < {}",
+            self.tailroom(),
+            bytes.len()
+        );
+        let start = self.offset + self.len;
+        self.buf[start..start + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+    }
+
+    /// Grows the data region backward by `n` zero-initialized bytes and
+    /// returns the newly exposed suffix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tailroom is smaller than `n`.
+    pub fn append(&mut self, n: usize) -> &mut [u8] {
+        assert!(n <= self.tailroom(), "insufficient tailroom");
+        let start = self.offset + self.len;
+        self.len += n;
+        let region = &mut self.buf[start..start + n];
+        region.fill(0);
+        region
+    }
+
+    /// Truncates the data region to `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the current length.
+    pub fn truncate(&mut self, n: usize) {
+        assert!(n <= self.len);
+        self.len = n;
+    }
+}
+
+impl Drop for Mbuf {
+    fn drop(&mut self) {
+        if let Some(list) = self.owner.upgrade() {
+            // Hand the storage back to the pool's free list.
+            let storage = std::mem::take(&mut self.buf);
+            list.borrow_mut().recycle(storage);
+        }
+    }
+}
+
+impl Clone for Mbuf {
+    /// Deep copy into standalone storage. Real IX never copies packet
+    /// payloads; the simulation uses clone only where the physical world
+    /// would (DMA onto the wire).
+    fn clone(&self) -> Mbuf {
+        let mut m = Mbuf::standalone();
+        m.offset = self.offset;
+        m.len = self.len;
+        m.buf[self.offset..self.offset + self.len].copy_from_slice(self.data());
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepend_and_pull() {
+        let mut m = Mbuf::standalone();
+        m.extend_from_slice(b"payload");
+        let hdr = m.prepend(4);
+        hdr.copy_from_slice(b"HDR!");
+        assert_eq!(m.data(), b"HDR!payload");
+        assert_eq!(m.headroom(), MBUF_DEFAULT_HEADROOM - 4);
+        m.pull(4);
+        assert_eq!(m.data(), b"payload");
+        assert_eq!(m.headroom(), MBUF_DEFAULT_HEADROOM);
+    }
+
+    #[test]
+    fn append_and_truncate() {
+        let mut m = Mbuf::standalone();
+        m.append(8).copy_from_slice(b"abcdefgh");
+        assert_eq!(m.len(), 8);
+        m.truncate(3);
+        assert_eq!(m.data(), b"abc");
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.headroom(), MBUF_DEFAULT_HEADROOM);
+    }
+
+    #[test]
+    fn tailroom_accounting() {
+        let mut m = Mbuf::standalone();
+        let initial = m.tailroom();
+        assert_eq!(initial, MBUF_DATA_SIZE - MBUF_DEFAULT_HEADROOM);
+        m.extend_from_slice(&[0u8; 100]);
+        assert_eq!(m.tailroom(), initial - 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "insufficient headroom")]
+    fn prepend_beyond_headroom_panics() {
+        let mut m = Mbuf::standalone();
+        m.prepend(MBUF_DEFAULT_HEADROOM + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "insufficient tailroom")]
+    fn extend_beyond_tailroom_panics() {
+        let mut m = Mbuf::standalone();
+        m.extend_from_slice(&vec![0u8; MBUF_DATA_SIZE]);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = Mbuf::standalone();
+        a.extend_from_slice(b"original");
+        let b = a.clone();
+        a.data_mut()[0] = b'X';
+        assert_eq!(b.data(), b"original");
+    }
+}

@@ -1,0 +1,289 @@
+//! Fixed-size object pools provisioned in page-sized blocks.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::mbuf::{Mbuf, MBUF_DATA_SIZE};
+
+/// Simulated large-page size: IX allocates dataplane memory exclusively in
+/// 2 MB pages (§4.2).
+pub const LARGE_PAGE: usize = 2 * 1024 * 1024;
+
+/// Allocation statistics for a pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Buffers returned to the free list.
+    pub frees: u64,
+    /// Allocations denied because the pool was at capacity.
+    pub exhausted: u64,
+    /// Currently outstanding objects.
+    pub outstanding: u64,
+    /// High-water mark of outstanding objects.
+    pub peak_outstanding: u64,
+}
+
+/// The shared free list behind a pool. `Mbuf::drop` pushes storage back
+/// here, so the list must be reference-counted and interior-mutable.
+#[derive(Debug, Default)]
+pub struct FreeList {
+    free: Vec<Box<[u8]>>,
+    outstanding: u64,
+}
+
+impl FreeList {
+    pub(crate) fn recycle(&mut self, storage: Box<[u8]>) {
+        debug_assert!(self.outstanding > 0, "free without matching alloc");
+        self.outstanding -= 1;
+        self.free.push(storage);
+    }
+}
+
+/// A pool of MTU-sized packet buffers for one hardware thread.
+///
+/// Capacity is expressed in buffers and is provisioned up front in
+/// page-sized blocks, as the paper describes; `alloc` never touches the
+/// global allocator after construction. When the pool is exhausted,
+/// `alloc` returns `None` — the NIC model translates that into a packet
+/// drop, exactly what a real NIC does when the host is out of receive
+/// buffers.
+#[derive(Debug)]
+pub struct MbufPool {
+    list: Rc<RefCell<FreeList>>,
+    capacity: usize,
+    stats: PoolStats,
+}
+
+impl MbufPool {
+    /// Creates a pool of `capacity` mbufs, fully provisioned up front.
+    pub fn new(capacity: usize) -> MbufPool {
+        let mut free = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            free.push(vec![0u8; MBUF_DATA_SIZE].into_boxed_slice());
+        }
+        MbufPool {
+            list: Rc::new(RefCell::new(FreeList { free, outstanding: 0 })),
+            capacity,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Creates a pool sized in simulated 2 MB large pages.
+    pub fn with_large_pages(pages: usize) -> MbufPool {
+        MbufPool::new(pages * (LARGE_PAGE / MBUF_DATA_SIZE))
+    }
+
+    /// Allocates an mbuf, or `None` if the pool is exhausted.
+    pub fn alloc(&mut self) -> Option<Mbuf> {
+        let storage = {
+            let mut list = self.list.borrow_mut();
+            match list.free.pop() {
+                Some(s) => {
+                    list.outstanding += 1;
+                    s
+                }
+                None => {
+                    drop(list);
+                    self.stats.exhausted += 1;
+                    return None;
+                }
+            }
+        };
+        self.stats.allocs += 1;
+        let outstanding = self.list.borrow().outstanding;
+        self.stats.outstanding = outstanding;
+        self.stats.peak_outstanding = self.stats.peak_outstanding.max(outstanding);
+        Some(Mbuf::from_storage(storage, Rc::downgrade(&self.list)))
+    }
+
+    /// Allocates an mbuf pre-filled with `data`.
+    pub fn alloc_with(&mut self, data: &[u8]) -> Option<Mbuf> {
+        let mut m = self.alloc()?;
+        m.extend_from_slice(data);
+        Some(m)
+    }
+
+    /// The configured capacity in buffers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Buffers currently available.
+    pub fn available(&self) -> usize {
+        self.list.borrow().free.len()
+    }
+
+    /// A snapshot of allocation statistics (frees are derived from the
+    /// free-list state at call time).
+    pub fn stats(&self) -> PoolStats {
+        let outstanding = self.list.borrow().outstanding;
+        PoolStats {
+            outstanding,
+            frees: self.stats.allocs - outstanding,
+            ..self.stats
+        }
+    }
+}
+
+/// A generic fixed-capacity object pool with free-list recycling, used for
+/// hot-path bookkeeping objects other than packet buffers (TCP protocol
+/// control blocks, timer entries).
+///
+/// Objects are reset with the caller-supplied closure on release, so an
+/// `alloc` always observes a clean object — the same discipline the
+/// original's inlined allocation routines rely on.
+#[derive(Debug)]
+pub struct ObjectPool<T> {
+    free: Vec<T>,
+    make: fn() -> T,
+    capacity: usize,
+    outstanding: usize,
+}
+
+impl<T> ObjectPool<T> {
+    /// Creates a pool of `capacity` objects built with `make`.
+    pub fn new(capacity: usize, make: fn() -> T) -> ObjectPool<T> {
+        let mut free = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            free.push(make());
+        }
+        ObjectPool {
+            free,
+            make,
+            capacity,
+            outstanding: 0,
+        }
+    }
+
+    /// Takes an object from the pool, or `None` when exhausted.
+    pub fn take(&mut self) -> Option<T> {
+        let obj = self.free.pop()?;
+        self.outstanding += 1;
+        Some(obj)
+    }
+
+    /// Returns an object to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more objects are returned than were taken.
+    pub fn put(&mut self, obj: T) {
+        assert!(self.outstanding > 0, "put without matching take");
+        self.outstanding -= 1;
+        self.free.push(obj);
+    }
+
+    /// Objects currently checked out.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Grows the pool by `n` fresh objects (control-plane resource grant).
+    pub fn grow(&mut self, n: usize) {
+        for _ in 0..n {
+            self.free.push((self.make)());
+        }
+        self.capacity += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut pool = MbufPool::new(4);
+        assert_eq!(pool.available(), 4);
+        let a = pool.alloc().unwrap();
+        let b = pool.alloc().unwrap();
+        assert_eq!(pool.available(), 2);
+        assert_eq!(pool.stats().outstanding, 2);
+        drop(a);
+        assert_eq!(pool.available(), 3);
+        drop(b);
+        assert_eq!(pool.available(), 4);
+        let s = pool.stats();
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.frees, 2);
+        assert_eq!(s.outstanding, 0);
+        assert_eq!(s.peak_outstanding, 2);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut pool = MbufPool::new(2);
+        let _a = pool.alloc().unwrap();
+        let _b = pool.alloc().unwrap();
+        assert!(pool.alloc().is_none());
+        assert_eq!(pool.stats().exhausted, 1);
+    }
+
+    #[test]
+    fn recycled_buffer_is_reusable() {
+        let mut pool = MbufPool::new(1);
+        let mut m = pool.alloc().unwrap();
+        m.extend_from_slice(b"dirty");
+        drop(m);
+        let m2 = pool.alloc().unwrap();
+        // A fresh mbuf starts empty with default headroom regardless of
+        // what the previous user wrote.
+        assert!(m2.is_empty());
+        assert_eq!(m2.headroom(), crate::MBUF_DEFAULT_HEADROOM);
+    }
+
+    #[test]
+    fn orphan_mbuf_after_pool_drop_is_safe() {
+        let mut pool = MbufPool::new(1);
+        let m = pool.alloc().unwrap();
+        drop(pool);
+        drop(m); // Must not panic; storage goes to the global allocator.
+    }
+
+    #[test]
+    fn alloc_with_copies_data() {
+        let mut pool = MbufPool::new(1);
+        let m = pool.alloc_with(b"abc").unwrap();
+        assert_eq!(m.data(), b"abc");
+    }
+
+    #[test]
+    fn large_page_sizing() {
+        let pool = MbufPool::with_large_pages(1);
+        assert_eq!(pool.capacity(), LARGE_PAGE / MBUF_DATA_SIZE);
+    }
+
+    #[test]
+    fn object_pool_take_put() {
+        let mut pool: ObjectPool<Vec<u8>> = ObjectPool::new(2, Vec::new);
+        let a = pool.take().unwrap();
+        let _b = pool.take().unwrap();
+        assert!(pool.take().is_none());
+        assert_eq!(pool.outstanding(), 2);
+        pool.put(a);
+        assert_eq!(pool.outstanding(), 1);
+        assert!(pool.take().is_some());
+    }
+
+    #[test]
+    fn object_pool_grow() {
+        let mut pool: ObjectPool<u32> = ObjectPool::new(0, || 0);
+        assert!(pool.take().is_none());
+        pool.grow(3);
+        assert_eq!(pool.capacity(), 3);
+        assert!(pool.take().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "put without matching take")]
+    fn object_pool_double_put_panics() {
+        let mut pool: ObjectPool<u32> = ObjectPool::new(1, || 0);
+        pool.put(5);
+    }
+}

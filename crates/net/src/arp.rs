@@ -1,0 +1,182 @@
+//! ARP for IPv4 over Ethernet (RFC 826).
+//!
+//! IX implemented its own RFC-compliant ARP (§4.2); the ARP table is the
+//! one shared structure in the dataplane, protected by RCU (§4.4). The
+//! wire format lives here; the table lives in `ix-tcp`.
+
+use crate::eth::MacAddr;
+use crate::ip::Ipv4Addr;
+use crate::NetError;
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOp {
+    /// Who-has request (1).
+    Request,
+    /// Is-at reply (2).
+    Reply,
+}
+
+impl ArpOp {
+    fn to_u16(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+
+    fn from_u16(v: u16) -> Result<ArpOp, NetError> {
+        match v {
+            1 => Ok(ArpOp::Request),
+            2 => Ok(ArpOp::Reply),
+            _ => Err(NetError::Unsupported),
+        }
+    }
+}
+
+/// An ARP packet for IPv4-over-Ethernet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Request or reply.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// Serialized length (Ethernet/IPv4 ARP body).
+    pub const LEN: usize = 28;
+
+    /// Builds a who-has request for `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// Builds the reply to a request.
+    pub fn reply_to(&self, my_mac: MacAddr) -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: my_mac,
+            sender_ip: self.target_ip,
+            target_mac: self.sender_mac,
+            target_ip: self.sender_ip,
+        }
+    }
+
+    /// Encodes the packet into the first [`ArpPacket::LEN`] bytes of `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`ArpPacket::LEN`].
+    pub fn encode(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&1u16.to_be_bytes()); // Hardware: Ethernet.
+        buf[2..4].copy_from_slice(&0x0800u16.to_be_bytes()); // Protocol: IPv4.
+        buf[4] = 6; // Hardware address length.
+        buf[5] = 4; // Protocol address length.
+        buf[6..8].copy_from_slice(&self.op.to_u16().to_be_bytes());
+        buf[8..14].copy_from_slice(&self.sender_mac.0);
+        buf[14..18].copy_from_slice(&self.sender_ip.octets());
+        buf[18..24].copy_from_slice(&self.target_mac.0);
+        buf[24..28].copy_from_slice(&self.target_ip.octets());
+    }
+
+    /// Decodes a packet from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<ArpPacket, NetError> {
+        if buf.len() < ArpPacket::LEN {
+            return Err(NetError::Truncated);
+        }
+        if u16::from_be_bytes([buf[0], buf[1]]) != 1
+            || u16::from_be_bytes([buf[2], buf[3]]) != 0x0800
+            || buf[4] != 6
+            || buf[5] != 4
+        {
+            return Err(NetError::Unsupported);
+        }
+        let op = ArpOp::from_u16(u16::from_be_bytes([buf[6], buf[7]]))?;
+        let mut smac = [0u8; 6];
+        let mut tmac = [0u8; 6];
+        smac.copy_from_slice(&buf[8..14]);
+        tmac.copy_from_slice(&buf[18..24]);
+        let sip = u32::from_be_bytes([buf[14], buf[15], buf[16], buf[17]]);
+        let tip = u32::from_be_bytes([buf[24], buf[25], buf[26], buf[27]]);
+        Ok(ArpPacket {
+            op,
+            sender_mac: MacAddr(smac),
+            sender_ip: Ipv4Addr(sip),
+            target_mac: MacAddr(tmac),
+            target_ip: Ipv4Addr(tip),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let req = ArpPacket::request(
+            MacAddr::from_host_index(1),
+            Ipv4Addr::from_host_index(1),
+            Ipv4Addr::from_host_index(2),
+        );
+        let mut buf = [0u8; ArpPacket::LEN];
+        req.encode(&mut buf);
+        assert_eq!(ArpPacket::decode(&buf).unwrap(), req);
+    }
+
+    #[test]
+    fn reply_swaps_roles() {
+        let req = ArpPacket::request(
+            MacAddr::from_host_index(1),
+            Ipv4Addr::from_host_index(1),
+            Ipv4Addr::from_host_index(2),
+        );
+        let my_mac = MacAddr::from_host_index(2);
+        let rep = req.reply_to(my_mac);
+        assert_eq!(rep.op, ArpOp::Reply);
+        assert_eq!(rep.sender_mac, my_mac);
+        assert_eq!(rep.sender_ip, Ipv4Addr::from_host_index(2));
+        assert_eq!(rep.target_mac, MacAddr::from_host_index(1));
+        assert_eq!(rep.target_ip, Ipv4Addr::from_host_index(1));
+    }
+
+    #[test]
+    fn rejects_non_ethernet_ipv4() {
+        let req = ArpPacket::request(
+            MacAddr::from_host_index(1),
+            Ipv4Addr::from_host_index(1),
+            Ipv4Addr::from_host_index(2),
+        );
+        let mut buf = [0u8; ArpPacket::LEN];
+        req.encode(&mut buf);
+        buf[1] = 6; // Hardware type: IEEE 802.
+        assert_eq!(ArpPacket::decode(&buf), Err(NetError::Unsupported));
+        assert_eq!(ArpPacket::decode(&buf[..20]), Err(NetError::Truncated));
+    }
+
+    #[test]
+    fn rejects_unknown_op() {
+        let req = ArpPacket::request(
+            MacAddr::from_host_index(1),
+            Ipv4Addr::from_host_index(1),
+            Ipv4Addr::from_host_index(2),
+        );
+        let mut buf = [0u8; ArpPacket::LEN];
+        req.encode(&mut buf);
+        buf[7] = 9;
+        assert_eq!(ArpPacket::decode(&buf), Err(NetError::Unsupported));
+    }
+}

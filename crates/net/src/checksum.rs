@@ -1,0 +1,147 @@
+//! The Internet checksum (RFC 1071) used by IPv4, ICMP, UDP, and TCP.
+
+/// Incrementally computes the one's-complement sum used by the Internet
+/// checksum. Feed header and payload slices in order, then call
+/// [`Checksum::finish`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    sum: u32,
+    /// True when an odd byte is pending (the next slice continues at an odd
+    /// offset).
+    odd: bool,
+}
+
+impl Checksum {
+    /// Creates a fresh accumulator.
+    pub fn new() -> Checksum {
+        Checksum::default()
+    }
+
+    /// Adds a byte slice to the sum, continuing at the current parity.
+    pub fn add(&mut self, mut data: &[u8]) {
+        if self.odd && !data.is_empty() {
+            // Pair the pending odd byte with the first byte of this slice.
+            self.sum += data[0] as u32;
+            data = &data[1..];
+            self.odd = false;
+        }
+        let mut chunks = data.chunks_exact(2);
+        for pair in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([pair[0], pair[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += (*last as u32) << 8;
+            self.odd = true;
+        }
+    }
+
+    /// Adds a big-endian 16-bit word.
+    pub fn add_u16(&mut self, v: u16) {
+        self.add(&v.to_be_bytes());
+    }
+
+    /// Adds a big-endian 32-bit word.
+    pub fn add_u32(&mut self, v: u32) {
+        self.add(&v.to_be_bytes());
+    }
+
+    /// Folds the accumulator and returns the one's-complement checksum.
+    pub fn finish(self) -> u16 {
+        let mut s = self.sum;
+        while s > 0xffff {
+            s = (s & 0xffff) + (s >> 16);
+        }
+        !(s as u16)
+    }
+}
+
+/// Computes the checksum of a single contiguous buffer.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add(data);
+    c.finish()
+}
+
+/// Verifies a buffer whose checksum field is included in the data; the sum
+/// over the whole buffer must be zero (i.e. `finish()` yields 0).
+pub fn verify(data: &[u8]) -> bool {
+    checksum(data) == 0
+}
+
+/// Adds the TCP/UDP pseudo-header (RFC 793 §3.1) to a checksum
+/// accumulator: source and destination IPv4 addresses, the protocol
+/// number, and the transport-segment length.
+pub fn add_pseudo_header(c: &mut Checksum, src: crate::ip::Ipv4Addr, dst: crate::ip::Ipv4Addr, proto: u8, len: u16) {
+    c.add(&src.octets());
+    c.add(&dst.octets());
+    c.add_u16(proto as u16);
+    c.add_u16(len);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // RFC 1071 §3 example: data 00 01 f2 03 f4 f5 f6 f7.
+        // Sum = 0001 + f203 + f4f5 + f6f7 = 2DDF0 -> fold -> DDF2; cksum = ~DDF2 = 220D.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn classic_ipv4_header() {
+        // Widely used example header (Wikipedia "IPv4 header checksum").
+        let hdr = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert_eq!(checksum(&hdr), 0xb861);
+        // Verify with the checksum inserted.
+        let mut with = hdr;
+        with[10] = 0xb8;
+        with[11] = 0x61;
+        assert!(verify(&with));
+    }
+
+    #[test]
+    fn odd_length_buffer() {
+        let data = [0xab, 0xcd, 0xef];
+        // Sum = abcd + ef00 = 19ACD -> 9ACE; ~9ACE = 6531.
+        assert_eq!(checksum(&data), 0x6531);
+    }
+
+    #[test]
+    fn split_slices_equal_contiguous() {
+        let data: Vec<u8> = (0u16..101).map(|i| (i * 7 % 256) as u8).collect();
+        let whole = checksum(&data);
+        for split in [1usize, 2, 3, 50, 99, 100] {
+            let mut c = Checksum::new();
+            c.add(&data[..split]);
+            c.add(&data[split..]);
+            assert_eq!(c.finish(), whole, "split at {split}");
+        }
+        // Three-way split with odd boundaries.
+        let mut c = Checksum::new();
+        c.add(&data[..33]);
+        c.add(&data[33..67]);
+        c.add(&data[67..]);
+        assert_eq!(c.finish(), whole);
+    }
+
+    #[test]
+    fn empty_is_ffff() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn word_helpers_match_bytes() {
+        let mut a = Checksum::new();
+        a.add_u16(0x1234);
+        a.add_u32(0xdeadbeef);
+        let mut b = Checksum::new();
+        b.add(&[0x12, 0x34, 0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,154 @@
+//! Ethernet II framing.
+
+use crate::NetError;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// The all-zero address, used as "unknown".
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Builds a locally administered unicast MAC from a host index; the
+    /// simulation assigns `02:49:58:00:hh:hh` ("IX" in the OUI bytes).
+    pub fn from_host_index(idx: u16) -> MacAddr {
+        let [hi, lo] = idx.to_be_bytes();
+        MacAddr([0x02, 0x49, 0x58, 0x00, hi, lo])
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == MacAddr::BROADCAST
+    }
+
+    /// The raw octets.
+    pub fn octets(self) -> [u8; 6] {
+        self.0
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// EtherType values the stack understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// Anything else, preserved for diagnostics.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The 16-bit on-wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Parses the on-wire value.
+    pub fn from_u16(v: u16) -> EtherType {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// An Ethernet II header (no 802.1Q tag; the testbed uses untagged links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Payload protocol.
+    pub ethertype: EtherType,
+}
+
+impl EthHeader {
+    /// Serialized header length in bytes.
+    pub const LEN: usize = 14;
+
+    /// Encodes the header into the first [`EthHeader::LEN`] bytes of `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`EthHeader::LEN`].
+    pub fn encode(&self, buf: &mut [u8]) {
+        buf[0..6].copy_from_slice(&self.dst.0);
+        buf[6..12].copy_from_slice(&self.src.0);
+        buf[12..14].copy_from_slice(&self.ethertype.to_u16().to_be_bytes());
+    }
+
+    /// Decodes a header from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<EthHeader, NetError> {
+        if buf.len() < EthHeader::LEN {
+            return Err(NetError::Truncated);
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        Ok(EthHeader {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype: EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]])),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = EthHeader {
+            dst: MacAddr::from_host_index(3),
+            src: MacAddr::from_host_index(77),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut buf = [0u8; 14];
+        h.encode(&mut buf);
+        assert_eq!(EthHeader::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn decode_truncated() {
+        assert_eq!(EthHeader::decode(&[0u8; 13]), Err(NetError::Truncated));
+    }
+
+    #[test]
+    fn ethertype_values() {
+        assert_eq!(EtherType::Ipv4.to_u16(), 0x0800);
+        assert_eq!(EtherType::Arp.to_u16(), 0x0806);
+        assert_eq!(EtherType::from_u16(0x86dd), EtherType::Other(0x86dd));
+    }
+
+    #[test]
+    fn mac_helpers() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(!MacAddr::from_host_index(1).is_broadcast());
+        assert_eq!(format!("{}", MacAddr::from_host_index(0x0102)), "02:49:58:00:01:02");
+        assert_ne!(MacAddr::from_host_index(1), MacAddr::from_host_index(2));
+    }
+}

@@ -1,0 +1,134 @@
+//! ICMP echo (RFC 792) — the subset IX implemented for diagnostics.
+
+use crate::checksum::{checksum, Checksum};
+use crate::NetError;
+
+/// ICMP message types the stack understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpType {
+    /// Echo reply (0).
+    EchoReply,
+    /// Echo request (8).
+    EchoRequest,
+}
+
+impl IcmpType {
+    fn to_u8(self) -> u8 {
+        match self {
+            IcmpType::EchoReply => 0,
+            IcmpType::EchoRequest => 8,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<IcmpType, NetError> {
+        match v {
+            0 => Ok(IcmpType::EchoReply),
+            8 => Ok(IcmpType::EchoRequest),
+            _ => Err(NetError::Unsupported),
+        }
+    }
+}
+
+/// An ICMP echo header (type/code/checksum/id/sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcmpHeader {
+    /// Echo request or reply.
+    pub icmp_type: IcmpType,
+    /// Identifier, typically per-pinger.
+    pub ident: u16,
+    /// Sequence number within the identifier.
+    pub seq: u16,
+}
+
+impl IcmpHeader {
+    /// Serialized header length.
+    pub const LEN: usize = 8;
+
+    /// Encodes the header into `buf`, checksumming header plus `payload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`IcmpHeader::LEN`].
+    pub fn encode(&self, buf: &mut [u8], payload: &[u8]) {
+        buf[0] = self.icmp_type.to_u8();
+        buf[1] = 0; // Code.
+        buf[2..4].fill(0);
+        buf[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        buf[6..8].copy_from_slice(&self.seq.to_be_bytes());
+        let mut c = Checksum::new();
+        c.add(&buf[..IcmpHeader::LEN]);
+        c.add(payload);
+        let ck = c.finish();
+        buf[2..4].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Decodes and verifies a header from `buf` (header plus payload).
+    pub fn decode(buf: &[u8]) -> Result<IcmpHeader, NetError> {
+        if buf.len() < IcmpHeader::LEN {
+            return Err(NetError::Truncated);
+        }
+        if checksum(buf) != 0 {
+            return Err(NetError::BadChecksum);
+        }
+        Ok(IcmpHeader {
+            icmp_type: IcmpType::from_u8(buf[0])?,
+            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            seq: u16::from_be_bytes([buf[6], buf[7]]),
+        })
+    }
+
+    /// Builds the echo reply corresponding to this request.
+    pub fn reply(&self) -> IcmpHeader {
+        IcmpHeader {
+            icmp_type: IcmpType::EchoReply,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_payload() {
+        let h = IcmpHeader {
+            icmp_type: IcmpType::EchoRequest,
+            ident: 0x1234,
+            seq: 7,
+        };
+        let payload = b"abcdefgh";
+        let mut buf = vec![0u8; IcmpHeader::LEN + payload.len()];
+        buf[IcmpHeader::LEN..].copy_from_slice(payload);
+        let (head, tail) = buf.split_at_mut(IcmpHeader::LEN);
+        h.encode(head, tail);
+        assert_eq!(IcmpHeader::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn corrupt_detected() {
+        let h = IcmpHeader {
+            icmp_type: IcmpType::EchoRequest,
+            ident: 1,
+            seq: 1,
+        };
+        let mut buf = [0u8; 8];
+        h.encode(&mut buf, &[]);
+        buf[4] ^= 0xff;
+        assert_eq!(IcmpHeader::decode(&buf), Err(NetError::BadChecksum));
+        assert_eq!(IcmpHeader::decode(&buf[..4]), Err(NetError::Truncated));
+    }
+
+    #[test]
+    fn reply_preserves_id_seq() {
+        let h = IcmpHeader {
+            icmp_type: IcmpType::EchoRequest,
+            ident: 42,
+            seq: 9,
+        };
+        let r = h.reply();
+        assert_eq!(r.icmp_type, IcmpType::EchoReply);
+        assert_eq!(r.ident, 42);
+        assert_eq!(r.seq, 9);
+    }
+}

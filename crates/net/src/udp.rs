@@ -1,0 +1,136 @@
+//! UDP header encoding and decoding (RFC 768).
+//!
+//! The paper notes that Facebook's memcached deployment used UDP for GETs
+//! to sidestep TCP connection-scaling limits (§2.1); IX implements
+//! RFC-compliant UDP support and so do we.
+
+use crate::checksum::Checksum;
+use crate::ip::Ipv4Addr;
+use crate::NetError;
+
+/// A UDP datagram header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Datagram length including this header.
+    pub len: u16,
+}
+
+impl UdpHeader {
+    /// Serialized header length.
+    pub const LEN: usize = 8;
+
+    /// Encodes the header into `buf`, computing the checksum over the
+    /// pseudo-header and `payload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`UdpHeader::LEN`].
+    pub fn encode(&self, buf: &mut [u8], src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) {
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.len.to_be_bytes());
+        buf[6..8].fill(0);
+        let mut c = Checksum::new();
+        crate::checksum::add_pseudo_header(&mut c, src, dst, 17, self.len);
+        c.add(&buf[..UdpHeader::LEN]);
+        c.add(payload);
+        let mut ck = c.finish();
+        if ck == 0 {
+            // RFC 768: an all-zero computed checksum is transmitted as
+            // all-ones (zero means "no checksum").
+            ck = 0xffff;
+        }
+        buf[6..8].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Decodes a header from `buf` (header plus payload) and verifies the
+    /// checksum.
+    pub fn decode(buf: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<UdpHeader, NetError> {
+        if buf.len() < UdpHeader::LEN {
+            return Err(NetError::Truncated);
+        }
+        let len = u16::from_be_bytes([buf[4], buf[5]]);
+        if (len as usize) < UdpHeader::LEN || (len as usize) > buf.len() {
+            return Err(NetError::Truncated);
+        }
+        let cksum_field = u16::from_be_bytes([buf[6], buf[7]]);
+        if cksum_field != 0 {
+            let mut c = Checksum::new();
+            crate::checksum::add_pseudo_header(&mut c, src, dst, 17, len);
+            c.add(&buf[..len as usize]);
+            if c.finish() != 0 {
+                return Err(NetError::BadChecksum);
+            }
+        }
+        Ok(UdpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn roundtrip() {
+        let payload = b"get key0";
+        let h = UdpHeader {
+            src_port: 5000,
+            dst_port: 11211,
+            len: (UdpHeader::LEN + payload.len()) as u16,
+        };
+        let mut buf = vec![0u8; UdpHeader::LEN + payload.len()];
+        buf[UdpHeader::LEN..].copy_from_slice(payload);
+        let (head, tail) = buf.split_at_mut(UdpHeader::LEN);
+        h.encode(head, SRC, DST, tail);
+        assert_eq!(UdpHeader::decode(&buf, SRC, DST).unwrap(), h);
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let payload = b"value";
+        let h = UdpHeader {
+            src_port: 1,
+            dst_port: 2,
+            len: (UdpHeader::LEN + payload.len()) as u16,
+        };
+        let mut buf = vec![0u8; UdpHeader::LEN + payload.len()];
+        buf[UdpHeader::LEN..].copy_from_slice(payload);
+        let (head, tail) = buf.split_at_mut(UdpHeader::LEN);
+        h.encode(head, SRC, DST, tail);
+        buf[UdpHeader::LEN] ^= 1;
+        assert_eq!(UdpHeader::decode(&buf, SRC, DST), Err(NetError::BadChecksum));
+    }
+
+    #[test]
+    fn length_validation() {
+        assert_eq!(UdpHeader::decode(&[0u8; 4], SRC, DST), Err(NetError::Truncated));
+        let mut buf = [0u8; 8];
+        buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // len < header.
+        assert_eq!(UdpHeader::decode(&buf, SRC, DST), Err(NetError::Truncated));
+        buf[4..6].copy_from_slice(&100u16.to_be_bytes()); // len > buffer.
+        assert_eq!(UdpHeader::decode(&buf, SRC, DST), Err(NetError::Truncated));
+    }
+
+    #[test]
+    fn zero_checksum_skips_verification() {
+        let mut buf = [0u8; 8];
+        buf[0..2].copy_from_slice(&7u16.to_be_bytes());
+        buf[2..4].copy_from_slice(&9u16.to_be_bytes());
+        buf[4..6].copy_from_slice(&8u16.to_be_bytes());
+        // Checksum field left zero: "no checksum".
+        let h = UdpHeader::decode(&buf, SRC, DST).unwrap();
+        assert_eq!(h.src_port, 7);
+        assert_eq!(h.dst_port, 9);
+    }
+}

@@ -1,0 +1,104 @@
+//! Intel Data Direct I/O (DDIO) and the connection-state working set.
+//!
+//! §5.4 of the paper explains the connection-scalability results (Fig 4):
+//! DDIO steers DMA writes into the L3 cache, so at small connection counts
+//! a message costs "as little as 1.4 L3 cache misses". At 250,000
+//! connections the TCP protocol control blocks no longer fit in L3 and
+//! the workload averages 25 misses per message, dropping throughput to
+//! 47% of peak. This module is that model: a smooth interpolation from
+//! the hot (fits-in-cache) miss rate to the cold (working set ≫ cache)
+//! miss rate, converted into a per-message CPU penalty.
+
+use crate::params::MachineParams;
+
+/// The DDIO / L3 working-set model for one server socket.
+#[derive(Debug, Clone)]
+pub struct DdioModel {
+    l3_bytes: f64,
+    hot_misses: f64,
+    cold_misses: f64,
+    conn_state_bytes: f64,
+    miss_ns: f64,
+}
+
+impl DdioModel {
+    /// Builds the model from machine parameters.
+    pub fn new(p: &MachineParams) -> DdioModel {
+        DdioModel {
+            l3_bytes: p.l3_cache_bytes as f64,
+            hot_misses: p.ddio_hot_misses_per_msg,
+            cold_misses: p.ddio_cold_misses_per_msg,
+            conn_state_bytes: p.conn_state_bytes as f64,
+            miss_ns: p.l3_miss_ns as f64,
+        }
+    }
+
+    /// Expected L3 misses for one message when the host currently has
+    /// `connections` established connections.
+    ///
+    /// Model: while the working set (connection state + a fixed stack/app
+    /// resident set modeled as half the L3) fits, misses stay at the hot
+    /// rate. Beyond that, the probability that a given connection's PCB
+    /// is still cached decays with the overcommit ratio, and misses
+    /// approach the cold rate asymptotically.
+    pub fn misses_per_message(&self, connections: u64) -> f64 {
+        let resident = self.l3_bytes * 0.5; // Stack + app hot data.
+        let budget = self.l3_bytes - resident;
+        let working = connections as f64 * self.conn_state_bytes;
+        if working <= budget {
+            return self.hot_misses;
+        }
+        // Fraction of PCB accesses that hit shrinks like budget/working.
+        let hit = (budget / working).clamp(0.0, 1.0);
+        self.cold_misses - (self.cold_misses - self.hot_misses) * hit
+    }
+
+    /// The per-message CPU penalty (ns) at the given connection count,
+    /// relative to the hot baseline (the baseline misses are already part
+    /// of the calibrated per-packet costs).
+    pub fn penalty_ns(&self, connections: u64) -> u64 {
+        let extra = (self.misses_per_message(connections) - self.hot_misses).max(0.0);
+        (extra * self.miss_ns).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DdioModel {
+        DdioModel::new(&MachineParams::default())
+    }
+
+    #[test]
+    fn hot_below_capacity() {
+        let m = model();
+        // §5.4: "as little as 1.4 L3 cache misses per message for up to
+        // 10,000 concurrent connections".
+        assert!((m.misses_per_message(1_000) - 1.4).abs() < 1e-9);
+        assert!((m.misses_per_message(10_000) - 1.4).abs() < 1e-9);
+        assert_eq!(m.penalty_ns(10_000), 0);
+    }
+
+    #[test]
+    fn cold_at_quarter_million() {
+        let m = model();
+        // §5.4: ~25 misses/message at 250k connections.
+        let misses = m.misses_per_message(250_000);
+        assert!(misses > 20.0 && misses <= 25.0, "misses {misses}");
+        assert!(m.penalty_ns(250_000) > 1_000);
+    }
+
+    #[test]
+    fn monotone_in_connections() {
+        let m = model();
+        let mut prev = 0.0;
+        for c in [1u64, 100, 10_000, 50_000, 100_000, 250_000, 1_000_000] {
+            let x = m.misses_per_message(c);
+            assert!(x >= prev, "not monotone at {c}");
+            prev = x;
+        }
+        // Never exceeds the cold asymptote.
+        assert!(prev <= 25.0 + 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+//! Simulated network hardware: multi-queue NICs, links, and the switch.
+//!
+//! The paper's testbed is a 24-machine cluster of Xeon servers with Intel
+//! x520 (82599EB) 10GbE NICs behind a Quanta/Cumulus 48x10GbE cut-through
+//! switch (§5.1). This crate is that hardware, as a deterministic model on
+//! top of [`ix_sim`]:
+//!
+//! * [`nic::Nic`] — a multi-queue NIC port with Toeplitz RSS steering into
+//!   per-queue descriptor rings, and wire-rate transmit serialization.
+//! * [`ring::RxRing`] / [`ring::TxRing`] — descriptor rings with explicit
+//!   buffer-posting, so receive-buffer exhaustion drops packets exactly as
+//!   real hardware does.
+//! * [`switch::Switch`] — MAC-learning cut-through switch with link
+//!   aggregation (the 4x10GbE server bond uses an L3+L4 hash, §5.1).
+//! * [`cache::DdioModel`] — Intel Data Direct I/O: DMA lands in the L3
+//!   cache, so per-message misses stay at ~1.4 until the connection-state
+//!   working set outgrows the cache (the §5.4 connection-scalability
+//!   cliff).
+//! * [`host::Host`] / [`host::Core`] — a machine: cores with busy-until
+//!   accounting, NIC ports, addresses.
+//! * [`fabric::Fabric`] — topology builder wiring hosts to the switch.
+
+pub mod cache;
+pub mod fabric;
+pub mod host;
+pub mod nic;
+pub mod params;
+pub mod ring;
+pub mod switch;
+
+pub use cache::DdioModel;
+pub use fabric::Fabric;
+pub use host::{Core, CoreId, Host, HostId};
+pub use nic::{Nic, NicRef, NicStats, QueueId, RxNotify};
+pub use params::MachineParams;
+pub use ring::{RxRing, TxRing};
+pub use switch::Switch;

@@ -1,0 +1,411 @@
+//! The multi-queue NIC port model (Intel 82599-style).
+
+use std::cell::RefCell;
+use std::rc::{Rc, Weak};
+
+use ix_mempool::Mbuf;
+use ix_net::eth::{EthHeader, EtherType, MacAddr};
+use ix_net::ip::IpProto;
+use ix_net::rss::{hash_ipv4_tuple, RssKey, TOEPLITZ_DEFAULT_KEY};
+use ix_sim::Simulator;
+
+use crate::params::MachineParams;
+use crate::ring::{RxRing, TxRing};
+use crate::switch::Switch;
+
+/// Index of a hardware queue pair within one NIC port.
+pub type QueueId = usize;
+
+/// Callback invoked when a frame lands in an RX ring; engines use it to
+/// wake from quiescence (IX) or to model interrupt delivery (Linux).
+pub type RxNotify = Rc<dyn Fn(&mut Simulator, QueueId)>;
+
+/// Per-port counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NicStats {
+    /// Frames delivered into RX rings.
+    pub rx_frames: u64,
+    /// Frames dropped for lack of posted RX descriptors.
+    pub rx_ring_drops: u64,
+    /// Frames dropped because the destination MAC did not match.
+    pub rx_mac_drops: u64,
+    /// Frames placed on the wire.
+    pub tx_frames: u64,
+    /// Bytes placed on the wire (L2 payload, excluding preamble/FCS).
+    pub tx_bytes: u64,
+    /// Bytes received (L2 payload).
+    pub rx_bytes: u64,
+}
+
+/// One NIC port: RSS steering, per-queue descriptor rings, and wire-rate
+/// transmit serialization.
+pub struct Nic {
+    /// This port's MAC address (bonded ports share one MAC).
+    pub mac: MacAddr,
+    /// The switch port this NIC is cabled to.
+    pub switch_port: u16,
+    params: MachineParams,
+    rss_key: RssKey,
+    /// 128-entry redirection table mapping `hash & 0x7f` to a queue.
+    redirection: Vec<QueueId>,
+    rx: Vec<RxRing>,
+    tx: Vec<TxRing>,
+    notify: Vec<Option<RxNotify>>,
+    /// Round-robin cursor over TX queues.
+    tx_cursor: usize,
+    /// Whether a drain event chain is currently active.
+    tx_draining: bool,
+    switch: Weak<RefCell<Switch>>,
+    /// Port counters.
+    pub stats: NicStats,
+    /// When true, frames whose destination MAC does not match are still
+    /// accepted (used by diagnostic taps; off by default).
+    pub promiscuous: bool,
+}
+
+/// Shared handle to a NIC.
+pub type NicRef = Rc<RefCell<Nic>>;
+
+impl Nic {
+    /// Creates a NIC with `queues` queue pairs, attached to nothing.
+    /// [`crate::fabric::Fabric`] wires it to a switch port.
+    pub fn new(mac: MacAddr, queues: usize, params: MachineParams) -> Nic {
+        let ring = params.ring_entries;
+        Nic {
+            mac,
+            switch_port: u16::MAX,
+            rss_key: TOEPLITZ_DEFAULT_KEY,
+            redirection: (0..128).map(|i| i % queues).collect(),
+            rx: (0..queues).map(|_| RxRing::new(ring)).collect(),
+            tx: (0..queues).map(|_| TxRing::new(ring)).collect(),
+            notify: (0..queues).map(|_| None).collect(),
+            tx_cursor: 0,
+            tx_draining: false,
+            switch: Weak::new(),
+            stats: NicStats::default(),
+            promiscuous: false,
+            params,
+        }
+    }
+
+    /// Number of queue pairs.
+    pub fn queues(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Points the NIC at its switch (done by the fabric builder).
+    pub fn attach(&mut self, switch: Weak<RefCell<Switch>>, port: u16) {
+        self.switch = switch;
+        self.switch_port = port;
+    }
+
+    /// Installs the RX notification hook for a queue.
+    pub fn set_notify(&mut self, q: QueueId, f: RxNotify) {
+        self.notify[q] = Some(f);
+    }
+
+    /// Reprograms the RSS redirection table. `map[i]` is the queue for
+    /// hash bucket `i`; the control plane uses this to rebalance flow
+    /// groups between elastic threads (§3, §4.4).
+    pub fn set_redirection(&mut self, map: Vec<QueueId>) {
+        assert_eq!(map.len(), 128, "82599 redirection table has 128 entries");
+        let q = self.queues();
+        assert!(map.iter().all(|&m| m < q), "queue out of range");
+        self.redirection = map;
+    }
+
+    /// Read access to a queue's RX ring.
+    pub fn rx_ring(&mut self, q: QueueId) -> &mut RxRing {
+        &mut self.rx[q]
+    }
+
+    /// Read access to a queue's TX ring.
+    pub fn tx_ring(&mut self, q: QueueId) -> &mut TxRing {
+        &mut self.tx[q]
+    }
+
+    /// Classifies a frame for RSS: hash of the IPv4/TCP-or-UDP 4-tuple,
+    /// or `None` for non-IP traffic (steered to queue 0, like the
+    /// 82599's non-RSS default queue).
+    fn classify(&self, data: &[u8]) -> QueueId {
+        // Minimal, allocation-free peek at the headers. Full validation
+        // happens in the stack; RSS hardware only reads the tuple fields.
+        if data.len() < EthHeader::LEN + 20 {
+            return 0;
+        }
+        let ethertype = u16::from_be_bytes([data[12], data[13]]);
+        if ethertype != EtherType::Ipv4.to_u16() {
+            return 0;
+        }
+        let ip = &data[EthHeader::LEN..];
+        let ihl = (ip[0] & 0x0f) as usize * 4;
+        let proto = IpProto::from_u8(ip[9]);
+        if !matches!(proto, IpProto::Tcp | IpProto::Udp) || ip.len() < ihl + 4 {
+            return 0;
+        }
+        let src = ix_net::Ipv4Addr(u32::from_be_bytes([ip[12], ip[13], ip[14], ip[15]]));
+        let dst = ix_net::Ipv4Addr(u32::from_be_bytes([ip[16], ip[17], ip[18], ip[19]]));
+        let l4 = &ip[ihl..];
+        let sp = u16::from_be_bytes([l4[0], l4[1]]);
+        let dp = u16::from_be_bytes([l4[2], l4[3]]);
+        let hash = hash_ipv4_tuple(&self.rss_key, src, dst, sp, dp);
+        self.redirection[(hash & 0x7f) as usize]
+    }
+
+    /// Computes the RSS queue a flow would be steered to on this NIC;
+    /// used by client stacks to probe ephemeral ports (§4.4).
+    pub fn queue_for_flow(
+        &self,
+        src: ix_net::Ipv4Addr,
+        dst: ix_net::Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+    ) -> QueueId {
+        let hash = hash_ipv4_tuple(&self.rss_key, src, dst, src_port, dst_port);
+        self.redirection[(hash & 0x7f) as usize]
+    }
+
+    /// Wire side: a frame has finished arriving (including NIC RX fixed
+    /// latency). Steers it into a ring and fires the queue's notify hook.
+    pub fn deliver(nic: &NicRef, sim: &mut Simulator, frame: Mbuf) {
+        let (hook, q) = {
+            let mut n = nic.borrow_mut();
+            let data = frame.data();
+            if data.len() < EthHeader::LEN {
+                n.stats.rx_mac_drops += 1;
+                return;
+            }
+            let dst = MacAddr([data[0], data[1], data[2], data[3], data[4], data[5]]);
+            if dst != n.mac && !dst.is_broadcast() && !n.promiscuous {
+                n.stats.rx_mac_drops += 1;
+                return;
+            }
+            let q = n.classify(data);
+            let len = frame.len() as u64;
+            if n.rx[q].push(frame) {
+                n.stats.rx_frames += 1;
+                n.stats.rx_bytes += len;
+                (n.notify[q].clone(), q)
+            } else {
+                n.stats.rx_ring_drops += 1;
+                return;
+            }
+        };
+        if let Some(hook) = hook {
+            hook(sim, q);
+        }
+    }
+
+    /// Driver side: the stack wrote TX descriptors and rang the doorbell.
+    /// Starts the wire-drain event chain if it is idle.
+    pub fn kick_tx(nic: &NicRef, sim: &mut Simulator) {
+        let start = {
+            let mut n = nic.borrow_mut();
+            if n.tx_draining {
+                return;
+            }
+            n.tx_draining = true;
+            sim.now()
+        };
+        let nic = nic.clone();
+        sim.schedule_at(start, move |sim| Nic::drain_one(&nic, sim));
+    }
+
+    /// Serializes the next pending TX frame onto the wire, then chains
+    /// the next drain at the frame's end-of-serialization instant, which
+    /// models back-to-back line-rate transmission.
+    fn drain_one(nic: &NicRef, sim: &mut Simulator) {
+        let (frame, depart, sw, port) = {
+            let mut n = nic.borrow_mut();
+            let queues = n.queues();
+            let mut frame = None;
+            for i in 0..queues {
+                let q = (n.tx_cursor + i) % queues;
+                if let Some(f) = n.tx[q].take_for_wire() {
+                    n.tx_cursor = (q + 1) % queues;
+                    frame = Some(f);
+                    break;
+                }
+            }
+            let Some(frame) = frame else {
+                n.tx_draining = false;
+                return;
+            };
+            let l2_payload = frame.len().saturating_sub(EthHeader::LEN);
+            let ser = n.params.serialization_ns(l2_payload);
+            n.stats.tx_frames += 1;
+            n.stats.tx_bytes += frame.len() as u64;
+            let depart = sim.now() + ix_sim::Nanos(ser);
+            (frame, depart, n.switch.clone(), n.switch_port)
+        };
+        // Frame reaches switch ingress after NIC fixed latency and the
+        // host-to-switch propagation delay.
+        let (tx_lat, prop) = {
+            let n = nic.borrow();
+            (n.params.nic_tx_latency_ns, n.params.propagation_ns)
+        };
+        let ingress_at = depart + ix_sim::Nanos(tx_lat + prop);
+        if let Some(sw) = sw.upgrade() {
+            sim.schedule_at(ingress_at, move |sim| {
+                Switch::ingress(&sw, sim, frame, port);
+            });
+        }
+        // Chain the next drain at end of this frame's serialization.
+        let nic = nic.clone();
+        sim.schedule_at(depart, move |sim| Nic::drain_one(&nic, sim));
+    }
+
+    /// Current time adjusted view: when the port will next be idle.
+    pub fn is_tx_draining(&self) -> bool {
+        self.tx_draining
+    }
+
+    /// The machine parameters this NIC was built with.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+}
+
+impl std::fmt::Debug for Nic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nic")
+            .field("mac", &self.mac)
+            .field("queues", &self.rx.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> Nic {
+        Nic::new(MacAddr::from_host_index(1), 4, MachineParams::default())
+    }
+
+    /// Builds a minimal TCP/IPv4 frame to the given MAC with the tuple.
+    fn tcp_frame(dst_mac: MacAddr, sport: u16, dport: u16) -> Mbuf {
+        use ix_net::ip::{IpProto, Ipv4Addr, Ipv4Header};
+        use ix_net::tcp::{TcpFlags, TcpHeader};
+        let mut m = Mbuf::standalone();
+        let src = Ipv4Addr::new(10, 0, 0, 9);
+        let dst = Ipv4Addr::new(10, 0, 0, 1);
+        let tcp = TcpHeader {
+            src_port: sport,
+            dst_port: dport,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::ACK,
+            window: 1000,
+            mss: None,
+            wscale: None,
+        };
+        let tcp_len = tcp.len();
+        tcp.encode(m.append(tcp_len), src, dst, &[]);
+        let ip = Ipv4Header {
+            tos: 0,
+            total_len: (Ipv4Header::LEN + tcp_len) as u16,
+            ident: 0,
+            ttl: 64,
+            proto: IpProto::Tcp,
+            src,
+            dst,
+        };
+        ip.encode(m.prepend(Ipv4Header::LEN));
+        let eth = EthHeader {
+            dst: dst_mac,
+            src: MacAddr::from_host_index(9),
+            ethertype: EtherType::Ipv4,
+        };
+        eth.encode(m.prepend(EthHeader::LEN));
+        m
+    }
+
+    #[test]
+    fn rss_steers_consistently() {
+        let nic = mk();
+        let f = tcp_frame(nic.mac, 1234, 80);
+        let q1 = nic.classify(f.data());
+        let q2 = nic.classify(f.data());
+        assert_eq!(q1, q2);
+        assert!(q1 < 4);
+    }
+
+    #[test]
+    fn different_flows_spread_over_queues() {
+        let nic = mk();
+        let mut seen = std::collections::HashSet::new();
+        for p in 1000..1200 {
+            let f = tcp_frame(nic.mac, p, 80);
+            seen.insert(nic.classify(f.data()));
+        }
+        assert!(seen.len() >= 3, "poor spread: {seen:?}");
+    }
+
+    #[test]
+    fn deliver_checks_mac_and_posts() {
+        let mut sim = Simulator::new(0);
+        let nic = Rc::new(RefCell::new(mk()));
+        let my_mac = nic.borrow().mac;
+        let f = tcp_frame(my_mac, 1234, 80);
+        let q = nic.borrow().classify(f.data());
+        Nic::deliver(&nic, &mut sim, f);
+        assert_eq!(nic.borrow().stats.rx_frames, 1);
+        assert_eq!(nic.borrow_mut().rx_ring(q).pending(), 1);
+        // Wrong MAC: dropped.
+        let f2 = tcp_frame(MacAddr::from_host_index(42), 1234, 80);
+        Nic::deliver(&nic, &mut sim, f2);
+        assert_eq!(nic.borrow().stats.rx_mac_drops, 1);
+    }
+
+    #[test]
+    fn notify_fires_on_delivery() {
+        let mut sim = Simulator::new(0);
+        let nic = Rc::new(RefCell::new(mk()));
+        let my_mac = nic.borrow().mac;
+        let f = tcp_frame(my_mac, 5555, 80);
+        let q = nic.borrow().classify(f.data());
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        nic.borrow_mut()
+            .set_notify(q, Rc::new(move |_sim, q| h.borrow_mut().push(q)));
+        Nic::deliver(&nic, &mut sim, f);
+        assert_eq!(*hits.borrow(), vec![q]);
+    }
+
+    #[test]
+    fn ring_exhaustion_drops() {
+        let mut sim = Simulator::new(0);
+        let mut params = MachineParams::default();
+        params.ring_entries = 2;
+        let nic = Rc::new(RefCell::new(Nic::new(
+            MacAddr::from_host_index(1),
+            1,
+            params,
+        )));
+        let my_mac = nic.borrow().mac;
+        for _ in 0..3 {
+            Nic::deliver(&nic, &mut sim, tcp_frame(my_mac, 7, 80));
+        }
+        let n = nic.borrow();
+        assert_eq!(n.stats.rx_frames, 2);
+        assert_eq!(n.stats.rx_ring_drops, 1);
+    }
+
+    #[test]
+    fn redirection_table_reprogram() {
+        let mut nic = mk();
+        // Steer everything to queue 3.
+        nic.set_redirection(vec![3; 128]);
+        let f = tcp_frame(nic.mac, 1234, 80);
+        assert_eq!(nic.classify(f.data()), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "128 entries")]
+    fn redirection_table_wrong_size_panics() {
+        let mut nic = mk();
+        nic.set_redirection(vec![0; 64]);
+    }
+}

@@ -1,0 +1,181 @@
+//! The cut-through switch with static MAC forwarding and link
+//! aggregation.
+//!
+//! Models the Quanta/Cumulus 48x10GbE Broadcom Trident+ switch of the
+//! testbed (§5.1): per-port output serialization at line rate, a
+//! cut-through forwarding latency, and L3+L4-hash link aggregation for
+//! the server's 4x10GbE bond.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ix_mempool::Mbuf;
+use ix_net::eth::{EthHeader, MacAddr};
+use ix_net::rss::{hash_ipv4_tuple, TOEPLITZ_DEFAULT_KEY};
+use ix_sim::{Nanos, SimTime, Simulator};
+
+use crate::nic::{Nic, NicRef};
+use crate::params::MachineParams;
+
+/// Forwarding decision for a destination MAC.
+#[derive(Debug, Clone)]
+enum PortSel {
+    /// A single switch port.
+    One(u16),
+    /// A link-aggregation group; member chosen by L3+L4 hash.
+    Lag(Vec<u16>),
+}
+
+#[derive(Debug, Default)]
+struct SwitchPort {
+    busy_until: SimTime,
+}
+
+/// Per-switch counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwitchStats {
+    /// Frames forwarded.
+    pub forwarded: u64,
+    /// Frames flooded (broadcast destination).
+    pub flooded: u64,
+    /// Frames dropped for an unknown unicast destination.
+    pub unknown_dropped: u64,
+}
+
+/// The switch: forwarding table, per-port occupancy, attached NICs.
+pub struct Switch {
+    params: MachineParams,
+    ports: Vec<SwitchPort>,
+    attached: Vec<Option<NicRef>>,
+    table: HashMap<MacAddr, PortSel>,
+    /// Counters.
+    pub stats: SwitchStats,
+}
+
+impl Switch {
+    /// Creates a switch with `ports` ports.
+    pub fn new(ports: usize, params: MachineParams) -> Switch {
+        Switch {
+            params,
+            ports: (0..ports).map(|_| SwitchPort::default()).collect(),
+            attached: (0..ports).map(|_| None).collect(),
+            table: HashMap::new(),
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// Attaches a NIC to a port and installs its MAC in the forwarding
+    /// table. For bonded MACs, call once per member port; entries
+    /// accumulate into a LAG.
+    pub fn attach(&mut self, port: u16, nic: NicRef, mac: MacAddr) {
+        self.attached[port as usize] = Some(nic);
+        match self.table.get_mut(&mac) {
+            None => {
+                self.table.insert(mac, PortSel::One(port));
+            }
+            Some(PortSel::One(existing)) => {
+                let first = *existing;
+                self.table.insert(mac, PortSel::Lag(vec![first, port]));
+            }
+            Some(PortSel::Lag(members)) => members.push(port),
+        }
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Resolves the output port(s) for a frame.
+    fn resolve(&mut self, frame: &Mbuf, in_port: u16) -> Vec<u16> {
+        let data = frame.data();
+        if data.len() < EthHeader::LEN {
+            return Vec::new();
+        }
+        let dst = MacAddr([data[0], data[1], data[2], data[3], data[4], data[5]]);
+        if dst.is_broadcast() {
+            self.stats.flooded += 1;
+            return (0..self.ports.len() as u16)
+                .filter(|&p| p != in_port && self.attached[p as usize].is_some())
+                .collect();
+        }
+        match self.table.get(&dst) {
+            Some(PortSel::One(p)) => {
+                self.stats.forwarded += 1;
+                vec![*p]
+            }
+            Some(PortSel::Lag(members)) => {
+                self.stats.forwarded += 1;
+                vec![members[Switch::lag_hash(data) % members.len()]]
+            }
+            None => {
+                self.stats.unknown_dropped += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// The L3+L4 hash used for LAG member selection (§5.1: "four NIC
+    /// ports bonded by the switch with a L3+L4 hash").
+    fn lag_hash(data: &[u8]) -> usize {
+        if data.len() < EthHeader::LEN + 24 {
+            return 0;
+        }
+        let ip = &data[EthHeader::LEN..];
+        let ihl = (ip[0] & 0x0f) as usize * 4;
+        if ip.len() < ihl + 4 {
+            return 0;
+        }
+        let src = ix_net::Ipv4Addr(u32::from_be_bytes([ip[12], ip[13], ip[14], ip[15]]));
+        let dst = ix_net::Ipv4Addr(u32::from_be_bytes([ip[16], ip[17], ip[18], ip[19]]));
+        let l4 = &ip[ihl..];
+        let sp = u16::from_be_bytes([l4[0], l4[1]]);
+        let dp = u16::from_be_bytes([l4[2], l4[3]]);
+        hash_ipv4_tuple(&TOEPLITZ_DEFAULT_KEY, src, dst, sp, dp) as usize
+    }
+
+    /// A frame has fully arrived at `in_port`. Forwards it: cut-through
+    /// latency, output-port serialization, propagation, then delivery
+    /// into the destination NIC (which adds its own RX latency).
+    pub fn ingress(switch: &Rc<RefCell<Switch>>, sim: &mut Simulator, frame: Mbuf, in_port: u16) {
+        let outs = switch.borrow_mut().resolve(&frame, in_port);
+        let Some((&last, rest)) = outs.split_last() else {
+            return;
+        };
+        // Clone for all but the last output (flood path only); the common
+        // unicast case moves the frame without copying.
+        for &out in rest {
+            Switch::egress(switch, sim, frame.clone(), out);
+        }
+        Switch::egress(switch, sim, frame, last);
+    }
+
+    /// Schedules one frame out of `out` port.
+    fn egress(switch: &Rc<RefCell<Switch>>, sim: &mut Simulator, frame: Mbuf, out: u16) {
+        let (depart, dst_nic, prop, rx_lat) = {
+            let mut sw = switch.borrow_mut();
+            let l2_payload = frame.len().saturating_sub(EthHeader::LEN);
+            let ser = sw.params.serialization_ns(l2_payload);
+            let start = (sim.now() + Nanos(sw.params.switch_latency_ns))
+                .max(sw.ports[out as usize].busy_until);
+            let depart = start + Nanos(ser);
+            sw.ports[out as usize].busy_until = depart;
+            let dst = sw.attached[out as usize].clone();
+            (depart, dst, sw.params.propagation_ns, sw.params.nic_rx_latency_ns)
+        };
+        let Some(dst_nic) = dst_nic else { return };
+        sim.schedule_at(depart + Nanos(prop + rx_lat), move |sim| {
+            Nic::deliver(&dst_nic, sim, frame);
+        });
+    }
+}
+
+impl std::fmt::Debug for Switch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Switch")
+            .field("ports", &self.ports.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

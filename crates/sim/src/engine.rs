@@ -1,0 +1,322 @@
+//! The event loop: a priority queue of timestamped closures.
+//!
+//! Components (NICs, links, dataplanes, applications) are reference-counted
+//! cells; events are closures that capture handles to the components they
+//! touch and receive `&mut Simulator` so they can read the clock, draw
+//! randomness, and schedule further events.
+//!
+//! Determinism: events are ordered by `(time, sequence)` where `sequence`
+//! is a monotonically increasing insertion counter, so ties are broken by
+//! scheduling order and every run of the same program with the same seed
+//! executes the identical event sequence.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::rng::SimRng;
+use crate::time::{Nanos, SimTime};
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+type Action = Box<dyn FnOnce(&mut Simulator)>;
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event simulator: virtual clock, event queue, and the
+/// deterministic random source.
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    cancelled: HashSet<u64>,
+    rng: SimRng,
+    executed: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator at t = 0 with the given RNG seed.
+    pub fn new(seed: u64) -> Simulator {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            rng: SimRng::new(seed),
+            executed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The deterministic random source.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Number of events executed so far (for engine diagnostics).
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len().min(self.queue.len())
+    }
+
+    /// Schedules `action` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut Simulator) + 'static,
+    ) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            time: at,
+            seq,
+            action: Box::new(action),
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `action` to run after `delay`.
+    pub fn schedule_in(
+        &mut self,
+        delay: Nanos,
+        action: impl FnOnce(&mut Simulator) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Executes the next pending event, if any, advancing the clock to its
+    /// timestamp. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now);
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.action)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs until the event queue is exhausted.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the clock reaches `deadline` (events at exactly
+    /// `deadline` are executed) or the queue empties. The clock is left at
+    /// `max(now, deadline)` when the deadline is reached.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            let next = loop {
+                match self.queue.peek() {
+                    Some(ev) if self.cancelled.contains(&ev.seq) => {
+                        let ev = self.queue.pop().expect("peeked");
+                        self.cancelled.remove(&ev.seq);
+                    }
+                    Some(ev) => break Some(ev.time),
+                    None => break None,
+                }
+            };
+            match next {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => {
+                    if deadline > self.now {
+                        self.now = deadline;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs for `dur` of virtual time from the current instant.
+    pub fn run_for(&mut self, dur: Nanos) {
+        let deadline = self.now + dur;
+        self.run_until(deadline);
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulator::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for &t in &[300u64, 100, 200] {
+            let log = log.clone();
+            sim.schedule_at(SimTime(t), move |sim| {
+                log.borrow_mut().push(sim.now().as_nanos());
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim = Simulator::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let log = log.clone();
+            sim.schedule_at(SimTime(50), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_scheduling() {
+        let mut sim = Simulator::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        sim.schedule_in(Nanos(10), move |sim| {
+            log2.borrow_mut().push(sim.now().as_nanos());
+            let log3 = log2.clone();
+            sim.schedule_in(Nanos(15), move |sim| {
+                log3.borrow_mut().push(sim.now().as_nanos());
+            });
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![10, 25]);
+    }
+
+    #[test]
+    fn cancellation_suppresses_event() {
+        let mut sim = Simulator::new(0);
+        let hits = Rc::new(RefCell::new(0));
+        let h = hits.clone();
+        let id = sim.schedule_in(Nanos(5), move |_| *h.borrow_mut() += 1);
+        sim.cancel(id);
+        sim.run();
+        assert_eq!(*hits.borrow(), 0);
+        // Cancelling again (already fired/cancelled) is a no-op.
+        sim.cancel(id);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulator::new(0);
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        for &t in &[10u64, 20, 30, 40] {
+            let hits = hits.clone();
+            sim.schedule_at(SimTime(t), move |_| hits.borrow_mut().push(t));
+        }
+        sim.run_until(SimTime(25));
+        assert_eq!(*hits.borrow(), vec![10, 20]);
+        assert_eq!(sim.now(), SimTime(25));
+        sim.run();
+        assert_eq!(*hits.borrow(), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn run_until_deadline_inclusive() {
+        let mut sim = Simulator::new(0);
+        let hit = Rc::new(RefCell::new(false));
+        let h = hit.clone();
+        sim.schedule_at(SimTime(25), move |_| *h.borrow_mut() = true);
+        sim.run_until(SimTime(25));
+        assert!(*hit.borrow());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new(0);
+        sim.schedule_at(SimTime(100), |_| {});
+        sim.run();
+        sim.schedule_at(SimTime(50), |_| {});
+    }
+
+    #[test]
+    fn deterministic_trace_for_same_seed() {
+        fn trace(seed: u64) -> Vec<u64> {
+            let mut sim = Simulator::new(seed);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            // A little stochastic cascade.
+            fn spawn(sim: &mut Simulator, depth: u32, log: Rc<RefCell<Vec<u64>>>) {
+                if depth == 0 {
+                    return;
+                }
+                let d = sim.rng().below(100) + 1;
+                sim.schedule_in(Nanos(d), move |sim| {
+                    log.borrow_mut().push(sim.now().as_nanos());
+                    spawn(sim, depth - 1, log.clone());
+                    spawn(sim, depth - 1, log);
+                });
+            }
+            spawn(&mut sim, 6, log.clone());
+            sim.run();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(trace(99), trace(99));
+        assert_ne!(trace(99), trace(100));
+    }
+}

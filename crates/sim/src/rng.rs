@@ -1,0 +1,164 @@
+//! Seeded, deterministic randomness for simulations.
+//!
+//! All stochastic behaviour in an experiment — workload inter-arrival
+//! times, key popularity draws, value-size distributions — must come from a
+//! [`SimRng`] owned by the simulator or derived from its seed, so that a run
+//! is reproducible from `(configuration, seed)` alone.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A deterministic random number generator for simulation use.
+///
+/// Wraps a fixed-algorithm PRNG ([`StdRng`]) so the stream is stable for a
+/// given seed. Provides the handful of distributions the workloads need
+/// (uniform, exponential, discrete mixtures) without pulling in a wider
+/// dependency.
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> SimRng {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each host
+    /// or client thread its own stream while preserving determinism.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.next_u64())
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Returns a uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        self.inner.random_range(0..bound)
+    }
+
+    /// Returns a uniform value in the inclusive range `[lo, hi]`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.random_range(lo..=hi)
+    }
+
+    /// Returns a uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.random_range(0.0..1.0)
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// Samples an exponential distribution with the given mean, by inverse
+    /// transform. Used for open-loop (Poisson) request arrivals in the
+    /// mutilate-like load generator.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        // Inverse-transform sampling; `1 - u` avoids ln(0).
+        let u = self.unit_f64();
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Samples an index from a discrete distribution given cumulative
+    /// weights. `cumulative` must be non-empty and non-decreasing with a
+    /// positive final value.
+    pub fn discrete(&mut self, cumulative: &[f64]) -> usize {
+        let total = *cumulative.last().expect("empty distribution");
+        let x = self.unit_f64() * total;
+        match cumulative.partition_point(|&c| c <= x) {
+            i if i < cumulative.len() => i,
+            _ => cumulative.len() - 1,
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut a = SimRng::new(7);
+        let mut child = a.fork();
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::new(1);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = SimRng::new(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(50.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 50.0).abs() < 2.5, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_rate_close() {
+        let mut r = SimRng::new(4);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn discrete_picks_by_weight() {
+        let mut r = SimRng::new(5);
+        // Weights 1:3 => cumulative [1.0, 4.0].
+        let cum = [1.0, 4.0];
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[r.discrete(&cum)] += 1;
+        }
+        let frac1 = counts[1] as f64 / 10_000.0;
+        assert!((frac1 - 0.75).abs() < 0.03, "frac {frac1}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(6);
+        let mut v: Vec<u32> = (0..32).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<u32>>());
+    }
+}

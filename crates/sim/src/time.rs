@@ -1,0 +1,220 @@
+//! Virtual time: instants and durations with nanosecond resolution.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration in simulated nanoseconds.
+///
+/// `Nanos` is the unit for every cost constant in the reproduction: CPU
+/// per-packet costs, link serialization times, interrupt latencies, and so
+/// on. A `u64` of nanoseconds covers ~584 years of virtual time, far beyond
+/// any experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// The zero duration.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Returns the duration as a nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in (fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the duration in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of the two durations.
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.max(rhs.0))
+    }
+
+    /// Returns the smaller of the two durations.
+    pub fn min(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1_000_000.0)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// An instant in simulated time, measured as nanoseconds since simulation
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The latest representable instant; useful as an "infinitely far"
+    /// deadline sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Returns the instant as nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> Nanos {
+        debug_assert!(earlier.0 <= self.0, "time went backwards");
+        Nanos(self.0 - earlier.0)
+    }
+
+    /// Saturating version of [`SimTime::since`], returning zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> Nanos {
+        Nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of the two instants.
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.max(rhs.0))
+    }
+}
+
+impl Add<Nanos> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Nanos) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Nanos> for SimTime {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", Nanos(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(Nanos::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(Nanos::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(Nanos::from_secs(1).as_nanos(), 1_000_000_000);
+        assert!((Nanos(1_500).as_micros_f64() - 1.5).abs() < 1e-12);
+        assert!((Nanos::from_secs(2).as_secs_f64() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos(100);
+        let b = Nanos(40);
+        assert_eq!(a + b, Nanos(140));
+        assert_eq!(a - b, Nanos(60));
+        assert_eq!(a * 3, Nanos(300));
+        assert_eq!(a / 4, Nanos(25));
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn instants() {
+        let t0 = SimTime(1_000);
+        let t1 = t0 + Nanos(500);
+        assert_eq!(t1.since(t0), Nanos(500));
+        assert_eq!(t0.saturating_since(t1), Nanos::ZERO);
+        assert_eq!(t0.max(t1), t1);
+    }
+
+    #[test]
+    fn display_formats_scale() {
+        assert_eq!(format!("{}", Nanos(12)), "12ns");
+        assert_eq!(format!("{}", Nanos(1_500)), "1.500us");
+        assert_eq!(format!("{}", Nanos(2_500_000)), "2.500ms");
+        assert_eq!(format!("{}", Nanos::from_secs(3)), "3.000s");
+    }
+}

@@ -1,0 +1,133 @@
+//! The ARP table and resolution queue.
+//!
+//! In the full IX system the ARP table is the one structure shared by all
+//! elastic threads, protected by RCU with quiescent-period reclamation
+//! (§4.4) — that sharing machinery lives in `ix-core::rcu`. The table
+//! here is the per-reader view: lookup, insertion from replies, and a
+//! pending queue of packets awaiting resolution.
+
+use std::collections::HashMap;
+
+use ix_net::eth::MacAddr;
+use ix_net::ip::Ipv4Addr;
+
+/// A packet parked while its next hop resolves. Kept small: just the
+/// serialized bytes and the target.
+#[derive(Debug)]
+pub struct PendingPacket {
+    /// Destination IP being resolved.
+    pub ip: Ipv4Addr,
+    /// The full frame minus the Ethernet header (filled in on release).
+    pub l3_bytes: Vec<u8>,
+}
+
+/// IPv4 → MAC mapping with a bounded pending queue.
+#[derive(Debug, Default)]
+pub struct ArpTable {
+    entries: HashMap<Ipv4Addr, MacAddr>,
+    pending: Vec<PendingPacket>,
+    /// Lookups that missed (each triggers an ARP request).
+    pub misses: u64,
+}
+
+/// Cap on parked packets per shard; beyond this, new unresolved traffic
+/// is dropped (like lwIP's single-packet ARP queue, but less brutal).
+const MAX_PENDING: usize = 64;
+
+impl ArpTable {
+    /// Creates an empty table.
+    pub fn new() -> ArpTable {
+        ArpTable::default()
+    }
+
+    /// Looks up a MAC.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<MacAddr> {
+        self.entries.get(&ip).copied()
+    }
+
+    /// Inserts or updates a mapping (from an ARP reply or gratuitous
+    /// ARP), returning any packets that were waiting for it.
+    pub fn insert(&mut self, ip: Ipv4Addr, mac: MacAddr) -> Vec<PendingPacket> {
+        self.entries.insert(ip, mac);
+        let (ready, still): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut self.pending).into_iter().partition(|p| p.ip == ip);
+        self.pending = still;
+        ready
+    }
+
+    /// Parks a packet until `ip` resolves. Returns `false` (dropping the
+    /// packet) when the queue is full.
+    pub fn park(&mut self, ip: Ipv4Addr, l3_bytes: Vec<u8>) -> bool {
+        if self.pending.len() >= MAX_PENDING {
+            return false;
+        }
+        self.misses += 1;
+        self.pending.push(PendingPacket { ip, l3_bytes });
+        true
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of parked packets.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = ArpTable::new();
+        let ip = Ipv4Addr::new(10, 0, 0, 5);
+        let mac = MacAddr::from_host_index(5);
+        assert!(t.lookup(ip).is_none());
+        t.insert(ip, mac);
+        assert_eq!(t.lookup(ip), Some(mac));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn park_and_release() {
+        let mut t = ArpTable::new();
+        let ip = Ipv4Addr::new(10, 0, 0, 5);
+        let other = Ipv4Addr::new(10, 0, 0, 6);
+        assert!(t.park(ip, vec![1, 2, 3]));
+        assert!(t.park(other, vec![4]));
+        assert_eq!(t.pending(), 2);
+        let ready = t.insert(ip, MacAddr::from_host_index(5));
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].l3_bytes, vec![1, 2, 3]);
+        assert_eq!(t.pending(), 1);
+    }
+
+    #[test]
+    fn pending_queue_bounded() {
+        let mut t = ArpTable::new();
+        let ip = Ipv4Addr::new(10, 0, 0, 9);
+        for _ in 0..MAX_PENDING {
+            assert!(t.park(ip, vec![]));
+        }
+        assert!(!t.park(ip, vec![]));
+    }
+
+    #[test]
+    fn update_replaces() {
+        let mut t = ArpTable::new();
+        let ip = Ipv4Addr::new(10, 0, 0, 5);
+        t.insert(ip, MacAddr::from_host_index(5));
+        t.insert(ip, MacAddr::from_host_index(6));
+        assert_eq!(t.lookup(ip), Some(MacAddr::from_host_index(6)));
+        assert_eq!(t.len(), 1);
+    }
+}

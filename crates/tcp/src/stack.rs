@@ -1,0 +1,1580 @@
+//! The sharded TCP/IP stack: segment processing, connection management,
+//! ARP/ICMP/UDP, timers, and output generation.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use ix_mempool::{Mbuf, MbufPool};
+use ix_net::arp::{ArpOp, ArpPacket};
+use ix_net::eth::{EthHeader, EtherType, MacAddr};
+use ix_net::icmp::{IcmpHeader, IcmpType};
+use ix_net::ip::{IpProto, Ipv4Addr, Ipv4Header};
+use ix_net::tcp::{seq_le, seq_lt, TcpFlags, TcpHeader};
+use ix_net::udp::UdpHeader;
+use ix_timerwheel::TimerWheel;
+
+use crate::arp_table::ArpTable;
+use crate::config::{AckPolicy, StackConfig};
+use crate::event::{DeadReason, FlowId, TcpEvent};
+use crate::tcb::{Tcb, TcpState, TimerKind, TxSeg};
+
+/// Errors surfaced to the API layer (and mapped to syscall return codes
+/// by the dataplane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackError {
+    /// Unknown or stale flow handle.
+    BadHandle,
+    /// Operation invalid in the flow's current state.
+    BadState,
+    /// No ephemeral port satisfied the RSS steering constraint.
+    PortExhausted,
+    /// The shard's mbuf pool is empty.
+    OutOfMbufs,
+    /// recv_done credited more bytes than were outstanding.
+    BadCredit,
+}
+
+impl core::fmt::Display for StackError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StackError::BadHandle => write!(f, "bad flow handle"),
+            StackError::BadState => write!(f, "invalid state for operation"),
+            StackError::PortExhausted => write!(f, "ephemeral ports exhausted"),
+            StackError::OutOfMbufs => write!(f, "mbuf pool exhausted"),
+            StackError::BadCredit => write!(f, "recv_done credit exceeds outstanding"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+/// A received UDP datagram (surfaced separately from TCP events).
+#[derive(Debug)]
+pub struct UdpDatagram {
+    /// Sender address.
+    pub src_ip: Ipv4Addr,
+    /// Sender port.
+    pub src_port: u16,
+    /// Local destination port.
+    pub dst_port: u16,
+    /// Payload.
+    pub mbuf: Mbuf,
+}
+
+/// Aggregate stack counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StackStats {
+    /// TCP segments processed.
+    pub rx_segments: u64,
+    /// TCP segments emitted.
+    pub tx_segments: u64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+    /// RSTs sent.
+    pub rst_tx: u64,
+    /// RSTs received.
+    pub rst_rx: u64,
+    /// Frames dropped for bad checksums / malformed headers.
+    pub parse_drops: u64,
+    /// TCP segments to ports nobody listens on.
+    pub no_listener: u64,
+    /// Active opens completed.
+    pub conns_opened: u64,
+    /// Passive opens completed.
+    pub conns_accepted: u64,
+    /// Payload bytes received in order.
+    pub bytes_rx: u64,
+    /// Payload bytes accepted for transmission.
+    pub bytes_tx: u64,
+    /// ARP packets sent.
+    pub arp_tx: u64,
+    /// ICMP echoes answered.
+    pub icmp_echo: u64,
+    /// UDP datagrams received / sent.
+    pub udp_rx: u64,
+    /// UDP datagrams sent.
+    pub udp_tx: u64,
+    /// Outbound packets dropped because the mbuf pool was empty.
+    pub pool_drops: u64,
+}
+
+/// Timer payload: identifies the flow (with generation) and the kind.
+#[derive(Debug, Clone, Copy)]
+struct TimerEntry {
+    key: u64,
+    gen: u32,
+    kind: TimerKind,
+}
+
+/// Steering oracle: given (remote_ip, remote_port, local_port), which
+/// local queue would the *reply* traffic be delivered to. Used for
+/// ephemeral-port probing (§4.4).
+pub type SteerFn = Rc<dyn Fn(Ipv4Addr, u16, u16) -> usize>;
+
+/// One shard of the TCP/IP stack: the flows RSS assigns to one queue /
+/// elastic thread. All operations are synchronization-free.
+pub struct TcpShard {
+    cfg: StackConfig,
+    /// Local IPv4 address.
+    pub local_ip: Ipv4Addr,
+    /// Local MAC address.
+    pub local_mac: MacAddr,
+    flows: HashMap<u64, Tcb>,
+    listeners: HashSet<u16>,
+    arp: ArpTable,
+    wheel: TimerWheel<TimerEntry>,
+    pool: MbufPool,
+    /// Outbound frames awaiting the engine's TX pass.
+    tx: Vec<Mbuf>,
+    /// Upcall events awaiting the engine.
+    events: Vec<TcpEvent>,
+    /// Received UDP datagrams.
+    udp: Vec<UdpDatagram>,
+    /// Flows with a deferred ACK pending (EndOfCycle policy).
+    pending_acks: Vec<u64>,
+    steer: Option<(usize, SteerFn)>,
+    next_gen: u32,
+    iss: u32,
+    ip_ident: u16,
+    eph_cursor: u16,
+    now_ns: u64,
+    /// Counters.
+    pub stats: StackStats,
+}
+
+const EPH_LO: u16 = 16_384;
+
+impl TcpShard {
+    /// Creates a shard for a host with the given addresses.
+    pub fn new(cfg: StackConfig, local_ip: Ipv4Addr, local_mac: MacAddr) -> TcpShard {
+        let pool = MbufPool::new(cfg.mbuf_pool);
+        TcpShard {
+            cfg,
+            local_ip,
+            local_mac,
+            flows: HashMap::new(),
+            listeners: HashSet::new(),
+            arp: ArpTable::new(),
+            wheel: TimerWheel::new(),
+            pool,
+            tx: Vec::new(),
+            events: Vec::new(),
+            udp: Vec::new(),
+            pending_acks: Vec::new(),
+            steer: None,
+            next_gen: 1,
+            iss: 0x1000,
+            ip_ident: 0,
+            eph_cursor: EPH_LO,
+            now_ns: 0,
+            stats: StackStats::default(),
+        }
+    }
+
+    /// Installs the RSS steering oracle: this shard serves `queue`, and
+    /// `steer` predicts the queue for a reply tuple. Outbound connections
+    /// then probe ephemeral ports until the reply lands here (§4.4).
+    pub fn set_steering(&mut self, queue: usize, steer: SteerFn) {
+        self.steer = Some((queue, steer));
+    }
+
+    /// Pre-populates the ARP table (the fabric helper uses this so
+    /// experiments skip the resolution handshake; protocol tests
+    /// exercise real ARP by leaving it cold).
+    pub fn arp_seed(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.arp.insert(ip, mac);
+    }
+
+    /// Number of live flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Starts listening on `port`.
+    pub fn listen(&mut self, port: u16) {
+        self.listeners.insert(port);
+    }
+
+    /// Drains the frames generated since the last call; the engine moves
+    /// them to the NIC TX ring.
+    pub fn take_tx(&mut self) -> Vec<Mbuf> {
+        std::mem::take(&mut self.tx)
+    }
+
+    /// Drains pending upcall events.
+    pub fn take_events(&mut self) -> Vec<TcpEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Drains received UDP datagrams.
+    pub fn take_udp(&mut self) -> Vec<UdpDatagram> {
+        std::mem::take(&mut self.udp)
+    }
+
+    /// True when the shard has nothing queued in any direction.
+    pub fn quiescent(&self) -> bool {
+        self.tx.is_empty() && self.events.is_empty() && self.pending_acks.is_empty()
+    }
+
+    /// Frames currently queued for transmission (without draining them).
+    pub fn tx_len(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Nanoseconds until the next timer fires, if any.
+    pub fn next_timer_ns(&self) -> Option<u64> {
+        self.wheel.next_deadline_ns()
+    }
+
+    /// Diagnostic snapshot of every live flow (state, send/receive
+    /// cursors, queue depths, timer presence).
+    pub fn debug_flows(&self) -> Vec<String> {
+        self.flows
+            .values()
+            .map(|t| {
+                format!(
+                    "{}:{}->{} g{} {:?} una={} nxt={} rtq={} rcv_nxt={} wnd={} cwnd={} need_ack={} rto={} persist={}",
+                    t.local_port,
+                    t.remote_ip,
+                    t.remote_port,
+                    t.id.gen,
+                    t.state,
+                    t.snd_una,
+                    t.snd_nxt,
+                    t.rtq.len(),
+                    t.rcv_nxt,
+                    t.snd_wnd,
+                    t.cwnd,
+                    t.need_ack,
+                    t.rto_timer.is_some(),
+                    t.persist_timer.is_some(),
+                )
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Flow migration (control-plane elastic thread add/revoke, §4.4):
+    // "when a core is revoked from a dataplane, the corresponding
+    // network flows must be assigned to another elastic thread."
+    // ------------------------------------------------------------------
+
+    /// Extracts the flows for which `belongs_elsewhere` returns true,
+    /// cancelling their timers on this shard. The control plane hands
+    /// them to [`TcpShard::absorb_flows`] on their new shard.
+    pub fn extract_flows(&mut self, mut belongs_elsewhere: impl FnMut(&Tcb) -> bool) -> Vec<Tcb> {
+        let mut keys: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, t)| belongs_elsewhere(t))
+            .map(|(k, _)| *k)
+            .collect();
+        // Deterministic migration order regardless of hash-map layout.
+        keys.sort_unstable();
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            let mut tcb = self.flows.remove(&k).expect("present");
+            for t in [
+                tcb.rto_timer.take(),
+                tcb.persist_timer.take(),
+                tcb.timewait_timer.take(),
+                tcb.delack_timer.take(),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                self.wheel.cancel(t);
+            }
+            // Stale pending-ACK entries for this key become no-ops
+            // (flush checks `need_ack` against the live map).
+            out.push(tcb);
+        }
+        out
+    }
+
+    /// Adopts flows migrated from another shard, re-arming their timers.
+    pub fn absorb_flows(&mut self, now_ns: u64, flows: Vec<Tcb>) {
+        self.now_ns = now_ns;
+        for tcb in flows {
+            // Deconflict generation counters so stale-handle protection
+            // keeps working after migration.
+            self.next_gen = self.next_gen.max(tcb.id.gen + 1);
+            let key = tcb.id.key;
+            let gen = tcb.id.gen;
+            let need_rto = !tcb.rtq.is_empty()
+                || matches!(tcb.state, TcpState::SynSent | TcpState::SynRcvd);
+            let rto = tcb.rto_ns;
+            let need_tw = tcb.state == TcpState::TimeWait;
+            let tw = self.cfg.time_wait_ns;
+            if tcb.need_ack {
+                self.pending_acks.push(key);
+            }
+            self.flows.insert(key, tcb);
+            if need_rto {
+                let t = self
+                    .wheel
+                    .schedule(rto, TimerEntry { key, gen, kind: TimerKind::Rto });
+                self.flows.get_mut(&key).expect("inserted").rto_timer = Some(t);
+            }
+            if need_tw {
+                let t = self
+                    .wheel
+                    .schedule(tw, TimerEntry { key, gen, kind: TimerKind::TimeWait });
+                self.flows.get_mut(&key).expect("inserted").timewait_timer = Some(t);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Connection API (the syscall surface of Table 1).
+    // ------------------------------------------------------------------
+
+    /// Active open (Table 1: `connect{cookie, dst IP, dst port}`).
+    /// Allocates an RSS-aligned ephemeral port, sends the SYN, and will
+    /// later raise `Connected`.
+    pub fn connect(
+        &mut self,
+        now_ns: u64,
+        dst_ip: Ipv4Addr,
+        dst_port: u16,
+        cookie: u64,
+    ) -> Result<FlowId, StackError> {
+        self.now_ns = now_ns;
+        let local_port = self.pick_ephemeral(dst_ip, dst_port)?;
+        let key = FlowId::pack(dst_ip, dst_port, local_port);
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let id = FlowId { key, gen };
+        self.iss = self.iss.wrapping_add(64_000 + (self.flows.len() as u32 & 0x3f));
+        let iss = self.iss;
+        let mut tcb = Tcb::new(&self.cfg, id, cookie, TcpState::SynSent, iss);
+        tcb.snd_nxt = iss.wrapping_add(1); // SYN occupies one.
+        tcb.open_time_ns = now_ns;
+        let syn = SegmentSpec {
+            flags: TcpFlags::SYN,
+            seq: iss,
+            // SYN windows are never scaled (RFC 7323).
+            ack: 0,
+            window: tcb.advertised_window().min(65_535) as u16,
+            mss: Some(self.cfg.mss as u16),
+            wscale: if self.cfg.window_scale > 0 { Some(self.cfg.window_scale) } else { None },
+            payload: &[],
+        };
+        self.emit_segment_for(&tcb, syn);
+        let timer = self.wheel.schedule(
+            self.cfg.syn_rto_ns,
+            TimerEntry { key, gen, kind: TimerKind::Rto },
+        );
+        tcb.rto_timer = Some(timer);
+        self.flows.insert(key, tcb);
+        Ok(id)
+    }
+
+    /// Attaches the user cookie to a knocked connection (Table 1:
+    /// `accept{handle, cookie}`).
+    pub fn accept(&mut self, flow: FlowId, cookie: u64) -> Result<(), StackError> {
+        let tcb = self.get_mut(flow)?;
+        tcb.cookie = cookie;
+        Ok(())
+    }
+
+    /// Transmits as much of `data` as the sliding window permits and
+    /// returns the number of bytes accepted (Table 1 `sendv` semantics:
+    /// "the number of bytes that were accepted and sent by the TCP stack,
+    /// as constrained by correct TCP sliding window operation").
+    pub fn send(&mut self, now_ns: u64, flow: FlowId, data: &[u8]) -> Result<usize, StackError> {
+        self.now_ns = now_ns;
+        let cfg_mss = self.cfg.mss as usize;
+        let tcb = self.get_mut(flow)?;
+        match tcb.state {
+            TcpState::Established | TcpState::CloseWait => {}
+            _ => return Err(StackError::BadState),
+        }
+        if tcb.fin_queued {
+            return Err(StackError::BadState);
+        }
+        let usable = tcb.usable_window() as usize;
+        let accepted = usable.min(data.len());
+        let mss = (tcb.mss as usize).min(cfg_mss);
+        let had_flight = tcb.flight() > 0;
+        let key = flow.key;
+        let mut specs: Vec<(u32, usize, usize)> = Vec::new(); // (seq, off, len)
+        {
+            let tcb = self.flows.get_mut(&key).expect("validated");
+            let mut off = 0usize;
+            while off < accepted {
+                let len = mss.min(accepted - off);
+                let seq = tcb.snd_nxt;
+                tcb.snd_nxt = tcb.snd_nxt.wrapping_add(len as u32);
+                tcb.rtq.push_back(TxSeg {
+                    seq,
+                    data: data[off..off + len].into(),
+                    fin: false,
+                    tx_time_ns: now_ns,
+                    retransmitted: false,
+                });
+                specs.push((seq, off, len));
+                off += len;
+            }
+        }
+        for (seq, off, len) in specs {
+            let tcb = self.flows.get(&key).expect("validated");
+            let spec = SegmentSpec {
+                flags: TcpFlags { psh: off + len == accepted, ..TcpFlags::ACK },
+                seq,
+                ack: tcb.rcv_nxt,
+                window: tcb.advertised_window_field(),
+                mss: None,
+                wscale: None,
+                payload: &data[off..off + len],
+            };
+            // ACK piggybacked: clear any deferred ACK obligation.
+            self.emit_segment_for_key(key, spec);
+        }
+        if accepted > 0 {
+            self.stats.bytes_tx += accepted as u64;
+            let tcb = self.flows.get_mut(&key).expect("validated");
+            tcb.need_ack = false;
+            let delack = tcb.delack_timer.take();
+            if let Some(t) = delack {
+                self.wheel.cancel(t); // The data segment carried the ACK.
+            }
+            if !had_flight {
+                self.restart_rto(key);
+            }
+        } else {
+            // Zero usable window: arm the persist probe so a lost window
+            // update cannot deadlock the connection.
+            let tcb = self.flows.get(&key).expect("validated");
+            if tcb.snd_wnd == 0 && tcb.persist_timer.is_none() {
+                let gen = tcb.id.gen;
+                let t = self.wheel.schedule(
+                    self.cfg.persist_ns,
+                    TimerEntry { key, gen, kind: TimerKind::Persist },
+                );
+                self.flows.get_mut(&key).expect("validated").persist_timer = Some(t);
+            }
+        }
+        Ok(accepted)
+    }
+
+    /// Credits consumed receive buffers back to the window (Table 1:
+    /// `recv_done{handle, bytes acked}` — "advances the receive window
+    /// and frees memory buffers").
+    pub fn recv_done(&mut self, now_ns: u64, flow: FlowId, bytes: u32) -> Result<(), StackError> {
+        self.now_ns = now_ns;
+        let policy = self.cfg.ack_policy;
+        let mss = self.cfg.mss;
+        let tcb = self.get_mut(flow)?;
+        if bytes > tcb.rcv_outstanding {
+            return Err(StackError::BadCredit);
+        }
+        let before = tcb.advertised_window();
+        tcb.rcv_outstanding -= bytes;
+        let after = tcb.advertised_window();
+        let key = flow.key;
+        match policy {
+            AckPolicy::EndOfCycle => self.mark_ack(key),
+            AckPolicy::Immediate | AckPolicy::Delayed(_) => {
+                // Kernel-style window update: when the window reopens
+                // from (nearly) closed, or when the application has freed
+                // at least two segments since the last advertisement —
+                // the rule that keeps bulk senders from stalling against
+                // a delayed ACK on an odd final segment.
+                let tcb = self.flows.get(&key).expect("validated");
+                let last = tcb.adv_wnd_last;
+                if (before < mss && after >= mss) || after >= last.saturating_add(2 * mss) {
+                    self.emit_bare_ack(key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Graceful close (Table 1: `close{handle}` on an open connection) —
+    /// sends FIN; for a not-yet-accepted (knocked) connection this
+    /// rejects it with RST.
+    pub fn close(&mut self, now_ns: u64, flow: FlowId) -> Result<(), StackError> {
+        self.now_ns = now_ns;
+        let tcb = self.get_mut(flow)?;
+        match tcb.state {
+            TcpState::Established => {
+                self.queue_fin(flow.key);
+                self.flows.get_mut(&flow.key).expect("live").state = TcpState::FinWait1;
+            }
+            TcpState::CloseWait => {
+                self.queue_fin(flow.key);
+                self.flows.get_mut(&flow.key).expect("live").state = TcpState::LastAck;
+            }
+            TcpState::SynRcvd => {
+                // Reject a knocked connection.
+                let (seq, ack) = (tcb.snd_nxt, tcb.rcv_nxt);
+                self.send_rst(flow.key, seq, ack);
+                self.destroy(flow.key);
+            }
+            TcpState::SynSent => {
+                self.destroy(flow.key);
+            }
+            _ => return Err(StackError::BadState),
+        }
+        Ok(())
+    }
+
+    /// Hard close: RST and drop, no TIME_WAIT. The §5.3 echo benchmark
+    /// closes this way "to avoid exhausting ephemeral ports".
+    pub fn abort(&mut self, now_ns: u64, flow: FlowId) -> Result<(), StackError> {
+        self.now_ns = now_ns;
+        let tcb = self.get_mut(flow)?;
+        let (seq, ack) = (tcb.snd_nxt, tcb.rcv_nxt);
+        self.send_rst(flow.key, seq, ack);
+        self.destroy(flow.key);
+        Ok(())
+    }
+
+    fn get_mut(&mut self, flow: FlowId) -> Result<&mut Tcb, StackError> {
+        match self.flows.get_mut(&flow.key) {
+            Some(t) if t.id.gen == flow.gen => Ok(t),
+            _ => Err(StackError::BadHandle),
+        }
+    }
+
+    /// Picks an ephemeral port whose reply tuple RSS-hashes back to this
+    /// shard's queue (§4.4: "we simply probe the ephemeral port range").
+    fn pick_ephemeral(&mut self, dst_ip: Ipv4Addr, dst_port: u16) -> Result<u16, StackError> {
+        let limit = self.cfg.rss_probe_limit;
+        for _ in 0..limit {
+            let port = self.eph_cursor;
+            self.eph_cursor = if self.eph_cursor == u16::MAX { EPH_LO } else { self.eph_cursor + 1 };
+            if self.flows.contains_key(&FlowId::pack(dst_ip, dst_port, port)) {
+                continue;
+            }
+            match &self.steer {
+                Some((queue, f)) if f(dst_ip, dst_port, port) != *queue => continue,
+                _ => return Ok(port),
+            }
+        }
+        Err(StackError::PortExhausted)
+    }
+
+    // ------------------------------------------------------------------
+    // Input path.
+    // ------------------------------------------------------------------
+
+    /// Processes one received frame (Ethernet and up). The engine calls
+    /// this for each frame polled from the RX ring.
+    pub fn input(&mut self, now_ns: u64, mut frame: Mbuf) {
+        self.now_ns = now_ns;
+        let Ok(eth) = EthHeader::decode(frame.data()) else {
+            self.stats.parse_drops += 1;
+            return;
+        };
+        frame.pull(EthHeader::LEN);
+        match eth.ethertype {
+            EtherType::Arp => self.input_arp(frame),
+            EtherType::Ipv4 => self.input_ipv4(frame),
+            EtherType::Other(_) => self.stats.parse_drops += 1,
+        }
+    }
+
+    fn input_arp(&mut self, frame: Mbuf) {
+        let Ok(pkt) = ArpPacket::decode(frame.data()) else {
+            self.stats.parse_drops += 1;
+            return;
+        };
+        // Learn the sender in all cases.
+        let ready = self.arp.insert(pkt.sender_ip, pkt.sender_mac);
+        for p in ready {
+            self.transmit_l3(p.ip, p.l3_bytes);
+        }
+        if pkt.op == ArpOp::Request && pkt.target_ip == self.local_ip {
+            let reply = pkt.reply_to(self.local_mac);
+            self.emit_arp(reply, pkt.sender_mac);
+        }
+    }
+
+    fn input_ipv4(&mut self, mut frame: Mbuf) {
+        let Ok(ip) = Ipv4Header::decode(frame.data()) else {
+            self.stats.parse_drops += 1;
+            return;
+        };
+        if ip.dst != self.local_ip {
+            self.stats.parse_drops += 1;
+            return;
+        }
+        // Trim link-layer padding (min-frame) to the datagram length.
+        if frame.len() > ip.total_len as usize {
+            frame.truncate(ip.total_len as usize);
+        }
+        if frame.len() < ip.total_len as usize {
+            self.stats.parse_drops += 1;
+            return;
+        }
+        frame.pull(Ipv4Header::LEN);
+        match ip.proto {
+            IpProto::Tcp => self.input_tcp(ip, frame),
+            IpProto::Udp => self.input_udp(ip, frame),
+            IpProto::Icmp => self.input_icmp(ip, frame),
+            IpProto::Other(_) => self.stats.parse_drops += 1,
+        }
+    }
+
+    fn input_icmp(&mut self, ip: Ipv4Header, mut frame: Mbuf) {
+        let Ok(hdr) = IcmpHeader::decode(frame.data()) else {
+            self.stats.parse_drops += 1;
+            return;
+        };
+        if hdr.icmp_type == IcmpType::EchoRequest {
+            self.stats.icmp_echo += 1;
+            frame.pull(IcmpHeader::LEN);
+            let payload: Vec<u8> = frame.data().to_vec();
+            let reply = hdr.reply();
+            let total = IcmpHeader::LEN + payload.len();
+            let mut bytes = vec![0u8; total];
+            bytes[IcmpHeader::LEN..].copy_from_slice(&payload);
+            let (h, t) = bytes.split_at_mut(IcmpHeader::LEN);
+            reply.encode(h, t);
+            self.emit_ipv4(ip.src, IpProto::Icmp, &bytes);
+        }
+    }
+
+    fn input_udp(&mut self, ip: Ipv4Header, mut frame: Mbuf) {
+        let Ok(hdr) = UdpHeader::decode(frame.data(), ip.src, ip.dst) else {
+            self.stats.parse_drops += 1;
+            return;
+        };
+        frame.truncate(hdr.len as usize);
+        frame.pull(UdpHeader::LEN);
+        self.stats.udp_rx += 1;
+        self.udp.push(UdpDatagram {
+            src_ip: ip.src,
+            src_port: hdr.src_port,
+            dst_port: hdr.dst_port,
+            mbuf: frame,
+        });
+    }
+
+    /// Sends a UDP datagram.
+    pub fn udp_send(
+        &mut self,
+        now_ns: u64,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) {
+        self.now_ns = now_ns;
+        let len = (UdpHeader::LEN + payload.len()) as u16;
+        let hdr = UdpHeader { src_port, dst_port, len };
+        let mut bytes = vec![0u8; len as usize];
+        bytes[UdpHeader::LEN..].copy_from_slice(payload);
+        let (h, t) = bytes.split_at_mut(UdpHeader::LEN);
+        hdr.encode(h, self.local_ip, dst_ip, t);
+        self.stats.udp_tx += 1;
+        self.emit_ipv4(dst_ip, IpProto::Udp, &bytes);
+    }
+
+    fn input_tcp(&mut self, ip: Ipv4Header, mut frame: Mbuf) {
+        let Ok((hdr, hlen)) = TcpHeader::decode(frame.data(), ip.src, ip.dst) else {
+            self.stats.parse_drops += 1;
+            return;
+        };
+        frame.pull(hlen);
+        self.stats.rx_segments += 1;
+        let key = FlowId::pack(ip.src, hdr.src_port, hdr.dst_port);
+        if self.flows.contains_key(&key) {
+            self.segment_for_flow(key, hdr, frame);
+        } else {
+            self.segment_no_flow(ip, hdr, frame);
+        }
+        // Immediate-ack policy flushes per segment; delayed-ack applies
+        // the every-second-segment rule with a piggyback timeout.
+        match self.cfg.ack_policy {
+            AckPolicy::Immediate => self.flush_acks(),
+            AckPolicy::Delayed(delay_ns) => self.delayed_ack_pass(delay_ns),
+            AckPolicy::EndOfCycle => {}
+        }
+    }
+
+    /// A segment for a tuple with no PCB: passive open or RST.
+    fn segment_no_flow(&mut self, ip: Ipv4Header, hdr: TcpHeader, payload: Mbuf) {
+        if hdr.flags.rst {
+            return; // Never respond to a RST.
+        }
+        if hdr.flags.syn && !hdr.flags.ack && self.listeners.contains(&hdr.dst_port) {
+            // Passive open: create the PCB and answer SYN-ACK. The knock
+            // event is raised when the handshake completes (the paper's
+            // knock reports "a remotely initiated connection was opened").
+            let key = FlowId::pack(ip.src, hdr.src_port, hdr.dst_port);
+            let gen = self.next_gen;
+            self.next_gen += 1;
+            let id = FlowId { key, gen };
+            self.iss = self.iss.wrapping_add(64_000);
+            let iss = self.iss;
+            let mut tcb = Tcb::new(&self.cfg, id, 0, TcpState::SynRcvd, iss);
+            tcb.open_time_ns = self.now_ns;
+            tcb.rcv_nxt = hdr.seq.wrapping_add(1);
+            tcb.snd_wnd = hdr.window as u32;
+            if let Some(mss) = hdr.mss {
+                tcb.mss = tcb.mss.min(mss as u32);
+            }
+            // Window scaling is effective only if both ends offer it.
+            if let Some(ws) = hdr.wscale {
+                if self.cfg.window_scale > 0 {
+                    tcb.snd_wscale = ws;
+                    tcb.rcv_wscale = self.cfg.window_scale;
+                }
+            }
+            tcb.snd_nxt = iss.wrapping_add(1);
+            let spec = SegmentSpec {
+                flags: TcpFlags::SYN_ACK,
+                seq: iss,
+                ack: tcb.rcv_nxt,
+                window: tcb.advertised_window().min(65_535) as u16,
+                mss: Some(self.cfg.mss as u16),
+                wscale: if tcb.rcv_wscale > 0 { Some(tcb.rcv_wscale) } else { None },
+                payload: &[],
+            };
+            self.emit_segment_for(&tcb, spec);
+            let t = self.wheel.schedule(
+                self.cfg.syn_rto_ns,
+                TimerEntry { key, gen, kind: TimerKind::Rto },
+            );
+            tcb.rto_timer = Some(t);
+            self.flows.insert(key, tcb);
+            return;
+        }
+        // No listener / half-open garbage: RST.
+        self.stats.no_listener += 1;
+        let (seq, ack) = if hdr.flags.ack {
+            (hdr.ack, 0)
+        } else {
+            (0, hdr.seq.wrapping_add(payload.len() as u32 + hdr.flags.syn as u32))
+        };
+        self.raw_rst(self.now_ns, hdr.dst_port, hdr.src_port, seq, ack, hdr.flags.ack, ip.src);
+    }
+
+    /// Full state machine for a segment on an existing flow.
+    fn segment_for_flow(&mut self, key: u64, hdr: TcpHeader, payload: Mbuf) {
+        let state = self.flows.get(&key).expect("checked").state;
+        if hdr.flags.rst {
+            self.stats.rst_rx += 1;
+            // Accept the RST if it is plausibly in-window (simplified).
+            let notify = matches!(
+                state,
+                TcpState::Established
+                    | TcpState::FinWait1
+                    | TcpState::FinWait2
+                    | TcpState::Closing
+                    | TcpState::CloseWait
+                    | TcpState::LastAck
+                    | TcpState::SynRcvd
+            );
+            let tcb = self.flows.get(&key).expect("checked");
+            let (id, cookie) = (tcb.id, tcb.cookie);
+            if notify {
+                self.events.push(TcpEvent::Dead {
+                    flow: id,
+                    cookie,
+                    reason: DeadReason::PeerReset,
+                });
+            } else if state == TcpState::SynSent {
+                self.events.push(TcpEvent::Connected { flow: id, cookie, ok: false });
+            }
+            self.destroy(key);
+            return;
+        }
+        match state {
+            TcpState::SynSent => self.on_syn_sent(key, hdr),
+            TcpState::SynRcvd => self.on_syn_rcvd(key, hdr, payload),
+            TcpState::TimeWait => {
+                // Re-ACK anything that arrives in TIME_WAIT.
+                self.mark_ack(key);
+            }
+            TcpState::Closed => {}
+            _ => self.on_established_family(key, hdr, payload),
+        }
+    }
+
+    fn on_syn_sent(&mut self, key: u64, hdr: TcpHeader) {
+        let tcb = self.flows.get_mut(&key).expect("checked");
+        if !(hdr.flags.syn && hdr.flags.ack) {
+            return; // Simultaneous open unsupported; ignore bare SYN.
+        }
+        if hdr.ack != tcb.snd_nxt {
+            // Bogus ACK of our SYN: reset per RFC 793.
+            let (seq, ack) = (hdr.ack, 0);
+            let (dst_ip, sp, dp) = (tcb.remote_ip, tcb.local_port, tcb.remote_port);
+            self.raw_rst(self.now_ns, sp, dp, seq, ack, true, dst_ip);
+            return;
+        }
+        tcb.snd_una = hdr.ack;
+        tcb.rcv_nxt = hdr.seq.wrapping_add(1);
+        tcb.snd_wnd = hdr.window as u32;
+        if let Some(mss) = hdr.mss {
+            tcb.mss = tcb.mss.min(mss as u32);
+        }
+        if let Some(ws) = hdr.wscale {
+            if self.cfg.window_scale > 0 {
+                tcb.snd_wscale = ws;
+                tcb.rcv_wscale = self.cfg.window_scale;
+            }
+        }
+        if tcb.retries == 0 {
+            let sample = self.now_ns.saturating_sub(tcb.open_time_ns).max(1);
+            let cfg = self.cfg.clone();
+            tcb.rtt_sample(sample, &cfg);
+        }
+        tcb.state = TcpState::Established;
+        tcb.retries = 0;
+        let (id, cookie) = (tcb.id, tcb.cookie);
+        if let Some(t) = tcb.rto_timer.take() {
+            self.wheel.cancel(t);
+        }
+        self.stats.conns_opened += 1;
+        self.events.push(TcpEvent::Connected { flow: id, cookie, ok: true });
+        // Complete the handshake immediately (not deferred): the peer's
+        // accept path is waiting on this ACK.
+        self.emit_bare_ack(key);
+    }
+
+    fn on_syn_rcvd(&mut self, key: u64, hdr: TcpHeader, payload: Mbuf) {
+        let mss = self.cfg.mss as u16;
+        let tcb = self.flows.get_mut(&key).expect("checked");
+        if hdr.flags.syn {
+            // SYN retransmission from the peer: re-send SYN-ACK.
+            let (seq, ack) = (tcb.snd_una, tcb.rcv_nxt);
+            // SYN-ACK windows are never scaled (RFC 7323).
+            let window = tcb.advertised_window().min(65_535) as u16;
+            let wscale = if tcb.rcv_wscale > 0 { Some(tcb.rcv_wscale) } else { None };
+            let spec = SegmentSpec {
+                flags: TcpFlags::SYN_ACK,
+                seq,
+                ack,
+                window,
+                mss: Some(mss),
+                wscale,
+                payload: &[],
+            };
+            self.emit_segment_for_key(key, spec);
+            return;
+        }
+        if !hdr.flags.ack || hdr.ack != tcb.snd_nxt {
+            return;
+        }
+        tcb.snd_una = hdr.ack;
+        tcb.snd_wnd = hdr.window as u32;
+        if tcb.retries == 0 {
+            let sample = self.now_ns.saturating_sub(tcb.open_time_ns).max(1);
+            let cfg = self.cfg.clone();
+            tcb.rtt_sample(sample, &cfg);
+        }
+        tcb.state = TcpState::Established;
+        tcb.retries = 0;
+        let (id, src_ip, src_port) = (tcb.id, tcb.remote_ip, tcb.remote_port);
+        if let Some(t) = tcb.rto_timer.take() {
+            self.wheel.cancel(t);
+        }
+        self.stats.conns_accepted += 1;
+        self.events.push(TcpEvent::Knock { flow: id, src_ip, src_port });
+        // Piggybacked payload on the handshake ACK is possible.
+        if !payload.is_empty() || hdr.flags.fin {
+            self.on_established_family(key, hdr, payload);
+        }
+    }
+
+    /// ESTABLISHED, FIN_WAIT_1/2, CLOSING, CLOSE_WAIT, LAST_ACK.
+    fn on_established_family(&mut self, key: u64, hdr: TcpHeader, payload: Mbuf) {
+        let plen = payload.len() as u32;
+        if hdr.flags.ack {
+            self.process_ack(key, hdr.ack, hdr.window);
+            if !self.flows.contains_key(&key) {
+                return; // ACK processing may finish LAST_ACK teardown.
+            }
+        }
+        if plen > 0 {
+            self.process_payload(key, hdr.seq, payload);
+        }
+        if hdr.flags.fin {
+            // The FIN occupies the sequence position after its payload.
+            self.process_fin(key, hdr.seq.wrapping_add(plen));
+        }
+        if plen == 0 && !hdr.flags.fin {
+            // RFC 793: an otherwise-unacceptable segment (e.g. a
+            // zero-window probe at snd_nxt-1) elicits an ACK restating
+            // our current state — this is what resynchronizes a peer
+            // whose window-update ACK was lost.
+            if let Some(tcb) = self.flows.get(&key) {
+                if hdr.seq != tcb.rcv_nxt {
+                    self.mark_ack(key);
+                }
+            }
+        }
+        // An out-of-order drain (or this segment) may have advanced
+        // rcv_nxt up to a previously parked FIN.
+        if let Some(tcb) = self.flows.get(&key) {
+            if tcb.peer_fin == Some(tcb.rcv_nxt) {
+                self.consume_fin(key);
+            }
+        }
+    }
+
+    fn process_ack(&mut self, key: u64, ack: u32, window: u16) {
+        let now = self.now_ns;
+        let cfg = self.cfg.clone();
+        let tcb = self.flows.get_mut(&key).expect("checked");
+        let old_wnd = tcb.snd_wnd;
+        let old_usable = tcb.usable_window();
+        if tcb.ack_is_new(ack) {
+            tcb.snd_una = ack;
+            let (bytes, sample) = tcb.reap_rtq(ack, now);
+            if let Some(s) = sample {
+                tcb.rtt_sample(s, &cfg);
+            }
+            if let Some(recover) = tcb.recover {
+                if !seq_lt(ack, recover) {
+                    tcb.recover = None;
+                    tcb.cwnd = tcb.ssthresh;
+                }
+            }
+            tcb.cwnd_on_ack(bytes);
+            tcb.dup_acks = 0;
+            tcb.retries = 0;
+            tcb.snd_wnd = (window as u32) << tcb.snd_wscale;
+            // FIN acknowledged?
+            let fin_acked = tcb.fin_queued && tcb.all_sent_acked();
+            let state = tcb.state;
+            let (id, cookie) = (tcb.id, tcb.cookie);
+            let new_usable = tcb.usable_window();
+            let persist = tcb.persist_timer.take();
+            // Restart or clear the retransmission timer.
+            self.restart_rto(key);
+            if let Some(t) = persist {
+                self.wheel.cancel(t);
+            }
+            if bytes > 0 || new_usable > old_usable {
+                self.events.push(TcpEvent::Sent {
+                    flow: id,
+                    cookie,
+                    bytes_acked: bytes,
+                    window: new_usable,
+                });
+            }
+            if fin_acked {
+                match state {
+                    TcpState::FinWait1 => {
+                        self.flows.get_mut(&key).expect("live").state = TcpState::FinWait2;
+                    }
+                    TcpState::Closing => self.enter_time_wait(key),
+                    TcpState::LastAck => self.destroy(key),
+                    _ => {}
+                }
+            }
+        } else if ack == tcb.snd_una {
+            tcb.snd_wnd = (window as u32) << tcb.snd_wscale;
+            if tcb.flight() > 0 && (window as u32) << tcb.snd_wscale == old_wnd {
+                tcb.dup_acks += 1;
+                if tcb.dup_acks == 3 {
+                    tcb.cwnd_on_fast_retransmit();
+                    self.stats.retransmits += 1;
+                    self.retransmit_front(key);
+                }
+            } else if (window as u32) << tcb.snd_wscale > old_wnd {
+                // Pure window update.
+                let tcb = self.flows.get(&key).expect("live");
+                let (id, cookie, usable) = (tcb.id, tcb.cookie, tcb.usable_window());
+                if usable > old_usable {
+                    self.events.push(TcpEvent::Sent {
+                        flow: id,
+                        cookie,
+                        bytes_acked: 0,
+                        window: usable,
+                    });
+                }
+                let persist = self.flows.get_mut(&key).expect("live").persist_timer.take();
+                if let Some(t) = persist {
+                    self.wheel.cancel(t);
+                }
+            }
+        }
+    }
+
+    fn process_payload(&mut self, key: u64, seq: u32, mut payload: Mbuf) {
+        let tcb = self.flows.get_mut(&key).expect("checked");
+        let len = payload.len() as u32;
+        let rcv_nxt = tcb.rcv_nxt;
+        let wnd = tcb.advertised_window();
+        let end = seq.wrapping_add(len);
+        let win_end = rcv_nxt.wrapping_add(wnd);
+        tcb.need_ack = true;
+        self.mark_ack(key);
+        let tcb = self.flows.get_mut(&key).expect("checked");
+        if seq_le(end, rcv_nxt) {
+            // Entirely old: pure duplicate, just the ACK.
+            return;
+        }
+        if !seq_lt(seq, win_end) {
+            // Entirely beyond the window: drop.
+            return;
+        }
+        // Trim the front if it overlaps already-received data.
+        let mut seg_seq = seq;
+        if seq_lt(seg_seq, rcv_nxt) {
+            let skip = rcv_nxt.wrapping_sub(seg_seq);
+            payload.pull(skip as usize);
+            seg_seq = rcv_nxt;
+        }
+        // Trim the tail if it pokes past the window.
+        let seg_end = seg_seq.wrapping_add(payload.len() as u32);
+        if seq_lt(win_end, seg_end) {
+            let keep = win_end.wrapping_sub(seg_seq) as usize;
+            payload.truncate(keep);
+        }
+        if payload.is_empty() {
+            return;
+        }
+        if seg_seq == rcv_nxt {
+            // In-order: deliver zero-copy, then drain any contiguous
+            // out-of-order segments.
+            let n = payload.len() as u32;
+            tcb.rcv_nxt = tcb.rcv_nxt.wrapping_add(n);
+            tcb.rcv_outstanding += n;
+            let (id, cookie) = (tcb.id, tcb.cookie);
+            self.stats.bytes_rx += n as u64;
+            self.events.push(TcpEvent::Recv { flow: id, cookie, mbuf: payload });
+            self.drain_ooo(key);
+        } else {
+            // Out of order: buffer (coalescing conservatively: keep the
+            // first copy of any overlapping start).
+            let data: Box<[u8]> = payload.data().into();
+            let blen = data.len() as u32;
+            if !tcb.ooo.contains_key(&seg_seq) {
+                tcb.ooo_bytes += blen;
+                tcb.ooo.insert(seg_seq, data);
+            }
+        }
+    }
+
+    fn drain_ooo(&mut self, key: u64) {
+        loop {
+            let tcb = self.flows.get_mut(&key).expect("checked");
+            let rcv_nxt = tcb.rcv_nxt;
+            // Find a buffered segment that starts at or before rcv_nxt.
+            let Some((&seg_seq, _)) = tcb
+                .ooo
+                .iter()
+                .find(|(&s, d)| seq_le(s, rcv_nxt) && seq_lt(rcv_nxt, s.wrapping_add(d.len() as u32)) || s == rcv_nxt)
+            else {
+                break;
+            };
+            let data = tcb.ooo.remove(&seg_seq).expect("present");
+            tcb.ooo_bytes -= data.len() as u32;
+            let skip = rcv_nxt.wrapping_sub(seg_seq) as usize;
+            if skip >= data.len() {
+                continue; // Entirely stale.
+            }
+            let useful = &data[skip..];
+            let n = useful.len() as u32;
+            tcb.rcv_nxt = tcb.rcv_nxt.wrapping_add(n);
+            tcb.rcv_outstanding += n;
+            let (id, cookie) = (tcb.id, tcb.cookie);
+            self.stats.bytes_rx += n as u64;
+            let mut m = Mbuf::standalone();
+            m.extend_from_slice(useful);
+            self.events.push(TcpEvent::Recv { flow: id, cookie, mbuf: m });
+        }
+        // Clean any now-stale buffered segments.
+        let tcb = self.flows.get_mut(&key).expect("checked");
+        let rcv_nxt = tcb.rcv_nxt;
+        let stale: Vec<u32> = tcb
+            .ooo
+            .iter()
+            .filter(|(&s, d)| seq_le(s.wrapping_add(d.len() as u32), rcv_nxt))
+            .map(|(&s, _)| s)
+            .collect();
+        for s in stale {
+            let d = tcb.ooo.remove(&s).expect("present");
+            tcb.ooo_bytes -= d.len() as u32;
+        }
+    }
+
+    fn process_fin(&mut self, key: u64, fin_seq: u32) {
+        let tcb = self.flows.get_mut(&key).expect("checked");
+        if fin_seq != tcb.rcv_nxt {
+            // Data still missing before the FIN; remember it.
+            tcb.peer_fin = Some(fin_seq);
+            return;
+        }
+        self.consume_fin(key);
+    }
+
+    fn consume_fin(&mut self, key: u64) {
+        let tcb = self.flows.get_mut(&key).expect("checked");
+        tcb.rcv_nxt = tcb.rcv_nxt.wrapping_add(1);
+        tcb.peer_fin = None;
+        tcb.need_ack = true;
+        let (id, cookie, state) = (tcb.id, tcb.cookie, tcb.state);
+        self.mark_ack(key);
+        match state {
+            TcpState::Established => {
+                self.flows.get_mut(&key).expect("live").state = TcpState::CloseWait;
+                self.events.push(TcpEvent::Dead { flow: id, cookie, reason: DeadReason::PeerFin });
+            }
+            TcpState::FinWait1 => {
+                // Our FIN not yet acked: simultaneous close.
+                self.flows.get_mut(&key).expect("live").state = TcpState::Closing;
+                self.events.push(TcpEvent::Dead { flow: id, cookie, reason: DeadReason::PeerFin });
+            }
+            TcpState::FinWait2 => {
+                self.events.push(TcpEvent::Dead { flow: id, cookie, reason: DeadReason::PeerFin });
+                self.enter_time_wait(key);
+            }
+            _ => {}
+        }
+    }
+
+    fn enter_time_wait(&mut self, key: u64) {
+        let gen = self.flows.get(&key).expect("live").id.gen;
+        // Cancel data timers; start the quarantine clock.
+        let (rto, persist) = {
+            let tcb = self.flows.get_mut(&key).expect("live");
+            tcb.state = TcpState::TimeWait;
+            (tcb.rto_timer.take(), tcb.persist_timer.take())
+        };
+        if let Some(t) = rto {
+            self.wheel.cancel(t);
+        }
+        if let Some(t) = persist {
+            self.wheel.cancel(t);
+        }
+        let t = self.wheel.schedule(
+            self.cfg.time_wait_ns,
+            TimerEntry { key, gen, kind: TimerKind::TimeWait },
+        );
+        self.flows.get_mut(&key).expect("live").timewait_timer = Some(t);
+    }
+
+    /// Removes a flow and cancels its timers.
+    fn destroy(&mut self, key: u64) {
+        if let Some(tcb) = self.flows.remove(&key) {
+            for t in [
+                tcb.rto_timer,
+                tcb.persist_timer,
+                tcb.timewait_timer,
+                tcb.delack_timer,
+            ]
+            .into_iter()
+            .flatten()
+            {
+                self.wheel.cancel(t);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers.
+    // ------------------------------------------------------------------
+
+    /// Advances the timing wheel to `now_ns`, firing retransmissions,
+    /// probes, and TIME_WAIT expiries (Fig 1b step 5).
+    pub fn advance_timers(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
+        let mut fired = Vec::new();
+        self.wheel.advance(now_ns, |e| fired.push(e));
+        for e in fired {
+            let Some(tcb) = self.flows.get_mut(&e.key) else { continue };
+            if tcb.id.gen != e.gen {
+                continue;
+            }
+            match e.kind {
+                TimerKind::TimeWait => {
+                    self.flows.get_mut(&e.key).expect("live").timewait_timer = None;
+                    self.destroy(e.key);
+                }
+                TimerKind::Persist => {
+                    self.flows.get_mut(&e.key).expect("live").persist_timer = None;
+                    self.persist_fire(e.key);
+                }
+                TimerKind::Rto => {
+                    self.flows.get_mut(&e.key).expect("live").rto_timer = None;
+                    self.rto_fire(e.key);
+                }
+                TimerKind::DelAck => {
+                    self.flows.get_mut(&e.key).expect("live").delack_timer = None;
+                    self.emit_bare_ack(e.key);
+                }
+            }
+        }
+    }
+
+    fn persist_fire(&mut self, key: u64) {
+        let tcb = self.flows.get(&key).expect("live");
+        if tcb.snd_wnd > 0 {
+            return; // Window reopened; probe no longer needed.
+        }
+        let gen = tcb.id.gen;
+        // Zero-window probe: an empty segment at snd_nxt-1, which the
+        // peer must answer with an ACK restating its window.
+        let spec = SegmentSpec {
+            flags: TcpFlags::ACK,
+            seq: tcb.snd_nxt.wrapping_sub(1),
+            ack: tcb.rcv_nxt,
+            window: tcb.advertised_window_field(),
+            mss: None,
+            wscale: None,
+            payload: &[],
+        };
+        self.emit_segment_for_key(key, spec);
+        let t = self.wheel.schedule(
+            self.cfg.persist_ns,
+            TimerEntry { key, gen, kind: TimerKind::Persist },
+        );
+        self.flows.get_mut(&key).expect("live").persist_timer = Some(t);
+    }
+
+    fn rto_fire(&mut self, key: u64) {
+        let cfg = self.cfg.clone();
+        let tcb = self.flows.get_mut(&key).expect("live");
+        tcb.retries += 1;
+        if tcb.retries > cfg.max_retries {
+            let (id, cookie, state) = (tcb.id, tcb.cookie, tcb.state);
+            if state == TcpState::SynSent {
+                self.events.push(TcpEvent::Connected { flow: id, cookie, ok: false });
+            } else {
+                self.events.push(TcpEvent::Dead { flow: id, cookie, reason: DeadReason::TimedOut });
+            }
+            self.destroy(key);
+            return;
+        }
+        match tcb.state {
+            TcpState::SynSent | TcpState::SynRcvd => {
+                let syn_ack = tcb.state == TcpState::SynRcvd;
+                let (seq, ack) = (tcb.snd_una, tcb.rcv_nxt);
+                let window = tcb.advertised_window().min(65_535) as u16;
+                let gen = tcb.id.gen;
+                let retries = tcb.retries;
+                let spec = SegmentSpec {
+                    flags: if syn_ack { TcpFlags::SYN_ACK } else { TcpFlags::SYN },
+                    seq,
+                    ack: if syn_ack { ack } else { 0 },
+                    window,
+                    mss: Some(cfg.mss as u16),
+                    wscale: if cfg.window_scale > 0 { Some(cfg.window_scale) } else { None },
+                    payload: &[],
+                };
+                self.emit_segment_for_key(key, spec);
+                self.stats.retransmits += 1;
+                let t = self.wheel.schedule(
+                    cfg.syn_rto_ns << retries.min(6),
+                    TimerEntry { key, gen, kind: TimerKind::Rto },
+                );
+                self.flows.get_mut(&key).expect("live").rto_timer = Some(t);
+            }
+            _ => {
+                tcb.cwnd_on_rto();
+                tcb.rto_ns = (tcb.rto_ns * 2).clamp(cfg.min_rto_ns, cfg.max_rto_ns);
+                self.stats.retransmits += 1;
+                self.retransmit_front(key);
+                self.restart_rto(key);
+            }
+        }
+    }
+
+    /// Retransmits the oldest unacknowledged segment.
+    fn retransmit_front(&mut self, key: u64) {
+        let now = self.now_ns;
+        let tcb = self.flows.get_mut(&key).expect("live");
+        tcb.last_retx_ns = now;
+        let Some(seg) = tcb.rtq.front_mut() else { return };
+        seg.retransmitted = true;
+        seg.tx_time_ns = now;
+        let spec_data: Box<[u8]> = seg.data.clone();
+        let (seq, fin) = (seg.seq, seg.fin);
+        let flags = TcpFlags { fin, psh: !fin, ..TcpFlags::ACK };
+        let (ack, window) = (tcb.rcv_nxt, tcb.advertised_window_field());
+        let spec = SegmentSpec { flags, seq, ack, window, mss: None, wscale: None, payload: &spec_data };
+        self.emit_segment_for_key(key, spec);
+    }
+
+    /// Cancels and reschedules the RTO timer based on outstanding data.
+    fn restart_rto(&mut self, key: u64) {
+        let (old, need, rto, gen) = {
+            let tcb = self.flows.get_mut(&key).expect("live");
+            (
+                tcb.rto_timer.take(),
+                !tcb.rtq.is_empty(),
+                tcb.rto_ns,
+                tcb.id.gen,
+            )
+        };
+        if let Some(t) = old {
+            self.wheel.cancel(t);
+        }
+        if need {
+            let t = self.wheel.schedule(rto, TimerEntry { key, gen, kind: TimerKind::Rto });
+            self.flows.get_mut(&key).expect("live").rto_timer = Some(t);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // ACK batching (the IX "ACK as the app consumes" behaviour, §3).
+    // ------------------------------------------------------------------
+
+    fn mark_ack(&mut self, key: u64) {
+        if let Some(tcb) = self.flows.get_mut(&key) {
+            if !tcb.need_ack {
+                tcb.need_ack = true;
+            }
+            if !self.pending_acks.contains(&key) {
+                self.pending_acks.push(key);
+            }
+        }
+    }
+
+    /// Emits all deferred ACKs; the IX dataplane calls this at the end of
+    /// each run-to-completion cycle so windows reflect `recv_done`
+    /// credits issued by the application during the cycle.
+    pub fn end_cycle(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
+        self.flush_acks();
+    }
+
+    /// Delayed-ACK policy (RFC 1122): a flow with one unacknowledged
+    /// data segment waits (armed timer) hoping to piggyback on outgoing
+    /// data; a second segment forces the ACK out immediately.
+    fn delayed_ack_pass(&mut self, delay_ns: u64) {
+        let keys = std::mem::take(&mut self.pending_acks);
+        for key in keys {
+            let Some(tcb) = self.flows.get_mut(&key) else { continue };
+            if !tcb.need_ack {
+                continue;
+            }
+            if tcb.delack_timer.is_some() {
+                // Second segment while one was pending: ACK now.
+                let t = tcb.delack_timer.take().expect("present");
+                self.wheel.cancel(t);
+                self.emit_bare_ack(key);
+            } else {
+                let gen = tcb.id.gen;
+                let t = self.wheel.schedule(
+                    delay_ns,
+                    TimerEntry { key, gen, kind: TimerKind::DelAck },
+                );
+                self.flows.get_mut(&key).expect("live").delack_timer = Some(t);
+            }
+        }
+    }
+
+    fn flush_acks(&mut self) {
+        let keys = std::mem::take(&mut self.pending_acks);
+        for key in keys {
+            let needs = self.flows.get(&key).map(|t| t.need_ack).unwrap_or(false);
+            if needs {
+                self.emit_bare_ack(key);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Output builders.
+    // ------------------------------------------------------------------
+
+    fn emit_bare_ack(&mut self, key: u64) {
+        let Some(tcb) = self.flows.get_mut(&key) else { return };
+        tcb.need_ack = false;
+        if let Some(t) = tcb.delack_timer.take() {
+            self.wheel.cancel(t);
+        }
+        let window = tcb.advertised_window_field();
+        tcb.adv_wnd_last = tcb.advertised_window();
+        let spec = SegmentSpec {
+            flags: TcpFlags::ACK,
+            seq: tcb.snd_nxt,
+            ack: tcb.rcv_nxt,
+            window,
+            mss: None,
+            wscale: None,
+            payload: &[],
+        };
+        self.emit_segment_for_key(key, spec);
+    }
+
+    fn queue_fin(&mut self, key: u64) {
+        let now = self.now_ns;
+        let tcb = self.flows.get_mut(&key).expect("live");
+        debug_assert!(!tcb.fin_queued);
+        tcb.fin_queued = true;
+        let seq = tcb.snd_nxt;
+        tcb.snd_nxt = tcb.snd_nxt.wrapping_add(1);
+        tcb.rtq.push_back(TxSeg {
+            seq,
+            data: Box::new([]),
+            fin: true,
+            tx_time_ns: now,
+            retransmitted: false,
+        });
+        tcb.need_ack = false;
+        let spec = SegmentSpec {
+            flags: TcpFlags::FIN_ACK,
+            seq,
+            ack: tcb.rcv_nxt,
+            window: tcb.advertised_window_field(),
+            mss: None,
+            wscale: None,
+            payload: &[],
+        };
+        self.emit_segment_for_key(key, spec);
+        self.restart_rto(key);
+    }
+
+    fn send_rst(&mut self, key: u64, seq: u32, ack: u32) {
+        let tcb = self.flows.get(&key).expect("live");
+        let remote = tcb.remote_ip;
+        let (sp, dp) = (tcb.local_port, tcb.remote_port);
+        self.raw_rst(self.now_ns, sp, dp, seq, ack, false, remote);
+    }
+
+    /// Emits a RST without requiring a PCB.
+    fn raw_rst(
+        &mut self,
+        _now: u64,
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        seq_from_ack: bool,
+        dst_ip: Ipv4Addr,
+    ) {
+        self.stats.rst_tx += 1;
+        let flags = if seq_from_ack { TcpFlags::RST } else { TcpFlags::RST_ACK };
+        let spec = SegmentSpec {
+            flags,
+            seq,
+            ack,
+            window: 0,
+            mss: None,
+            wscale: None,
+            payload: &[],
+        };
+        self.build_and_queue_tcp(dst_ip, src_port, dst_port, spec);
+    }
+
+    /// Emits a segment for a PCB not (yet) in the flow map.
+    fn emit_segment_for(&mut self, tcb: &Tcb, spec: SegmentSpec<'_>) {
+        let remote = tcb.remote_ip;
+        let (sp, dp) = (tcb.local_port, tcb.remote_port);
+        self.build_and_queue_tcp(remote, sp, dp, spec);
+    }
+
+    /// Emits a segment for a flow in the map (copies the route first so
+    /// the map borrow ends before serialization).
+    fn emit_segment_for_key(&mut self, key: u64, spec: SegmentSpec<'_>) {
+        let (remote, sp, dp) = {
+            let tcb = self.flows.get(&key).expect("live");
+            (tcb.remote_ip, tcb.local_port, tcb.remote_port)
+        };
+        self.build_and_queue_tcp(remote, sp, dp, spec);
+    }
+
+    /// Serializes a TCP segment into L3 bytes and routes it.
+    fn build_and_queue_tcp(&mut self, dst_ip: Ipv4Addr, src_port: u16, dst_port: u16, spec: SegmentSpec<'_>) {
+        self.stats.tx_segments += 1;
+        let hdr = TcpHeader {
+            src_port,
+            dst_port,
+            seq: spec.seq,
+            ack: spec.ack,
+            flags: spec.flags,
+            window: spec.window,
+            mss: spec.mss,
+            wscale: spec.wscale,
+        };
+        let hlen = hdr.len();
+        let mut seg = vec![0u8; hlen + spec.payload.len()];
+        seg[hlen..].copy_from_slice(spec.payload);
+        let (h, t) = seg.split_at_mut(hlen);
+        hdr.encode(h, self.local_ip, dst_ip, t);
+        self.emit_ipv4(dst_ip, IpProto::Tcp, &seg);
+    }
+
+    /// Wraps an L4 segment in IPv4 and routes it via ARP.
+    fn emit_ipv4(&mut self, dst_ip: Ipv4Addr, proto: IpProto, l4: &[u8]) {
+        self.ip_ident = self.ip_ident.wrapping_add(1);
+        let ip = Ipv4Header {
+            tos: 0,
+            total_len: (Ipv4Header::LEN + l4.len()) as u16,
+            ident: self.ip_ident,
+            ttl: Ipv4Header::DEFAULT_TTL,
+            proto,
+            src: self.local_ip,
+            dst: dst_ip,
+        };
+        let mut l3 = vec![0u8; Ipv4Header::LEN + l4.len()];
+        ip.encode(&mut l3[..Ipv4Header::LEN]);
+        l3[Ipv4Header::LEN..].copy_from_slice(l4);
+        self.transmit_l3(dst_ip, l3);
+    }
+
+    /// Attaches the Ethernet header (resolving the next hop) and queues
+    /// the frame for the NIC. Unresolved destinations trigger ARP.
+    fn transmit_l3(&mut self, dst_ip: Ipv4Addr, l3: Vec<u8>) {
+        match self.arp.lookup(dst_ip) {
+            Some(mac) => {
+                let Some(mut m) = self.pool.alloc() else {
+                    self.stats.pool_drops += 1;
+                    return;
+                };
+                m.extend_from_slice(&l3);
+                EthHeader {
+                    dst: mac,
+                    src: self.local_mac,
+                    ethertype: EtherType::Ipv4,
+                }
+                .encode(m.prepend(EthHeader::LEN));
+                self.tx.push(m);
+            }
+            None => {
+                if self.arp.park(dst_ip, l3) {
+                    let req = ArpPacket::request(self.local_mac, self.local_ip, dst_ip);
+                    self.emit_arp(req, MacAddr::BROADCAST);
+                }
+            }
+        }
+    }
+
+    fn emit_arp(&mut self, pkt: ArpPacket, dst: MacAddr) {
+        let Some(mut m) = self.pool.alloc() else {
+            self.stats.pool_drops += 1;
+            return;
+        };
+        self.stats.arp_tx += 1;
+        pkt.encode(m.append(ArpPacket::LEN));
+        EthHeader {
+            dst,
+            src: self.local_mac,
+            ethertype: EtherType::Arp,
+        }
+        .encode(m.prepend(EthHeader::LEN));
+        self.tx.push(m);
+    }
+}
+
+/// Parameters of an outgoing segment.
+struct SegmentSpec<'a> {
+    flags: TcpFlags,
+    seq: u32,
+    ack: u32,
+    window: u16,
+    mss: Option<u16>,
+    wscale: Option<u8>,
+    payload: &'a [u8],
+}
+
+impl std::fmt::Debug for TcpShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpShard")
+            .field("local_ip", &self.local_ip)
+            .field("flows", &self.flows.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

@@ -1,0 +1,471 @@
+//! The TCP protocol control block.
+//!
+//! State and per-connection arithmetic (windows, RTT estimation,
+//! congestion control). Segment processing logic lives in
+//! [`crate::stack`], which drives these methods; keeping the PCB pure
+//! makes the invariants unit-testable without a network.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use ix_net::ip::Ipv4Addr;
+use ix_net::tcp::{seq_le, seq_lt};
+use ix_timerwheel::TimerId;
+
+use crate::config::StackConfig;
+use crate::event::FlowId;
+
+/// RFC 793 connection states (LISTEN is represented by the shard's
+/// listener table rather than a PCB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// SYN sent, awaiting SYN-ACK.
+    SynSent,
+    /// SYN received, SYN-ACK sent, awaiting ACK.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// Local close sent, awaiting ACK of FIN.
+    FinWait1,
+    /// FIN acknowledged, awaiting peer FIN.
+    FinWait2,
+    /// Simultaneous close: FIN exchanged, awaiting final ACK.
+    Closing,
+    /// Peer FIN received; local side may still send.
+    CloseWait,
+    /// Local FIN sent after peer's; awaiting final ACK.
+    LastAck,
+    /// Quarantine before tuple reuse.
+    TimeWait,
+    /// Gone.
+    Closed,
+}
+
+/// A segment held for possible retransmission.
+#[derive(Debug)]
+pub struct TxSeg {
+    /// First sequence number.
+    pub seq: u32,
+    /// Payload bytes (empty for a bare FIN).
+    pub data: Box<[u8]>,
+    /// Whether this segment carries FIN.
+    pub fin: bool,
+    /// Transmit timestamp (ns), for RTT sampling.
+    pub tx_time_ns: u64,
+    /// Set when retransmitted (Karn's rule: no RTT sample).
+    pub retransmitted: bool,
+}
+
+impl TxSeg {
+    /// Sequence space this segment occupies (payload + FIN).
+    pub fn seq_len(&self) -> u32 {
+        self.data.len() as u32 + self.fin as u32
+    }
+}
+
+/// Which timer fired, for wheel payload dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Retransmission timeout.
+    Rto,
+    /// Zero-window probe.
+    Persist,
+    /// TIME_WAIT expiry.
+    TimeWait,
+    /// Delayed-ACK timeout.
+    DelAck,
+}
+
+/// The protocol control block for one connection.
+#[derive(Debug)]
+pub struct Tcb {
+    /// Connection state.
+    pub state: TcpState,
+    /// Flow identity (remote tuple + generation).
+    pub id: FlowId,
+    /// Opaque user value attached at `connect`/`accept`.
+    pub cookie: u64,
+    /// Peer address (also packed in `id`, kept unpacked for the hot path).
+    pub remote_ip: Ipv4Addr,
+    /// Peer port.
+    pub remote_port: u16,
+    /// Local port.
+    pub local_port: u16,
+
+    // --- Send state (RFC 793 names) ---
+    /// Oldest unacknowledged sequence number.
+    pub snd_una: u32,
+    /// Next sequence number to send.
+    pub snd_nxt: u32,
+    /// Peer-advertised window.
+    pub snd_wnd: u32,
+    /// Retransmission queue.
+    pub rtq: VecDeque<TxSeg>,
+    /// FIN has been queued/sent.
+    pub fin_queued: bool,
+
+    // --- Congestion control (NewReno) ---
+    /// Congestion window, bytes.
+    pub cwnd: u32,
+    /// Slow-start threshold, bytes.
+    pub ssthresh: u32,
+    /// Duplicate ACK counter.
+    pub dup_acks: u32,
+    /// In fast recovery until `snd_una` passes this point.
+    pub recover: Option<u32>,
+
+    // --- Receive state ---
+    /// Next expected sequence number.
+    pub rcv_nxt: u32,
+    /// Maximum receive window (buffer size).
+    pub rcv_buf: u32,
+    /// Bytes delivered to the consumer but not yet credited back via
+    /// `recv_done` — these shrink the advertised window (IX's cooperative
+    /// flow control, §3).
+    pub rcv_outstanding: u32,
+    /// Out-of-order segments keyed by sequence number.
+    pub ooo: BTreeMap<u32, Box<[u8]>>,
+    /// Bytes held in `ooo`.
+    pub ooo_bytes: u32,
+    /// An ACK should be emitted for this connection.
+    pub need_ack: bool,
+    /// Peer's FIN sequence (consumed when in-order).
+    pub peer_fin: Option<u32>,
+    /// Last window we advertised (for window-update decisions).
+    pub adv_wnd_last: u32,
+    /// Negotiated shift applied to windows the peer sends us.
+    pub snd_wscale: u8,
+    /// Negotiated shift we apply to windows we advertise.
+    pub rcv_wscale: u8,
+
+    // --- RTT estimation (Jacobson/Karels) ---
+    /// Smoothed RTT, ns (0 until first sample).
+    pub srtt_ns: u64,
+    /// RTT variance, ns.
+    pub rttvar_ns: u64,
+    /// Current RTO, ns.
+    pub rto_ns: u64,
+    /// Consecutive retransmissions (for backoff and death).
+    pub retries: u32,
+
+    // --- Timers ---
+    /// Pending RTO/SYN timer.
+    pub rto_timer: Option<TimerId>,
+    /// Pending persist (zero-window probe) timer.
+    pub persist_timer: Option<TimerId>,
+    /// Pending TIME_WAIT timer.
+    pub timewait_timer: Option<TimerId>,
+    /// Pending delayed-ACK timer.
+    pub delack_timer: Option<TimerId>,
+
+    /// Effective MSS for this connection (min of ours and peer's).
+    pub mss: u32,
+    /// When the SYN / SYN-ACK was (last) sent, for seeding the RTT
+    /// estimator from the handshake.
+    pub open_time_ns: u64,
+    /// When the connection last retransmitted anything. RTT samples are
+    /// taken only from segments first sent after this instant (Karn's
+    /// rule extended to cumulative ACKs, which would otherwise fold
+    /// retransmission stalls of earlier segments into the estimate).
+    pub last_retx_ns: u64,
+}
+
+impl Tcb {
+    /// Creates a PCB in the given initial state.
+    pub fn new(
+        cfg: &StackConfig,
+        id: FlowId,
+        cookie: u64,
+        state: TcpState,
+        iss: u32,
+    ) -> Tcb {
+        Tcb {
+            state,
+            id,
+            cookie,
+            remote_ip: id.remote_ip(),
+            remote_port: id.remote_port(),
+            local_port: id.local_port(),
+            snd_una: iss,
+            snd_nxt: iss,
+            snd_wnd: 0,
+            rtq: VecDeque::new(),
+            fin_queued: false,
+            cwnd: cfg.initial_cwnd_segs * cfg.mss,
+            ssthresh: u32::MAX / 2,
+            dup_acks: 0,
+            recover: None,
+            rcv_nxt: 0,
+            rcv_buf: cfg.recv_window,
+            rcv_outstanding: 0,
+            ooo: BTreeMap::new(),
+            ooo_bytes: 0,
+            need_ack: false,
+            peer_fin: None,
+            adv_wnd_last: cfg.recv_window,
+            snd_wscale: 0,
+            rcv_wscale: 0,
+            srtt_ns: 0,
+            rttvar_ns: 0,
+            rto_ns: cfg.min_rto_ns.max(1_000_000_000),
+            retries: 0,
+            rto_timer: None,
+            persist_timer: None,
+            timewait_timer: None,
+            delack_timer: None,
+            mss: cfg.mss,
+            open_time_ns: 0,
+            last_retx_ns: 0,
+        }
+    }
+
+    /// Bytes in flight (sent, unacknowledged).
+    pub fn flight(&self) -> u32 {
+        self.snd_nxt.wrapping_sub(self.snd_una)
+    }
+
+    /// Usable send window right now: how many *new* payload bytes TCP
+    /// will accept from the application. This is what the paper's `sendv`
+    /// returns — the sliding window constraint surfaced to user code.
+    pub fn usable_window(&self) -> u32 {
+        let wnd = self.snd_wnd.min(self.cwnd);
+        wnd.saturating_sub(self.flight())
+    }
+
+    /// The receive window to advertise: buffer minus bytes the
+    /// application still holds (not `recv_done`) minus out-of-order bytes
+    /// already buffered, clamped to what the negotiated scale can carry.
+    pub fn advertised_window(&self) -> u32 {
+        self.rcv_buf
+            .saturating_sub(self.rcv_outstanding)
+            .saturating_sub(self.ooo_bytes)
+            .min(65_535u32 << self.rcv_wscale)
+    }
+
+    /// The on-wire (scaled-down) form of [`Tcb::advertised_window`].
+    pub fn advertised_window_field(&self) -> u16 {
+        (self.advertised_window() >> self.rcv_wscale).min(65_535) as u16
+    }
+
+    /// Records an RTT sample (Jacobson/Karels EWMA), updating the RTO.
+    pub fn rtt_sample(&mut self, sample_ns: u64, cfg: &StackConfig) {
+        if self.srtt_ns == 0 {
+            self.srtt_ns = sample_ns;
+            self.rttvar_ns = sample_ns / 2;
+        } else {
+            let err = sample_ns.abs_diff(self.srtt_ns);
+            self.rttvar_ns = (3 * self.rttvar_ns + err) / 4;
+            self.srtt_ns = (7 * self.srtt_ns + sample_ns) / 8;
+        }
+        self.rto_ns = (self.srtt_ns + 4 * self.rttvar_ns).clamp(cfg.min_rto_ns, cfg.max_rto_ns);
+    }
+
+    /// Congestion-window growth on a new (non-duplicate) ACK covering
+    /// `acked` bytes.
+    pub fn cwnd_on_ack(&mut self, acked: u32) {
+        if self.cwnd < self.ssthresh {
+            // Slow start: one MSS per MSS acked.
+            self.cwnd = self.cwnd.saturating_add(acked.min(self.mss));
+        } else {
+            // Congestion avoidance: ~one MSS per RTT.
+            let inc = (self.mss as u64 * self.mss as u64 / self.cwnd.max(1) as u64).max(1);
+            self.cwnd = self.cwnd.saturating_add(inc as u32);
+        }
+    }
+
+    /// Multiplicative decrease on loss detection (fast retransmit).
+    pub fn cwnd_on_fast_retransmit(&mut self) {
+        self.ssthresh = (self.flight() / 2).max(2 * self.mss);
+        self.cwnd = self.ssthresh + 3 * self.mss;
+        self.recover = Some(self.snd_nxt);
+    }
+
+    /// Collapse on retransmission timeout.
+    pub fn cwnd_on_rto(&mut self) {
+        self.ssthresh = (self.flight() / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.dup_acks = 0;
+        self.recover = None;
+    }
+
+    /// Whether `ack` acknowledges new data.
+    pub fn ack_is_new(&self, ack: u32) -> bool {
+        seq_lt(self.snd_una, ack) && seq_le(ack, self.snd_nxt)
+    }
+
+    /// Drops acknowledged segments from the retransmission queue,
+    /// returning `(payload_bytes_acked, rtt_sample_ns)`.
+    pub fn reap_rtq(&mut self, ack: u32, now_ns: u64) -> (u32, Option<u64>) {
+        let mut bytes = 0u32;
+        let mut sample = None;
+        while let Some(seg) = self.rtq.front() {
+            let end = seg.seq.wrapping_add(seg.seq_len());
+            if seq_le(end, ack) {
+                if !seg.retransmitted && seg.tx_time_ns >= self.last_retx_ns {
+                    sample = Some(now_ns.saturating_sub(seg.tx_time_ns));
+                }
+                bytes += seg.data.len() as u32;
+                self.rtq.pop_front();
+            } else {
+                break;
+            }
+        }
+        (bytes, sample)
+    }
+
+    /// True when every byte (and FIN) we ever sent is acknowledged.
+    pub fn all_sent_acked(&self) -> bool {
+        self.snd_una == self.snd_nxt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(state: TcpState) -> Tcb {
+        let cfg = StackConfig::default();
+        let id = FlowId {
+            key: FlowId::pack(Ipv4Addr::new(10, 0, 0, 2), 80, 1234),
+            gen: 1,
+        };
+        Tcb::new(&cfg, id, 0, state, 1000)
+    }
+
+    #[test]
+    fn usable_window_respects_cwnd_and_peer() {
+        let mut t = mk(TcpState::Established);
+        t.snd_wnd = 100_000;
+        t.cwnd = 5_000;
+        assert_eq!(t.usable_window(), 5_000);
+        t.snd_nxt = t.snd_una.wrapping_add(4_000);
+        assert_eq!(t.flight(), 4_000);
+        assert_eq!(t.usable_window(), 1_000);
+        t.cwnd = 100_000;
+        t.snd_wnd = 4_500;
+        assert_eq!(t.usable_window(), 500);
+    }
+
+    #[test]
+    fn advertised_window_shrinks_with_held_buffers() {
+        let mut t = mk(TcpState::Established);
+        assert_eq!(t.advertised_window(), 65_535);
+        t.rcv_outstanding = 10_000;
+        assert_eq!(t.advertised_window(), 55_535);
+        t.ooo_bytes = 55_535;
+        assert_eq!(t.advertised_window(), 0);
+    }
+
+    #[test]
+    fn rtt_estimation_converges() {
+        let cfg = StackConfig::default();
+        let mut t = mk(TcpState::Established);
+        for _ in 0..50 {
+            t.rtt_sample(10_000, &cfg); // Constant 10 µs RTT.
+        }
+        assert!((t.srtt_ns as i64 - 10_000).abs() < 500, "srtt {}", t.srtt_ns);
+        // RTO clamps at the configured floor.
+        assert_eq!(t.rto_ns, cfg.min_rto_ns);
+    }
+
+    #[test]
+    fn rtt_spike_inflates_rto() {
+        let mut cfg = StackConfig::default();
+        cfg.min_rto_ns = 1_000; // Let the estimator show through.
+        let mut t = mk(TcpState::Established);
+        for _ in 0..20 {
+            t.rtt_sample(10_000, &cfg);
+        }
+        let before = t.rto_ns;
+        t.rtt_sample(1_000_000, &cfg);
+        assert!(t.rto_ns > before * 10);
+    }
+
+    #[test]
+    fn slow_start_then_avoidance() {
+        let mut t = mk(TcpState::Established);
+        t.cwnd = 2 * t.mss;
+        t.ssthresh = 8 * t.mss;
+        // Slow start doubles per round.
+        t.cwnd_on_ack(t.mss);
+        assert_eq!(t.cwnd, 3 * t.mss);
+        t.cwnd = 10 * t.mss; // Past ssthresh.
+        let before = t.cwnd;
+        t.cwnd_on_ack(t.mss);
+        assert!(t.cwnd > before && t.cwnd < before + t.mss / 4);
+    }
+
+    #[test]
+    fn loss_reactions() {
+        let mut t = mk(TcpState::Established);
+        t.snd_nxt = t.snd_una.wrapping_add(20_000);
+        t.cwnd = 20_000;
+        t.cwnd_on_fast_retransmit();
+        assert_eq!(t.ssthresh, 10_000);
+        assert_eq!(t.cwnd, 10_000 + 3 * t.mss);
+        t.cwnd_on_rto();
+        assert_eq!(t.cwnd, t.mss);
+    }
+
+    #[test]
+    fn rtq_reaping_and_rtt_sampling() {
+        let mut t = mk(TcpState::Established);
+        t.snd_una = 1000;
+        t.rtq.push_back(TxSeg {
+            seq: 1000,
+            data: vec![0; 500].into_boxed_slice(),
+            fin: false,
+            tx_time_ns: 100,
+            retransmitted: false,
+        });
+        t.rtq.push_back(TxSeg {
+            seq: 1500,
+            data: vec![0; 500].into_boxed_slice(),
+            fin: false,
+            tx_time_ns: 200,
+            retransmitted: true,
+        });
+        t.snd_nxt = 2000;
+        // ACK covers only the first segment.
+        let (bytes, sample) = t.reap_rtq(1500, 10_100);
+        assert_eq!(bytes, 500);
+        assert_eq!(sample, Some(10_000));
+        assert_eq!(t.rtq.len(), 1);
+        // ACK covers the retransmitted one: no sample (Karn).
+        let (bytes, sample) = t.reap_rtq(2000, 20_000);
+        assert_eq!(bytes, 500);
+        assert_eq!(sample, None);
+        assert!(t.rtq.is_empty());
+    }
+
+    #[test]
+    fn seq_wraparound_in_reap() {
+        let mut t = mk(TcpState::Established);
+        let base = u32::MAX - 100;
+        t.snd_una = base;
+        t.snd_nxt = base.wrapping_add(400);
+        t.rtq.push_back(TxSeg {
+            seq: base,
+            data: vec![0; 400].into_boxed_slice(),
+            fin: false,
+            tx_time_ns: 0,
+            retransmitted: false,
+        });
+        let ack = base.wrapping_add(400); // Wrapped past zero.
+        assert!(t.ack_is_new(ack));
+        let (bytes, _) = t.reap_rtq(ack, 1);
+        assert_eq!(bytes, 400);
+    }
+
+    #[test]
+    fn fin_occupies_sequence_space() {
+        let seg = TxSeg {
+            seq: 5,
+            data: vec![0; 10].into_boxed_slice(),
+            fin: true,
+            tx_time_ns: 0,
+            retransmitted: false,
+        };
+        assert_eq!(seg.seq_len(), 11);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests: the TCP invariant that matters — the byte
+//! stream delivered to the receiver equals the byte stream the sender
+//! submitted, in order, regardless of what the wire does (loss,
+//! duplication, reordering), as long as connectivity is eventually
+//! restored.
+
+use proptest::prelude::*;
+
+use ix_mempool::Mbuf;
+use ix_net::eth::MacAddr;
+use ix_net::ip::Ipv4Addr;
+use ix_tcp::{StackConfig, TcpEvent, TcpShard};
+
+const A_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+/// Deterministic per-frame perturbation decisions from a seed.
+struct Wire {
+    seed: u64,
+    drop_pct: u64,
+    dup_pct: u64,
+    delay_pct: u64,
+    counter: u64,
+    /// Frames delayed by one pump round.
+    holding: Vec<(bool, Mbuf)>,
+}
+
+impl Wire {
+    fn decide(&mut self) -> (bool, bool, bool) {
+        // SplitMix64 over the frame counter.
+        self.counter += 1;
+        let mut z = self.seed.wrapping_add(self.counter.wrapping_mul(0x9e3779b97f4a7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let roll = z % 100;
+        let drop = roll < self.drop_pct;
+        let dup = !drop && roll < self.drop_pct + self.dup_pct;
+        let delay = !drop && !dup && roll < self.drop_pct + self.dup_pct + self.delay_pct;
+        (drop, dup, delay)
+    }
+}
+
+/// Runs a full transfer of `data` from a to b over a hostile wire;
+/// returns (received bytes, rounds used).
+fn hostile_transfer(data: &[u8], seed: u64, drop_pct: u64) -> (Vec<u8>, usize) {
+    let mut cfg = StackConfig::low_latency();
+    cfg.syn_rto_ns = 1_000_000;
+    let mut a = TcpShard::new(cfg.clone(), A_IP, MacAddr::from_host_index(1));
+    let mut b = TcpShard::new(cfg, B_IP, MacAddr::from_host_index(2));
+    a.arp_seed(B_IP, MacAddr::from_host_index(2));
+    b.arp_seed(A_IP, MacAddr::from_host_index(1));
+    b.listen(80);
+
+    let mut wire = Wire {
+        seed,
+        drop_pct,
+        dup_pct: 10,
+        delay_pct: 15,
+        counter: 0,
+        holding: Vec::new(),
+    };
+
+    let mut now = 0u64;
+    let cflow = a.connect(now, B_IP, 80, 1).expect("connect");
+    let mut sflow = None;
+    let mut sent = 0usize;
+    let mut received: Vec<u8> = Vec::new();
+    let mut rounds = 0usize;
+    // Generous budget: the RTO floor is 1 ms and rounds are 100 µs.
+    let max_rounds = 120_000;
+    while rounds < max_rounds {
+        rounds += 1;
+        now += 100_000;
+        // Release last round's delayed frames first (reordering).
+        let mut moving: Vec<(bool, Mbuf)> = std::mem::take(&mut wire.holding);
+        moving.extend(a.take_tx().into_iter().map(|f| (true, f)));
+        moving.extend(b.take_tx().into_iter().map(|f| (false, f)));
+        for (to_b, f) in moving {
+            let (drop, dup, delay) = wire.decide();
+            if drop {
+                continue;
+            }
+            if delay {
+                wire.holding.push((to_b, f));
+                continue;
+            }
+            if dup {
+                let c = f.clone();
+                if to_b {
+                    b.input(now, c);
+                } else {
+                    a.input(now, c);
+                }
+            }
+            if to_b {
+                b.input(now, f);
+            } else {
+                a.input(now, f);
+            }
+        }
+        // Application behaviour.
+        for e in a.take_events() {
+            if let TcpEvent::Connected { ok, .. } = e {
+                assert!(ok, "handshake must eventually succeed");
+            }
+        }
+        for e in b.take_events() {
+            match e {
+                TcpEvent::Knock { flow, .. } => {
+                    b.accept(flow, 2).unwrap();
+                    sflow = Some(flow);
+                }
+                TcpEvent::Recv { mbuf, flow, .. } => {
+                    received.extend_from_slice(mbuf.data());
+                    let n = mbuf.len() as u32;
+                    drop(mbuf);
+                    b.recv_done(now, flow, n).unwrap();
+                }
+                _ => {}
+            }
+        }
+        // Sender pushes as the window allows (only once established).
+        if sent < data.len() && a.flow_count() == 1 {
+            if let Ok(n) = a.send(now, cflow, &data[sent..]) {
+                sent += n;
+            }
+        }
+        a.end_cycle(now);
+        b.end_cycle(now);
+        a.advance_timers(now);
+        b.advance_timers(now);
+        if received.len() == data.len() && sent == data.len() {
+            break;
+        }
+    }
+    let _ = sflow;
+    (received, rounds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Stream integrity under loss+dup+reorder: what B reads is exactly
+    /// what A wrote.
+    #[test]
+    fn stream_integrity_hostile_wire(
+        len in 0usize..20_000,
+        seed in any::<u64>(),
+        drop_pct in 0u64..30,
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i as u32).wrapping_mul(2654435761).to_le_bytes()[1]).collect();
+        let (received, _rounds) = hostile_transfer(&data, seed, drop_pct);
+        prop_assert_eq!(received, data);
+    }
+
+    /// On a clean wire the transfer completes quickly (sanity against the
+    /// harness itself hiding protocol stalls behind retransmissions).
+    #[test]
+    fn clean_wire_is_fast(len in 1usize..10_000, seed in any::<u64>()) {
+        let data = vec![0xA5u8; len];
+        let (received, rounds) = hostile_transfer(&data, seed, 0);
+        prop_assert_eq!(received.len(), data.len());
+        // Handshake + windowed transfer should take far fewer rounds than
+        // the retransmission-driven worst case.
+        prop_assert!(rounds < 2_000, "took {} rounds", rounds);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequence-number helpers obey serial arithmetic laws.
+    #[test]
+    fn seq_arith_laws(a in any::<u32>(), d in 1u32..0x7fff_ffff) {
+        use ix_net::tcp::{seq_le, seq_lt, seq_in_range};
+        let b = a.wrapping_add(d);
+        prop_assert!(seq_lt(a, b));
+        prop_assert!(!seq_lt(b, a));
+        prop_assert!(seq_le(a, a));
+        prop_assert!(seq_in_range(a, a, b));
+        prop_assert!(!seq_in_range(b, a, b));
+    }
+}

@@ -1,0 +1,611 @@
+//! Protocol-level integration tests: two [`TcpShard`]s wired
+//! back-to-back through a lossy, reorderable "virtual wire", with no NIC
+//! or simulator involved — pure protocol behaviour.
+
+use ix_mempool::Mbuf;
+use ix_net::eth::MacAddr;
+use ix_net::ip::Ipv4Addr;
+use ix_tcp::{AckPolicy, DeadReason, FlowId, StackConfig, TcpEvent, TcpShard};
+
+/// A deterministic two-host wire harness.
+struct Pair {
+    a: TcpShard,
+    b: TcpShard,
+    now: u64,
+    /// Called per frame with a running index; return false to drop.
+    keep: Box<dyn FnMut(u64) -> bool>,
+    frames_moved: u64,
+}
+
+const A_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+fn mac(i: u16) -> MacAddr {
+    MacAddr::from_host_index(i)
+}
+
+impl Pair {
+    fn new(cfg: StackConfig) -> Pair {
+        let mut a = TcpShard::new(cfg.clone(), A_IP, mac(1));
+        let mut b = TcpShard::new(cfg, B_IP, mac(2));
+        // Seed ARP so protocol tests focus on TCP; ARP itself has its own
+        // cold-start test below.
+        a.arp_seed(B_IP, mac(2));
+        b.arp_seed(A_IP, mac(1));
+        Pair {
+            a,
+            b,
+            now: 0,
+            keep: Box::new(|_| true),
+            frames_moved: 0,
+        }
+    }
+
+    /// Moves frames between the shards until both are idle or `max_rounds`
+    /// passes elapse. Each round advances time by `step_ns`.
+    fn pump(&mut self, step_ns: u64, max_rounds: usize) {
+        for _ in 0..max_rounds {
+            self.now += step_ns;
+            let from_a = self.a.take_tx();
+            let from_b = self.b.take_tx();
+            let idle = from_a.is_empty() && from_b.is_empty();
+            for f in from_a {
+                self.frames_moved += 1;
+                if (self.keep)(self.frames_moved) {
+                    self.b.input(self.now, f);
+                }
+            }
+            for f in from_b {
+                self.frames_moved += 1;
+                if (self.keep)(self.frames_moved) {
+                    self.a.input(self.now, f);
+                }
+            }
+            self.a.end_cycle(self.now);
+            self.b.end_cycle(self.now);
+            self.a.advance_timers(self.now);
+            self.b.advance_timers(self.now);
+            // Stop only when this round moved nothing and nothing new was
+            // produced by end-of-cycle ACKs or timers.
+            if idle && self.a.tx_len() == 0 && self.b.tx_len() == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Runs the wire for `dur_ns` (for timer-driven behaviour).
+    fn run_for(&mut self, step_ns: u64, dur_ns: u64) {
+        let end = self.now + dur_ns;
+        while self.now < end {
+            self.pump(step_ns, 1);
+        }
+    }
+}
+
+/// Establishes a connection from `a` to `b` (which listens on `port`) and
+/// returns the two flow handles (client side, server side).
+fn establish(p: &mut Pair, port: u16) -> (FlowId, FlowId) {
+    p.b.listen(port);
+    let cf = p.a.connect(p.now, B_IP, port, 0xAAA).expect("connect");
+    p.pump(1_000, 32);
+    let mut client_flow = None;
+    for e in p.a.take_events() {
+        if let TcpEvent::Connected { flow, ok, .. } = e {
+            assert!(ok, "handshake failed");
+            client_flow = Some(flow);
+        }
+    }
+    let mut server_flow = None;
+    for e in p.b.take_events() {
+        if let TcpEvent::Knock { flow, src_ip, src_port } = e {
+            assert_eq!(src_ip, A_IP);
+            assert!(src_port >= 16_384);
+            p.b.accept(flow, 0xBBB).unwrap();
+            server_flow = Some(flow);
+        }
+    }
+    let cf2 = client_flow.expect("connected event");
+    assert_eq!(cf2, cf);
+    (cf, server_flow.expect("knock event"))
+}
+
+#[test]
+fn three_way_handshake() {
+    let mut p = Pair::new(StackConfig::default());
+    let (_c, _s) = establish(&mut p, 80);
+    assert_eq!(p.a.flow_count(), 1);
+    assert_eq!(p.b.flow_count(), 1);
+    assert_eq!(p.a.stats.conns_opened, 1);
+    assert_eq!(p.b.stats.conns_accepted, 1);
+}
+
+#[test]
+fn small_echo_roundtrip() {
+    let mut p = Pair::new(StackConfig::default());
+    let (c, s) = establish(&mut p, 80);
+    let n = p.a.send(p.now, c, b"hello").unwrap();
+    assert_eq!(n, 5);
+    p.pump(1_000, 16);
+    // Server got the data.
+    let mut got = Vec::new();
+    for e in p.b.take_events() {
+        if let TcpEvent::Recv { mbuf, cookie, .. } = e {
+            assert_eq!(cookie, 0xBBB);
+            got.extend_from_slice(mbuf.data());
+        }
+    }
+    assert_eq!(got, b"hello");
+    // Echo back.
+    p.b.recv_done(p.now, s, 5).unwrap();
+    p.b.send(p.now, s, b"world").unwrap();
+    p.pump(1_000, 16);
+    let mut back = Vec::new();
+    let mut sent_seen = false;
+    for e in p.a.take_events() {
+        match e {
+            TcpEvent::Recv { mbuf, .. } => back.extend_from_slice(mbuf.data()),
+            TcpEvent::Sent { bytes_acked, .. } => {
+                sent_seen = true;
+                assert_eq!(bytes_acked, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(back, b"world");
+    assert!(sent_seen, "client should observe its bytes acked");
+}
+
+#[test]
+fn large_transfer_is_segmented_and_exact() {
+    let mut p = Pair::new(StackConfig::default());
+    let (c, s) = establish(&mut p, 80);
+    // ~100 KB, forced through the 1460-byte MSS and the 64 KB window.
+    let data: Vec<u8> = (0..100_000u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+        .collect();
+    let mut sent = 0usize;
+    let mut received = Vec::new();
+    let mut rounds = 0;
+    while received.len() < data.len() {
+        rounds += 1;
+        assert!(rounds < 10_000, "transfer stalled at {} bytes", received.len());
+        if sent < data.len() {
+            sent += p.a.send(p.now, c, &data[sent..]).unwrap();
+        }
+        p.pump(1_000, 4);
+        for e in p.b.take_events() {
+            if let TcpEvent::Recv { mbuf, .. } = e {
+                received.extend_from_slice(mbuf.data());
+                p.b.recv_done(p.now, s, mbuf.len() as u32).unwrap();
+            }
+        }
+        // Drain client events (Sent notifications).
+        p.a.take_events();
+    }
+    assert_eq!(received, data, "stream corrupted");
+    assert!(p.a.stats.tx_segments > 68, "MSS segmentation expected");
+}
+
+#[test]
+fn send_respects_window_and_recv_done_opens_it() {
+    let mut cfg = StackConfig::default();
+    cfg.recv_window = 4_000;
+    let mut p = Pair::new(cfg);
+    let (c, s) = establish(&mut p, 80);
+    // Fill the 4 KB window.
+    let data = vec![7u8; 10_000];
+    let n1 = p.a.send(p.now, c, &data).unwrap();
+    assert_eq!(n1, 4_000, "accepts exactly the advertised window");
+    p.pump(1_000, 8);
+    // Server holds the mbufs (no recv_done): window stays shut.
+    let n2 = p.a.send(p.now, c, &data[n1..]).unwrap();
+    assert_eq!(n2, 0, "window exhausted until the app consumes");
+    // Server consumes; window reopens; client is notified via Sent.
+    let mut held = 0;
+    for e in p.b.take_events() {
+        if let TcpEvent::Recv { mbuf, .. } = e {
+            held += mbuf.len() as u32;
+        }
+    }
+    assert_eq!(held, 4_000);
+    p.b.recv_done(p.now, s, held).unwrap();
+    p.pump(1_000, 8);
+    let reopened = p
+        .a
+        .take_events()
+        .iter()
+        .any(|e| matches!(e, TcpEvent::Sent { window, .. } if *window > 0));
+    assert!(reopened, "client must learn the window reopened");
+    let n3 = p.a.send(p.now, c, &data[n1..]).unwrap();
+    assert!(n3 > 0);
+}
+
+#[test]
+fn retransmission_recovers_from_loss() {
+    let mut cfg = StackConfig::low_latency();
+    cfg.ack_policy = AckPolicy::Immediate;
+    let mut p = Pair::new(cfg);
+    let (c, s) = establish(&mut p, 80);
+    // Drop the first data frame after the handshake.
+    let start = p.frames_moved;
+    p.keep = Box::new(move |i| i != start + 1);
+    p.a.send(p.now, c, b"must arrive").unwrap();
+    // Run long enough for the 1 ms RTO to fire.
+    p.run_for(100_000, 20_000_000);
+    let mut got = Vec::new();
+    for e in p.b.take_events() {
+        if let TcpEvent::Recv { mbuf, .. } = e {
+            got.extend_from_slice(mbuf.data());
+        }
+    }
+    assert_eq!(got, b"must arrive");
+    assert!(p.a.stats.retransmits >= 1);
+    let _ = s;
+}
+
+#[test]
+fn out_of_order_segments_reassemble() {
+    // Deliver segment 2 before segment 1 by swapping two frames.
+    let mut p = Pair::new(StackConfig::default());
+    let (c, s) = establish(&mut p, 80);
+    // Send two MSS-sized chunks in one call: two frames on the wire.
+    let data = vec![9u8; 2_920]; // 2 * 1460.
+    p.a.send(p.now, c, &data).unwrap();
+    // Manually take and reorder.
+    let mut frames = p.a.take_tx();
+    assert_eq!(frames.len(), 2);
+    frames.reverse();
+    for f in frames {
+        p.b.input(p.now, f);
+    }
+    p.b.end_cycle(p.now);
+    p.pump(1_000, 8);
+    let mut got = 0usize;
+    for e in p.b.take_events() {
+        if let TcpEvent::Recv { mbuf, .. } = e {
+            got += mbuf.len();
+            p.b.recv_done(p.now, s, mbuf.len() as u32).unwrap();
+        }
+    }
+    assert_eq!(got, 2_920, "both segments delivered after reassembly");
+}
+
+#[test]
+fn graceful_close_fin_handshake() {
+    let mut p = Pair::new(StackConfig::default());
+    let (c, s) = establish(&mut p, 80);
+    p.a.close(p.now, c).unwrap();
+    p.pump(1_000, 16);
+    // Server sees Dead{PeerFin} and closes its side.
+    let dead = p
+        .b
+        .take_events()
+        .into_iter()
+        .find_map(|e| match e {
+            TcpEvent::Dead { reason, .. } => Some(reason),
+            _ => None,
+        })
+        .expect("server sees FIN");
+    assert_eq!(dead, DeadReason::PeerFin);
+    p.b.close(p.now, s).unwrap();
+    p.pump(1_000, 16);
+    // Client side ends in TIME_WAIT (still counted) then expires.
+    assert_eq!(p.b.flow_count(), 0, "server LAST_ACK completed");
+    p.run_for(10_000_000, 2_000_000_000);
+    assert_eq!(p.a.flow_count(), 0, "TIME_WAIT expired");
+}
+
+#[test]
+fn abort_sends_rst_and_peer_sees_reset() {
+    let mut p = Pair::new(StackConfig::default());
+    let (c, _s) = establish(&mut p, 80);
+    p.a.abort(p.now, c).unwrap();
+    assert_eq!(p.a.flow_count(), 0, "no TIME_WAIT on abort");
+    p.pump(1_000, 8);
+    let reset = p
+        .b
+        .take_events()
+        .into_iter()
+        .any(|e| matches!(e, TcpEvent::Dead { reason: DeadReason::PeerReset, .. }));
+    assert!(reset);
+    assert_eq!(p.b.flow_count(), 0);
+    assert_eq!(p.a.stats.rst_tx, 1);
+}
+
+#[test]
+fn syn_to_closed_port_gets_rst() {
+    let mut p = Pair::new(StackConfig::default());
+    // No listener on 81.
+    p.a.connect(p.now, B_IP, 81, 7).unwrap();
+    p.pump(1_000, 16);
+    let failed = p
+        .a
+        .take_events()
+        .into_iter()
+        .any(|e| matches!(e, TcpEvent::Connected { ok: false, cookie: 7, .. }));
+    assert!(failed, "connect must fail with RST");
+    assert_eq!(p.a.flow_count(), 0);
+    assert_eq!(p.b.stats.no_listener, 1);
+}
+
+#[test]
+fn stale_handle_rejected_after_close() {
+    let mut p = Pair::new(StackConfig::default());
+    let (c, _s) = establish(&mut p, 80);
+    p.a.abort(p.now, c).unwrap();
+    assert!(p.a.send(p.now, c, b"x").is_err());
+    assert!(p.a.recv_done(p.now, c, 1).is_err());
+    assert!(p.a.close(p.now, c).is_err());
+}
+
+#[test]
+fn recv_done_overcredit_rejected() {
+    let mut p = Pair::new(StackConfig::default());
+    let (c, s) = establish(&mut p, 80);
+    p.a.send(p.now, c, b"abc").unwrap();
+    p.pump(1_000, 8);
+    p.b.take_events();
+    assert!(p.b.recv_done(p.now, s, 1_000).is_err(), "overcredit must fail");
+    assert!(p.b.recv_done(p.now, s, 3).is_ok());
+}
+
+#[test]
+fn cold_arp_resolves_then_delivers() {
+    let cfg = StackConfig::default();
+    let mut a = TcpShard::new(cfg.clone(), A_IP, mac(1));
+    let mut b = TcpShard::new(cfg, B_IP, mac(2));
+    b.listen(80);
+    // No ARP seeding: the SYN must wait for resolution.
+    a.connect(0, B_IP, 80, 1).unwrap();
+    // First TX from a is an ARP request (broadcast).
+    let tx = a.take_tx();
+    assert_eq!(tx.len(), 1);
+    assert_eq!(a.stats.arp_tx, 1);
+    let mut now = 0u64;
+    // Pump generously: request -> reply -> SYN -> SYN-ACK -> ACK.
+    let mut frames: Vec<(bool, Mbuf)> = tx.into_iter().map(|f| (true, f)).collect();
+    for _ in 0..20 {
+        now += 1_000;
+        let mut next = Vec::new();
+        for (to_b, f) in frames.drain(..) {
+            if to_b {
+                b.input(now, f);
+            } else {
+                a.input(now, f);
+            }
+        }
+        a.end_cycle(now);
+        b.end_cycle(now);
+        next.extend(a.take_tx().into_iter().map(|f| (true, f)));
+        next.extend(b.take_tx().into_iter().map(|f| (false, f)));
+        frames = next;
+        if frames.is_empty() {
+            break;
+        }
+    }
+    let connected = a
+        .take_events()
+        .into_iter()
+        .any(|e| matches!(e, TcpEvent::Connected { ok: true, .. }));
+    assert!(connected, "handshake completes after ARP resolution");
+}
+
+#[test]
+fn udp_roundtrip() {
+    let mut p = Pair::new(StackConfig::default());
+    p.a.udp_send(p.now, B_IP, 5000, 11211, b"get k");
+    p.pump(1_000, 4);
+    let dg = p.b.take_udp();
+    assert_eq!(dg.len(), 1);
+    assert_eq!(dg[0].src_port, 5000);
+    assert_eq!(dg[0].dst_port, 11211);
+    assert_eq!(dg[0].mbuf.data(), b"get k");
+    assert_eq!(p.b.stats.udp_rx, 1);
+}
+
+#[test]
+fn icmp_echo_replied() {
+    let mut p = Pair::new(StackConfig::default());
+    // Build an ICMP echo request from a to b via the stack's own encoder:
+    // easiest is to use a raw frame through a's transmit path. We reach
+    // for the test-only trick of sending a ping as if from the app layer:
+    // craft the ICMP bytes and emit via udp_send's sibling is not public,
+    // so drive b directly with a hand-built frame.
+    use ix_net::eth::{EthHeader, EtherType};
+    use ix_net::icmp::IcmpHeader;
+    use ix_net::ip::{IpProto, Ipv4Header};
+    let mut m = Mbuf::standalone();
+    let icmp = IcmpHeader {
+        icmp_type: ix_net::icmp::IcmpType::EchoRequest,
+        ident: 0x42,
+        seq: 1,
+    };
+    let payload = b"pingpong";
+    let total = IcmpHeader::LEN + payload.len();
+    {
+        let region = m.append(total);
+        region[IcmpHeader::LEN..].copy_from_slice(payload);
+        let (h, t) = region.split_at_mut(IcmpHeader::LEN);
+        icmp.encode(h, t);
+    }
+    Ipv4Header {
+        tos: 0,
+        total_len: (Ipv4Header::LEN + total) as u16,
+        ident: 0,
+        ttl: 64,
+        proto: IpProto::Icmp,
+        src: A_IP,
+        dst: B_IP,
+    }
+    .encode(m.prepend(Ipv4Header::LEN));
+    EthHeader {
+        dst: mac(2),
+        src: mac(1),
+        ethertype: EtherType::Ipv4,
+    }
+    .encode(m.prepend(EthHeader::LEN));
+    p.b.input(p.now, m);
+    assert_eq!(p.b.stats.icmp_echo, 1);
+    let reply = p.b.take_tx();
+    assert_eq!(reply.len(), 1);
+    // The reply is a valid echo-reply addressed to a.
+    let mut f = reply.into_iter().next().unwrap();
+    f.pull(EthHeader::LEN);
+    let ip = Ipv4Header::decode(f.data()).unwrap();
+    assert_eq!(ip.dst, A_IP);
+    f.pull(Ipv4Header::LEN);
+    let h = IcmpHeader::decode(f.data()).unwrap();
+    assert_eq!(h.icmp_type, ix_net::icmp::IcmpType::EchoReply);
+    assert_eq!(h.ident, 0x42);
+}
+
+#[test]
+fn rss_probing_picks_aligned_ports() {
+    use std::rc::Rc;
+    let cfg = StackConfig::default();
+    let mut a = TcpShard::new(cfg, A_IP, mac(1));
+    a.arp_seed(B_IP, mac(2));
+    // Pretend there are 4 queues and this shard is queue 2; steer by a
+    // simple port hash stand-in.
+    a.set_steering(2, Rc::new(|_, _, port| (port as usize) % 4));
+    for _ in 0..10 {
+        let f = a.connect(0, B_IP, 80, 0).unwrap();
+        assert_eq!(f.local_port() as usize % 4, 2, "port not RSS-aligned");
+    }
+}
+
+#[test]
+fn handshake_syn_loss_retries() {
+    let mut cfg = StackConfig::low_latency();
+    cfg.syn_rto_ns = 1_000_000; // 1 ms.
+    let mut p = Pair::new(cfg);
+    p.b.listen(80);
+    // Drop the first SYN.
+    p.keep = Box::new(|i| i != 1);
+    p.a.connect(p.now, B_IP, 80, 5).unwrap();
+    p.run_for(100_000, 10_000_000);
+    let connected = p
+        .a
+        .take_events()
+        .into_iter()
+        .any(|e| matches!(e, TcpEvent::Connected { ok: true, .. }));
+    assert!(connected, "SYN retransmission completes the handshake");
+    assert!(p.a.stats.retransmits >= 1);
+}
+
+#[test]
+fn churn_many_short_connections() {
+    // The Fig 3b pattern: connect, one RPC, RST close — repeatedly.
+    let mut p = Pair::new(StackConfig::default());
+    p.b.listen(80);
+    for round in 0..50 {
+        let c = p.a.connect(p.now, B_IP, 80, round).unwrap();
+        p.pump(1_000, 16);
+        let server_flow = p
+            .b
+            .take_events()
+            .into_iter()
+            .find_map(|e| match e {
+                TcpEvent::Knock { flow, .. } => Some(flow),
+                _ => None,
+            })
+            .expect("knock");
+        p.b.accept(server_flow, round).unwrap();
+        p.a.take_events();
+        p.a.send(p.now, c, b"req").unwrap();
+        p.pump(1_000, 16);
+        let got: usize = p
+            .b
+            .take_events()
+            .iter()
+            .map(|e| match e {
+                TcpEvent::Recv { mbuf, .. } => mbuf.len(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(got, 3);
+        p.b.recv_done(p.now, server_flow, 3).unwrap();
+        p.b.send(p.now, server_flow, b"rsp").unwrap();
+        p.pump(1_000, 16);
+        p.a.take_events();
+        p.a.abort(p.now, c).unwrap();
+        p.pump(1_000, 16);
+        p.b.take_events();
+        assert_eq!(p.a.flow_count(), 0, "round {round}");
+        assert_eq!(p.b.flow_count(), 0, "round {round}");
+    }
+    assert_eq!(p.b.stats.conns_accepted, 50);
+}
+
+#[test]
+fn window_scaling_negotiated_and_applied() {
+    // Both ends offer wscale: windows above 64KB become usable.
+    let mut cfg = StackConfig::default();
+    cfg.window_scale = 7;
+    cfg.recv_window = 512 * 1024;
+    // Large initial cwnd so the flow-control window (not congestion
+    // control) is what the test observes.
+    cfg.initial_cwnd_segs = 300;
+    let mut p = Pair::new(cfg);
+    let (c, s) = establish(&mut p, 80);
+    // RFC 7323: the SYN/SYN-ACK windows themselves are never scaled, so
+    // the first send is still bounded by 64KB...
+    let data = vec![3u8; 300_000];
+    let n1 = p.a.send(p.now, c, &data).unwrap();
+    assert_eq!(n1, 65_535, "pre-scale window is the unscaled SYN-ACK value");
+    p.pump(1_000, 64);
+    let mut got = 0;
+    for e in p.b.take_events() {
+        if let TcpEvent::Recv { mbuf, .. } = e {
+            got += mbuf.len();
+            p.b.recv_done(p.now, s, mbuf.len() as u32).unwrap();
+        }
+    }
+    assert_eq!(got, n1);
+    p.pump(1_000, 16);
+    p.a.take_events();
+    // ...but once scaled window advertisements flow, a single send can
+    // put far more than 64KB in flight.
+    let n2 = p.a.send(p.now, c, &data).unwrap();
+    assert!(n2 > 100_000, "scaled window accepted only {n2} bytes");
+    p.pump(1_000, 64);
+    let mut got2 = 0;
+    for e in p.b.take_events() {
+        if let TcpEvent::Recv { mbuf, .. } = e {
+            got2 += mbuf.len();
+            p.b.recv_done(p.now, s, mbuf.len() as u32).unwrap();
+        }
+    }
+    assert_eq!(got2, n2, "all in-flight bytes delivered");
+}
+
+#[test]
+fn window_scaling_requires_both_ends() {
+    // Server scales, client does not: effective window stays <= 64KB.
+    let mut scfg = StackConfig::default();
+    scfg.window_scale = 7;
+    scfg.recv_window = 512 * 1024;
+    let ccfg = StackConfig::default(); // No scaling offered.
+    let mut a = TcpShard::new(ccfg, A_IP, mac(1));
+    let mut b = TcpShard::new(scfg, B_IP, mac(2));
+    a.arp_seed(B_IP, mac(2));
+    b.arp_seed(A_IP, mac(1));
+    b.listen(80);
+    let c = a.connect(0, B_IP, 80, 1).unwrap();
+    // Pump manually.
+    let mut now = 0;
+    for _ in 0..16 {
+        now += 1_000;
+        for f in a.take_tx() {
+            b.input(now, f);
+        }
+        for f in b.take_tx() {
+            a.input(now, f);
+        }
+        a.end_cycle(now);
+        b.end_cycle(now);
+    }
+    a.take_events();
+    let n = a.send(now, c, &vec![0u8; 200_000]).unwrap();
+    assert!(n <= 65_535, "unscaled peer must cap the window, accepted {n}");
+}

@@ -1,0 +1,528 @@
+//! Hierarchical timing wheels (Varghese & Lauck, SOSP '87).
+//!
+//! The paper (§4.2): *"We provide a hierarchical timing wheel
+//! implementation for managing network timeouts, such as TCP
+//! retransmissions. It is optimized for the common case where most timers
+//! are canceled before they expire. We support extremely high-resolution
+//! timeouts, as low as 16 µs, which has been shown to improve performance
+//! during TCP incast congestion."*
+//!
+//! [`TimerWheel`] reproduces that component: a 4-level wheel of 256 slots
+//! per level with a default 16 µs tick, O(1) schedule, O(1) *true* cancel
+//! (entries are unlinked immediately, not lazily), and cascading on level
+//! rollover. Timer identity is protected with generation counters so a
+//! stale [`TimerId`] can never cancel a reused slot.
+//!
+//! In the IX dataplane the wheel is advanced at step (5) of the
+//! run-to-completion loop (Fig 1b); in the Linux model it is advanced from
+//! the timer softirq.
+
+use std::fmt;
+
+/// Default tick: 16 µs, the paper's highest-resolution timeout.
+pub const DEFAULT_RESOLUTION_NS: u64 = 16_000;
+
+/// Slots per wheel level (256, as in the classic design).
+pub const SLOTS_PER_LEVEL: usize = 256;
+
+/// Number of levels. Four levels at 16 µs cover 256^4 ticks ≈ 19 hours.
+pub const LEVELS: usize = 4;
+
+const SLOT_MASK: u64 = (SLOTS_PER_LEVEL as u64) - 1;
+const LEVEL_BITS: u32 = 8;
+
+/// Handle to a scheduled timer; required to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId {
+    index: u32,
+    generation: u32,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    /// Absolute expiry tick.
+    deadline: u64,
+    generation: u32,
+    /// Where the entry currently lives: (level, slot, position) — updated
+    /// on cascade so cancel can unlink in O(1).
+    location: Option<(u8, u16, u32)>,
+    payload: Option<T>,
+    next_free: u32,
+}
+
+/// A hierarchical timing wheel carrying payloads of type `T`.
+pub struct TimerWheel<T> {
+    resolution_ns: u64,
+    /// `slots[level][slot]` holds indices into `entries`.
+    slots: Vec<Vec<Vec<u32>>>,
+    entries: Vec<Entry<T>>,
+    free_head: u32,
+    /// The current tick (time / resolution).
+    now_tick: u64,
+    /// Number of live (scheduled, not yet fired/cancelled) timers.
+    live: usize,
+    /// Counters for the cancel-dominant workload the paper describes.
+    scheduled_total: u64,
+    cancelled_total: u64,
+    fired_total: u64,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl<T> TimerWheel<T> {
+    /// Creates a wheel with the default 16 µs resolution, starting at
+    /// time zero.
+    pub fn new() -> TimerWheel<T> {
+        TimerWheel::with_resolution(DEFAULT_RESOLUTION_NS)
+    }
+
+    /// Creates a wheel with a custom tick length in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution_ns` is zero.
+    pub fn with_resolution(resolution_ns: u64) -> TimerWheel<T> {
+        assert!(resolution_ns > 0);
+        TimerWheel {
+            resolution_ns,
+            slots: (0..LEVELS)
+                .map(|_| (0..SLOTS_PER_LEVEL).map(|_| Vec::new()).collect())
+                .collect(),
+            entries: Vec::new(),
+            free_head: NIL,
+            now_tick: 0,
+            live: 0,
+            scheduled_total: 0,
+            cancelled_total: 0,
+            fired_total: 0,
+        }
+    }
+
+    /// The wheel's tick length in nanoseconds.
+    pub fn resolution_ns(&self) -> u64 {
+        self.resolution_ns
+    }
+
+    /// Number of currently scheduled timers.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// `(scheduled, cancelled, fired)` lifetime counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.scheduled_total, self.cancelled_total, self.fired_total)
+    }
+
+    /// The current time in nanoseconds (tick-quantized).
+    pub fn now_ns(&self) -> u64 {
+        self.now_tick * self.resolution_ns
+    }
+
+    fn alloc_entry(&mut self) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            self.free_head = self.entries[idx as usize].next_free;
+            idx
+        } else {
+            self.entries.push(Entry {
+                deadline: 0,
+                generation: 0,
+                location: None,
+                payload: None,
+                next_free: NIL,
+            });
+            (self.entries.len() - 1) as u32
+        }
+    }
+
+    fn free_entry(&mut self, idx: u32) {
+        let e = &mut self.entries[idx as usize];
+        e.generation = e.generation.wrapping_add(1);
+        e.location = None;
+        e.payload = None;
+        e.next_free = self.free_head;
+        self.free_head = idx;
+    }
+
+    /// Picks the level and slot for a deadline, given the current tick.
+    fn place(&self, deadline: u64) -> (u8, u16) {
+        let delta = deadline.saturating_sub(self.now_tick).max(1);
+        for level in 0..LEVELS as u32 {
+            let span = 1u64 << (LEVEL_BITS * (level + 1));
+            if delta < span {
+                let slot = (deadline >> (LEVEL_BITS * level)) & SLOT_MASK;
+                return (level as u8, slot as u16);
+            }
+        }
+        // Beyond the top level: park in the furthest top-level slot.
+        let level = (LEVELS - 1) as u32;
+        let slot = (deadline >> (LEVEL_BITS * level)) & SLOT_MASK;
+        ((LEVELS - 1) as u8, slot as u16)
+    }
+
+    fn link(&mut self, idx: u32, level: u8, slot: u16) {
+        let list = &mut self.slots[level as usize][slot as usize];
+        let pos = list.len() as u32;
+        list.push(idx);
+        self.entries[idx as usize].location = Some((level, slot, pos));
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (level, slot, pos) = self.entries[idx as usize]
+            .location
+            .take()
+            .expect("unlink of unlinked entry");
+        let list = &mut self.slots[level as usize][slot as usize];
+        list.swap_remove(pos as usize);
+        if let Some(&moved) = list.get(pos as usize) {
+            self.entries[moved as usize].location = Some((level, slot, pos));
+        }
+    }
+
+    /// Schedules a timer `delay_ns` from the wheel's current time,
+    /// rounding *up* to the next tick so timers never fire early.
+    pub fn schedule(&mut self, delay_ns: u64, payload: T) -> TimerId {
+        let ticks = delay_ns.div_ceil(self.resolution_ns).max(1);
+        let deadline = self.now_tick + ticks;
+        let idx = self.alloc_entry();
+        let generation = self.entries[idx as usize].generation;
+        self.entries[idx as usize].deadline = deadline;
+        self.entries[idx as usize].payload = Some(payload);
+        let (level, slot) = self.place(deadline);
+        self.link(idx, level, slot);
+        self.live += 1;
+        self.scheduled_total += 1;
+        TimerId { index: idx, generation }
+    }
+
+    /// Cancels a timer, returning its payload if it was still pending.
+    /// Cancelling an already-fired or already-cancelled timer returns
+    /// `None`.
+    pub fn cancel(&mut self, id: TimerId) -> Option<T> {
+        let e = self.entries.get(id.index as usize)?;
+        if e.generation != id.generation || e.location.is_none() {
+            return None;
+        }
+        self.unlink(id.index);
+        let payload = self.entries[id.index as usize].payload.take();
+        self.free_entry(id.index);
+        self.live -= 1;
+        self.cancelled_total += 1;
+        payload
+    }
+
+    /// Absolute tick of the earliest pending timer, or `None` when idle.
+    /// Linear in the number of live entries (scans occupied slots).
+    fn next_deadline_tick(&self) -> Option<u64> {
+        if self.live == 0 {
+            return None;
+        }
+        let mut best: Option<u64> = None;
+        for level in &self.slots {
+            for slot in level {
+                for &idx in slot {
+                    let d = self.entries[idx as usize].deadline;
+                    best = Some(best.map_or(d, |b: u64| b.min(d)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Teleports the wheel to `tick` (which must not skip any deadline)
+    /// and re-places every live entry relative to the new origin, so that
+    /// cascades that "should have happened" during the skipped interval
+    /// are reconstructed. O(live).
+    fn jump_to(&mut self, tick: u64) {
+        debug_assert!(tick >= self.now_tick);
+        let mut all: Vec<u32> = Vec::with_capacity(self.live);
+        for level in &mut self.slots {
+            for slot in level {
+                all.extend(slot.drain(..));
+            }
+        }
+        self.now_tick = tick;
+        for idx in all {
+            self.entries[idx as usize].location = None;
+            let deadline = self.entries[idx as usize].deadline;
+            debug_assert!(deadline > tick, "jump skipped a deadline");
+            let (l, s) = self.place(deadline);
+            self.link(idx, l, s);
+        }
+    }
+
+    /// Advances the wheel to `now_ns`, invoking `fire` for every expired
+    /// timer in deadline order (ties in schedule order).
+    ///
+    /// Long idle gaps are skipped in O(live) rather than O(ticks), so a
+    /// quiescent stack can be advanced across seconds cheaply.
+    pub fn advance(&mut self, now_ns: u64, mut fire: impl FnMut(T)) {
+        let target_tick = now_ns / self.resolution_ns;
+        // Fast-path long advances over empty wheel regions.
+        const JUMP_THRESHOLD: u64 = 4 * SLOTS_PER_LEVEL as u64;
+        if target_tick > self.now_tick + JUMP_THRESHOLD {
+            match self.next_deadline_tick() {
+                None => {
+                    self.now_tick = target_tick;
+                    return;
+                }
+                Some(d) if d > target_tick => {
+                    self.jump_to(target_tick);
+                    return;
+                }
+                Some(d) if d > self.now_tick + 1 => {
+                    self.jump_to(d - 1);
+                }
+                Some(_) => {}
+            }
+        }
+        while self.now_tick < target_tick {
+            // Re-check for a skippable gap once per wheel lap (the scan is
+            // O(live), so amortize it over 256 ticks).
+            if self.now_tick & SLOT_MASK == 0 && target_tick > self.now_tick + JUMP_THRESHOLD {
+                match self.next_deadline_tick() {
+                    None => {
+                        self.now_tick = target_tick;
+                        return;
+                    }
+                    Some(d) if d > target_tick => {
+                        self.jump_to(target_tick);
+                        return;
+                    }
+                    Some(d) if d > self.now_tick + 1 => self.jump_to(d - 1),
+                    Some(_) => {}
+                }
+            }
+            self.now_tick += 1;
+            // Cascade: when a level-k digit rolls over to 0, redistribute
+            // the corresponding slot of level k+1.
+            for level in 1..LEVELS as u32 {
+                let below_mask = (1u64 << (LEVEL_BITS * level)) - 1;
+                if self.now_tick & below_mask != 0 {
+                    break;
+                }
+                let slot = (self.now_tick >> (LEVEL_BITS * level)) & SLOT_MASK;
+                let moved: Vec<u32> =
+                    std::mem::take(&mut self.slots[level as usize][slot as usize]);
+                for idx in moved {
+                    self.entries[idx as usize].location = None;
+                    let deadline = self.entries[idx as usize].deadline;
+                    let (l, s) = self.place(deadline);
+                    self.link(idx, l, s);
+                }
+            }
+            // Fire the level-0 slot for this tick.
+            let slot = (self.now_tick & SLOT_MASK) as usize;
+            if self.slots[0][slot].is_empty() {
+                continue;
+            }
+            let due: Vec<u32> = std::mem::take(&mut self.slots[0][slot]);
+            for idx in due {
+                let e = &mut self.entries[idx as usize];
+                if e.deadline > self.now_tick {
+                    // A future lap of the wheel; relink.
+                    e.location = None;
+                    let deadline = e.deadline;
+                    let (l, s) = self.place(deadline);
+                    self.link(idx, l, s);
+                    continue;
+                }
+                e.location = None;
+                let payload = e.payload.take().expect("live entry has payload");
+                self.free_entry(idx);
+                self.live -= 1;
+                self.fired_total += 1;
+                fire(payload);
+            }
+        }
+    }
+
+    /// Nanoseconds until the next pending timer fires, or `None` when the
+    /// wheel is idle. Linear in the distance to the next timer (used by
+    /// quiescent dataplanes to sleep; not on the hot path).
+    pub fn next_deadline_ns(&self) -> Option<u64> {
+        if self.live == 0 {
+            return None;
+        }
+        let mut best: Option<u64> = None;
+        for level in &self.slots {
+            for slot in level {
+                for &idx in slot {
+                    let d = self.entries[idx as usize].deadline;
+                    best = Some(best.map_or(d, |b: u64| b.min(d)));
+                }
+            }
+        }
+        best.map(|t| t.saturating_sub(self.now_tick) * self.resolution_ns)
+    }
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> TimerWheel<T> {
+        TimerWheel::new()
+    }
+}
+
+impl<T> fmt::Debug for TimerWheel<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimerWheel")
+            .field("resolution_ns", &self.resolution_ns)
+            .field("now_tick", &self.now_tick)
+            .field("live", &self.live)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_or_after_deadline_never_before() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        w.schedule(50_000, 1); // 50 µs -> ceil to 4 ticks = 64 µs.
+        let mut fired = Vec::new();
+        w.advance(49_999, |p| fired.push(p));
+        assert!(fired.is_empty());
+        w.advance(64_000, |p| fired.push(p));
+        assert_eq!(fired, vec![1]);
+    }
+
+    #[test]
+    fn cancel_before_expiry() {
+        let mut w: TimerWheel<&'static str> = TimerWheel::new();
+        let id = w.schedule(100_000, "rto");
+        assert_eq!(w.live(), 1);
+        assert_eq!(w.cancel(id), Some("rto"));
+        assert_eq!(w.live(), 0);
+        let mut fired = Vec::new();
+        w.advance(1_000_000, |p| fired.push(p));
+        assert!(fired.is_empty());
+        // Double-cancel is a no-op.
+        assert_eq!(w.cancel(id), None);
+    }
+
+    #[test]
+    fn stale_id_cannot_cancel_reused_entry() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let id1 = w.schedule(16_000, 1);
+        w.advance(16_000, |_| {});
+        // Entry slot is reused for a new timer.
+        let _id2 = w.schedule(16_000, 2);
+        assert_eq!(w.cancel(id1), None);
+        assert_eq!(w.live(), 1);
+    }
+
+    #[test]
+    fn many_timers_fire_in_order() {
+        let mut w: TimerWheel<u64> = TimerWheel::new();
+        // Deadlines spread over several levels.
+        let delays: Vec<u64> = vec![
+            16_000,      // 1 tick
+            160_000,     // 10 ticks
+            4_096_000,   // 256 ticks (level 1)
+            10_000_000,  // 625 ticks
+            100_000_000, // 6250 ticks
+            2_000_000_000, // 125k ticks (level 2)
+        ];
+        for &d in &delays {
+            w.schedule(d, d);
+        }
+        let mut fired = Vec::new();
+        w.advance(3_000_000_000, |p| fired.push(p));
+        assert_eq!(fired, delays);
+    }
+
+    #[test]
+    fn cascade_preserves_deadline() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        // 300 ticks: lives on level 1 initially, cascades to level 0.
+        let delay = 300 * DEFAULT_RESOLUTION_NS;
+        w.schedule(delay, 7);
+        let mut hits = Vec::new();
+        // Step in small increments past the cascade boundary.
+        let mut t = 0;
+        while t < 299 * DEFAULT_RESOLUTION_NS {
+            t += DEFAULT_RESOLUTION_NS * 13;
+            w.advance(t.min(299 * DEFAULT_RESOLUTION_NS), |p| hits.push(p));
+        }
+        assert!(hits.is_empty(), "fired early at {t}");
+        w.advance(300 * DEFAULT_RESOLUTION_NS, |p| hits.push(p));
+        assert_eq!(hits, vec![7]);
+    }
+
+    #[test]
+    fn reschedule_pattern_like_tcp_rto() {
+        // The cancel-dominant pattern: schedule, cancel, reschedule on
+        // every ACK; only the last one fires.
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let mut id = w.schedule(200_000_000, 0);
+        for i in 1..1000u32 {
+            w.advance(i as u64 * 50_000, |_| panic!("premature fire"));
+            assert!(w.cancel(id).is_some());
+            id = w.schedule(200_000_000, i);
+        }
+        let (s, c, f) = w.counters();
+        assert_eq!(s, 1000);
+        assert_eq!(c, 999);
+        assert_eq!(f, 0);
+        let mut fired = Vec::new();
+        w.advance(999 * 50_000 + 200_000_000, |p| fired.push(p));
+        assert_eq!(fired, vec![999]);
+    }
+
+    #[test]
+    fn next_deadline_reporting() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        assert_eq!(w.next_deadline_ns(), None);
+        w.schedule(100_000, 1);
+        let nd = w.next_deadline_ns().unwrap();
+        // 100 µs rounds up to 7 ticks = 112 µs.
+        assert_eq!(nd, 112_000);
+    }
+
+    #[test]
+    fn zero_delay_fires_next_tick() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        w.schedule(0, 9);
+        let mut fired = Vec::new();
+        w.advance(DEFAULT_RESOLUTION_NS, |p| fired.push(p));
+        assert_eq!(fired, vec![9]);
+    }
+
+    #[test]
+    fn far_future_beyond_top_level() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        // ~78 hours: beyond the 19-hour span of four levels.
+        let delay = 78 * 3600 * 1_000_000_000u64;
+        w.schedule(delay, 1);
+        let mut fired = Vec::new();
+        // Advance in big steps; expensive but correctness-only path.
+        w.advance(delay + DEFAULT_RESOLUTION_NS, |p| fired.push(p));
+        assert_eq!(fired, vec![1]);
+    }
+
+    #[test]
+    fn high_volume_mixed_workload() {
+        let mut w: TimerWheel<u64> = TimerWheel::new();
+        let mut ids = Vec::new();
+        for i in 0..10_000u64 {
+            ids.push((i, w.schedule(16_000 + (i % 977) * 31_000, i)));
+        }
+        // Cancel every third timer.
+        let mut expect: Vec<u64> = Vec::new();
+        for (i, id) in &ids {
+            if i % 3 == 0 {
+                assert!(w.cancel(*id).is_some());
+            } else {
+                expect.push(*i);
+            }
+        }
+        let mut fired = Vec::new();
+        w.advance(977 * 31_000 + 1_000_000, |p| fired.push(p));
+        fired.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(fired, expect);
+        assert_eq!(w.live(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property test: the hierarchical wheel agrees with a reference
+//! BinaryHeap implementation on what fires, when (to tick resolution),
+//! and in what order — under arbitrary schedule/cancel/advance programs.
+
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+
+use ix_timerwheel::{TimerId, TimerWheel, DEFAULT_RESOLUTION_NS};
+
+#[derive(Debug, Clone)]
+enum OpKind {
+    /// Schedule a timer this many ns out.
+    Schedule(u64),
+    /// Cancel the k-th still-live timer (mod live count).
+    Cancel(usize),
+    /// Advance by this many ns.
+    Advance(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        (1u64..50_000_000).prop_map(OpKind::Schedule),
+        (0usize..64).prop_map(OpKind::Cancel),
+        (1u64..5_000_000).prop_map(OpKind::Advance),
+    ]
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct RefTimer {
+    /// Tick deadline (negated for min-heap via Reverse ordering trick).
+    deadline_tick: u64,
+    seq: u64,
+    payload: u64,
+}
+
+impl Ord for RefTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: invert so earliest deadline (then earliest seq) pops
+        // first.
+        other
+            .deadline_tick
+            .cmp(&self.deadline_tick)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for RefTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wheel_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let res = DEFAULT_RESOLUTION_NS;
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        let mut heap: BinaryHeap<RefTimer> = BinaryHeap::new();
+        let mut live: Vec<(TimerId, u64)> = Vec::new(); // (id, payload)
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        let mut fired_wheel: Vec<u64> = Vec::new();
+        let mut fired_ref: Vec<u64> = Vec::new();
+
+        for op in ops {
+            match op {
+                OpKind::Schedule(delay) => {
+                    seq += 1;
+                    let payload = seq;
+                    let id = wheel.schedule(delay, payload);
+                    live.push((id, payload));
+                    // The wheel rounds *up* to the next tick, minimum 1.
+                    let ticks = delay.div_ceil(res).max(1);
+                    heap.push(RefTimer {
+                        deadline_tick: now / res + ticks,
+                        seq,
+                        payload,
+                    });
+                }
+                OpKind::Cancel(k) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let idx = k % live.len();
+                    let (id, payload) = live.swap_remove(idx);
+                    let got = wheel.cancel(id);
+                    prop_assert_eq!(got, Some(payload), "live timer must cancel");
+                    // Remove from the reference heap.
+                    let mut rest: Vec<RefTimer> = heap.drain().collect();
+                    let pos = rest.iter().position(|t| t.payload == payload).expect("in ref");
+                    rest.swap_remove(pos);
+                    heap = rest.into_iter().collect();
+                }
+                OpKind::Advance(dur) => {
+                    now += dur;
+                    wheel.advance(now, |p| fired_wheel.push(p));
+                    let now_tick = now / res;
+                    while let Some(t) = heap.peek() {
+                        if t.deadline_tick <= now_tick {
+                            let t = heap.pop().expect("peeked");
+                            fired_ref.push(t.payload);
+                            live.retain(|(_, p)| *p != t.payload);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Drain everything at the end: the wheel and the reference must
+        // fire the remaining timers in the same (deadline, seq) order.
+        now += 200 * 3_600 * 1_000_000_000u64;
+        wheel.advance(now, |p| fired_wheel.push(p));
+        while let Some(t) = heap.pop() {
+            fired_ref.push(t.payload);
+        }
+        prop_assert_eq!(wheel.live(), 0, "wheel fully drained");
+        prop_assert_eq!(fired_wheel, fired_ref, "fire sequences diverged");
+    }
+}
