@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 gate (documented in README.md): the whole pipeline runs
+# OFFLINE — the workspace has zero registry dependencies (hermetic-build
+# policy, DESIGN.md), so a clean checkout must build, test, and lint
+# with no network at all. Any `cargo` invocation that tries to reach
+# crates.io is itself a regression.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

@@ -101,7 +101,7 @@ pub struct Testbed {
 }
 
 /// Overridable engine knobs for an experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct EngineTuning {
     /// IX dataplane cost model.
     pub ix: CostParams,
@@ -111,17 +111,6 @@ pub struct EngineTuning {
     pub mtcp: MtcpParams,
     /// TCP stack configuration (all systems).
     pub stack: StackConfig,
-}
-
-impl Default for EngineTuning {
-    fn default() -> EngineTuning {
-        EngineTuning {
-            ix: CostParams::default(),
-            linux: LinuxParams::default(),
-            mtcp: MtcpParams::default(),
-            stack: StackConfig::default(),
-        }
-    }
 }
 
 impl Testbed {
@@ -519,11 +508,30 @@ pub fn run_connscale(cfg: &ConnScaleConfig) -> ConnScaleResult {
 // NetPIPE experiment (Fig 2).
 // ---------------------------------------------------------------------
 
-/// Runs NetPIPE between two hosts running `system` on both ends.
-/// Returns `(one_way_ns, goodput_gbps)`.
+/// Runs NetPIPE between two hosts running `system` on both ends, with
+/// the historical default seed. Returns `(one_way_ns, goodput_gbps)`.
 pub fn run_netpipe(system: System, msg_size: usize, reps: usize, tuning: &EngineTuning) -> (u64, f64) {
-    let mut tb = Testbed::new(11, 1, 1);
-    tb.launch_server(system, 1, tuning, 7100, move |_| NetpipeServer::new(msg_size));
+    run_netpipe_seeded(system, msg_size, reps, tuning, 11)
+}
+
+/// Runs NetPIPE with an explicit experiment seed. The seed picks the
+/// client's start phase relative to the server's poll cadence (0–2 µs),
+/// the one stochastic degree of freedom in this otherwise fully
+/// deterministic experiment — so identical seeds reproduce the stats
+/// byte for byte and different seeds measure a genuinely different run.
+pub fn run_netpipe_seeded(
+    system: System,
+    msg_size: usize,
+    reps: usize,
+    tuning: &EngineTuning,
+    seed: u64,
+) -> (u64, f64) {
+    let mut tb = Testbed::new(seed, 1, 1);
+    let start_jitter_ns = tb.sim.rng().below(2_000);
+    let srv_rng = tb.sim.rng().fork();
+    tb.launch_server(system, 1, tuning, 7100, move |_| {
+        NetpipeServer::new(msg_size).with_jitter(srv_rng.clone(), 400)
+    });
     let server_ip = tb.server_ip();
     // NetPIPE runs the *same* system on both ends (§5.2) — launch the
     // client engine accordingly on the client host.
@@ -535,6 +543,7 @@ pub fn run_netpipe(system: System, msg_size: usize, reps: usize, tuning: &Engine
         let cell2 = cell.clone();
         let mk = move |_i: usize| {
             let (client, res) = NetpipeClient::new(server_ip, 7100, msg_size, reps, 4);
+            let client = client.start_after(start_jitter_ns);
             *cell2.borrow_mut() = Some(res);
             Box::new(Libix::new(client)) as Box<dyn IxApp>
         };

@@ -15,7 +15,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use bytes::Bytes;
+use ix_testkit::Bytes;
 use ix_core::libix::{ConnCtx, LibixHandler};
 
 use crate::workload::proto;

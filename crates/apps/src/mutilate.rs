@@ -17,7 +17,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-use bytes::Bytes;
+use ix_testkit::Bytes;
 use ix_core::libix::{ConnCtx, LibixCtx, LibixHandler};
 use ix_sim::{Histogram, SimRng};
 

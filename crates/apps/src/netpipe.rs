@@ -7,8 +7,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use bytes::Bytes;
+use ix_testkit::Bytes;
 use ix_core::libix::{ConnCtx, LibixCtx, LibixHandler};
+use ix_sim::SimRng;
 
 /// Results of one NetPIPE run.
 #[derive(Debug, Default)]
@@ -49,12 +50,23 @@ impl NetpipeResult {
 pub struct NetpipeServer {
     msg_size: usize,
     got: usize,
+    /// Per-message service-time jitter `(rng, max_ns)`: the experiment
+    /// seed's entry point into the measured path, modelling run-to-run
+    /// server-side variability (cache state, SMI noise) that real
+    /// NetPIPE measurements average over.
+    jitter: Option<(SimRng, u64)>,
 }
 
 impl NetpipeServer {
     /// Creates a responder for `msg_size`-byte messages.
     pub fn new(msg_size: usize) -> NetpipeServer {
-        NetpipeServer { msg_size, got: 0 }
+        NetpipeServer { msg_size, got: 0, jitter: None }
+    }
+
+    /// Charges a seeded `[0, max_ns)` service cost per echoed message.
+    pub fn with_jitter(mut self, rng: SimRng, max_ns: u64) -> NetpipeServer {
+        self.jitter = Some((rng, max_ns));
+        self
     }
 }
 
@@ -63,6 +75,9 @@ impl LibixHandler for NetpipeServer {
         self.got += data.len();
         while self.got >= self.msg_size {
             self.got -= self.msg_size;
+            if let Some((rng, max_ns)) = &mut self.jitter {
+                ctx.charge(rng.below(*max_ns));
+            }
             ctx.write(Bytes::from(vec![0u8; self.msg_size]));
         }
     }
@@ -75,6 +90,7 @@ pub struct NetpipeClient {
     msg_size: usize,
     reps: usize,
     warmup: usize,
+    start_after_ns: u64,
     started: bool,
     got: usize,
     done_reps: usize,
@@ -103,6 +119,7 @@ impl NetpipeClient {
                 msg_size,
                 reps,
                 warmup,
+                start_after_ns: 0,
                 started: false,
                 got: 0,
                 done_reps: 0,
@@ -113,6 +130,14 @@ impl NetpipeClient {
         )
     }
 
+    /// Delays the first connect until virtual time `ns` — models the
+    /// client process's start phase relative to the server's poll
+    /// cadence, which is where the experiment seed enters NetPIPE.
+    pub fn start_after(mut self, ns: u64) -> NetpipeClient {
+        self.start_after_ns = ns;
+        self
+    }
+
     fn fire(&mut self, ctx: &mut ConnCtx<'_>) {
         self.sent_at = ctx.now_ns;
         ctx.write(Bytes::from(vec![0u8; self.msg_size]));
@@ -121,7 +146,7 @@ impl NetpipeClient {
 
 impl LibixHandler for NetpipeClient {
     fn on_tick(&mut self, ctx: &mut LibixCtx<'_>) {
-        if !self.started {
+        if !self.started && ctx.now_ns >= self.start_after_ns {
             self.started = true;
             ctx.connect(self.server, self.port, 0);
         }
@@ -156,6 +181,14 @@ impl LibixHandler for NetpipeClient {
 
     fn wants_tick(&self, _now: u64) -> bool {
         !self.started
+    }
+
+    fn next_deadline_ns(&self) -> Option<u64> {
+        if self.started {
+            None
+        } else {
+            Some(self.start_after_ns)
+        }
     }
 }
 

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use bytes::Bytes;
+use ix_testkit::Bytes;
 use ix_core::api::{EventCond, IxApp, Syscall, SyscallResult, UserCtx};
 use ix_nic::host::{CoreRef, CpuDomain};
 use ix_nic::nic::{Nic, NicRef, QueueId};

@@ -1,10 +1,13 @@
-//! Criterion microbenchmarks of the reproduction's hot data structures:
-//! the components §4.2/§4.4 of the paper claims are fast — the Toeplitz
-//! RSS hash, the hierarchical timing wheel under its cancel-dominant
-//! workload, the per-thread mbuf pool, TCP segment processing, and the
-//! full simulated host-to-host echo round trip.
+//! Microbenchmarks of the reproduction's hot data structures, on the
+//! in-tree `ix-testkit` wall-clock runner: the components §4.2/§4.4 of
+//! the paper claims are fast — the Toeplitz RSS hash, the hierarchical
+//! timing wheel under its cancel-dominant workload, the per-thread mbuf
+//! pool, TCP segment processing, and the full simulated host-to-host
+//! echo round trip.
+//!
+//! Run with `cargo bench` (or `cargo bench <filter>`); set
+//! `IX_BENCH_QUICK=1` for a smoke-length pass.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use ix_mempool::MbufPool;
@@ -12,15 +15,14 @@ use ix_net::ip::Ipv4Addr;
 use ix_net::rss::{hash_ipv4_tuple, TOEPLITZ_DEFAULT_KEY};
 use ix_net::tcp::{TcpFlags, TcpHeader};
 use ix_sim::Histogram;
+use ix_testkit::bench::BenchRunner;
 use ix_timerwheel::TimerWheel;
 
-fn bench_toeplitz(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rss");
-    g.throughput(Throughput::Elements(1));
+fn bench_toeplitz(r: &mut BenchRunner) {
     let src = Ipv4Addr::new(10, 0, 0, 1);
     let dst = Ipv4Addr::new(10, 0, 0, 2);
     let mut port = 0u16;
-    g.bench_function("toeplitz_ipv4_tuple", |b| {
+    r.bench("rss/toeplitz_ipv4_tuple", |b| {
         b.iter(|| {
             port = port.wrapping_add(1);
             black_box(hash_ipv4_tuple(
@@ -32,22 +34,19 @@ fn bench_toeplitz(c: &mut Criterion) {
             ))
         })
     });
-    g.finish();
 }
 
-fn bench_timerwheel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("timerwheel");
-    g.throughput(Throughput::Elements(1));
+fn bench_timerwheel(r: &mut BenchRunner) {
     // The paper's common case: timers cancelled before expiry (RTO
     // rearming on every ACK).
-    g.bench_function("schedule_cancel", |b| {
+    r.bench("timerwheel/schedule_cancel", |b| {
         let mut w: TimerWheel<u64> = TimerWheel::new();
         b.iter(|| {
             let id = w.schedule(200_000_000, 1);
             black_box(w.cancel(id));
         })
     });
-    g.bench_function("advance_idle_tick", |b| {
+    r.bench("timerwheel/advance_idle_tick", |b| {
         let mut w: TimerWheel<u64> = TimerWheel::new();
         w.schedule(3_600_000_000_000, 1); // Far-future anchor.
         let mut now = 0u64;
@@ -56,20 +55,17 @@ fn bench_timerwheel(c: &mut Criterion) {
             w.advance(now, |_| {});
         })
     });
-    g.finish();
 }
 
-fn bench_mempool(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mempool");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("alloc_free", |b| {
+fn bench_mempool(r: &mut BenchRunner) {
+    r.bench("mempool/alloc_free", |b| {
         let mut pool = MbufPool::new(1024);
         b.iter(|| {
             let m = pool.alloc().expect("capacity");
             black_box(&m);
         })
     });
-    g.bench_function("alloc_prepend_headers", |b| {
+    r.bench("mempool/alloc_prepend_headers", |b| {
         let mut pool = MbufPool::new(1024);
         b.iter(|| {
             let mut m = pool.alloc().expect("capacity");
@@ -80,12 +76,9 @@ fn bench_mempool(c: &mut Criterion) {
             black_box(m.len());
         })
     });
-    g.finish();
 }
 
-fn bench_tcp_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tcp_codec");
-    g.throughput(Throughput::Elements(1));
+fn bench_tcp_codec(r: &mut BenchRunner) {
     let src = Ipv4Addr::new(10, 0, 0, 1);
     let dst = Ipv4Addr::new(10, 0, 0, 2);
     let hdr = TcpHeader {
@@ -101,26 +94,22 @@ fn bench_tcp_codec(c: &mut Criterion) {
     let payload = [0xA5u8; 64];
     let mut buf = vec![0u8; hdr.len() + payload.len()];
     buf[hdr.len()..].copy_from_slice(&payload);
-    g.bench_function("encode_64b_segment", |b| {
+    r.bench("tcp_codec/encode_64b_segment", |b| {
         b.iter(|| {
             let (h, t) = buf.split_at_mut(20);
             hdr.encode(h, src, dst, t);
-            black_box(&buf);
         })
     });
     // Prepare a valid segment for decode.
     let (h, t) = buf.split_at_mut(20);
     hdr.encode(h, src, dst, t);
-    g.bench_function("decode_64b_segment", |b| {
+    r.bench("tcp_codec/decode_64b_segment", |b| {
         b.iter(|| black_box(TcpHeader::decode(&buf, src, dst).expect("valid")))
     });
-    g.finish();
 }
 
-fn bench_histogram(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stats");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("histogram_record", |b| {
+fn bench_histogram(r: &mut BenchRunner) {
+    r.bench("stats/histogram_record", |b| {
         let mut h = Histogram::new();
         let mut v = 1u64;
         b.iter(|| {
@@ -128,30 +117,26 @@ fn bench_histogram(c: &mut Criterion) {
             h.record(ix_sim::Nanos(v % 1_000_000));
         })
     });
-    g.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulation");
-    g.sample_size(10);
+fn bench_end_to_end(r: &mut BenchRunner) {
     // Simulation engine throughput: how many virtual echo messages per
     // wall-second the DES sustains (determines bench harness runtimes).
-    g.bench_function("ix_echo_1ms_virtual", |b| {
+    r.bench("simulation/ix_echo_1ms_virtual", |b| {
         b.iter(|| {
             use ix_apps::harness::{run_netpipe, EngineTuning, System};
             black_box(run_netpipe(System::Ix, 64, 50, &EngineTuning::default()))
         })
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_toeplitz,
-    bench_timerwheel,
-    bench_mempool,
-    bench_tcp_codec,
-    bench_histogram,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = BenchRunner::from_args();
+    bench_toeplitz(&mut r);
+    bench_timerwheel(&mut r);
+    bench_mempool(&mut r);
+    bench_tcp_codec(&mut r);
+    bench_histogram(&mut r);
+    bench_end_to_end(&mut r);
+    r.finish();
+}

@@ -31,8 +31,7 @@ fn echo_cfg(tuning: EngineTuning, msg: usize) -> EchoConfig {
 fn main() {
     ix_bench::banner("Ablation 1", "adaptive batching: B=64 vs B=1");
     for b in [1usize, 64] {
-        let mut t = EngineTuning::default();
-        t.ix = CostParams::with_batch_bound(b);
+        let t = EngineTuning { ix: CostParams::with_batch_bound(b), ..EngineTuning::default() };
         let (one_way, _) = run_netpipe(System::Ix, 64, 100, &t);
         let r = run_echo(&echo_cfg(t, 64));
         println!(
@@ -45,7 +44,7 @@ fn main() {
 
     ix_bench::banner("Ablation 2", "PCIe doorbell coalescing on the RX replenish path (§6)");
     for coalesce in [32usize, 1] {
-        let mut t = EngineTuning::default();
+        let mut t = EngineTuning { ..EngineTuning::default() };
         t.ix.rx_replenish_batch = coalesce;
         let r = run_echo(&echo_cfg(t, 64));
         println!(
@@ -63,7 +62,7 @@ fn main() {
     // The large-message case runs CPU-bound (2 cores, 4x10GbE) so the
     // copy cost is visible rather than hidden behind the wire limit.
     for (label, copy) in [("zero-copy", false), ("copying  ", true)] {
-        let mut t = EngineTuning::default();
+        let mut t = EngineTuning { ..EngineTuning::default() };
         t.ix.copy_api = copy;
         let small = run_echo(&echo_cfg(t.clone(), 64));
         let large = run_echo(&EchoConfig {
@@ -81,7 +80,7 @@ fn main() {
 
     ix_bench::banner("Ablation 4", "pipeline decoupling granularity (mTCP quantum sweep)");
     for q_us in [5u64, 20, 50, 100] {
-        let mut t = EngineTuning::default();
+        let mut t = EngineTuning { ..EngineTuning::default() };
         t.mtcp.quantum_ns = q_us * 1_000;
         let (one_way, _) = run_netpipe(System::Mtcp, 64, 100, &t);
         let cfg = EchoConfig {

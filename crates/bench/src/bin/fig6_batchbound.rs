@@ -28,8 +28,8 @@ fn main() {
     for &t in targets {
         let mut row = format!("{:>8.0}K |", t / 1e3);
         for (i, &b) in bounds.iter().enumerate() {
-            let mut tuning = EngineTuning::default();
-            tuning.ix = CostParams::with_batch_bound(b);
+            let tuning =
+                EngineTuning { ix: CostParams::with_batch_bound(b), ..EngineTuning::default() };
             let cfg = KvConfig {
                 system: System::Ix,
                 workload: WorkloadKind::Usr,

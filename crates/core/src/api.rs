@@ -8,7 +8,7 @@
 //! array of event conditions. [`UserCtx`] is that pair of arrays;
 //! [`IxApp::on_cycle`] is one `run_io` round trip as seen from user code.
 
-use bytes::Bytes;
+use ix_testkit::Bytes;
 use ix_net::ip::Ipv4Addr;
 use ix_tcp::{FlowId, StackError, TcpEvent};
 

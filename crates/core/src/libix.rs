@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
-use bytes::Bytes;
+use ix_testkit::Bytes;
 use ix_tcp::{DeadReason, FlowId};
 
 use crate::api::{EventCond, IxApp, Syscall, SyscallResult, UserCtx};

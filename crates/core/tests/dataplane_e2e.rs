@@ -5,13 +5,12 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use bytes::Bytes;
+use ix_testkit::Bytes;
 use ix_core::dataplane::Dataplane;
 use ix_core::libix::{ConnCtx, Libix, LibixCtx, LibixHandler};
 use ix_core::params::CostParams;
 use ix_core::ixcp::ControlPlane;
 use ix_nic::fabric::Fabric;
-use ix_nic::host::HostId;
 use ix_nic::params::MachineParams;
 use ix_sim::{Nanos, Simulator};
 use ix_tcp::StackConfig;

@@ -80,9 +80,11 @@ pub fn queue_for_hash(hash: u32, n_queues: u16) -> u16 {
 mod tests {
     use super::*;
 
+    type Octets = (u8, u8, u8, u8);
+
     /// Microsoft RSS verification suite, IPv4-with-TCP-ports vectors.
     /// Columns: src ip:port, dst ip:port, expected hash.
-    const VECTORS: &[((u8, u8, u8, u8), u16, (u8, u8, u8, u8), u16, u32)] = &[
+    const VECTORS: &[(Octets, u16, Octets, u16, u32)] = &[
         ((66, 9, 149, 187), 2794, (161, 142, 100, 80), 1766, 0x51ccc178),
         ((199, 92, 111, 2), 14230, (65, 69, 140, 83), 4739, 0xc626b0ea),
         ((24, 19, 198, 95), 12898, (12, 22, 207, 184), 38024, 0x5c2b394a),
@@ -103,7 +105,7 @@ mod tests {
     #[test]
     fn microsoft_ip_only_vectors() {
         // The 8-byte (addresses only) vectors from the same suite.
-        const IP_ONLY: &[((u8, u8, u8, u8), (u8, u8, u8, u8), u32)] = &[
+        const IP_ONLY: &[(Octets, Octets, u32)] = &[
             ((66, 9, 149, 187), (161, 142, 100, 80), 0x323e8fc2),
             ((199, 92, 111, 2), (65, 69, 140, 83), 0xd718262a),
             ((24, 19, 198, 95), (12, 22, 207, 184), 0xd2d0a5de),

@@ -1,8 +1,8 @@
-//! Property tests for the wire codecs: every header round-trips through
+//! Property tests (ix-testkit harness) for the wire codecs: every header round-trips through
 //! encode/decode, checksums detect single-bit corruption, and the
 //! Toeplitz hash is stable under input reconstruction.
 
-use proptest::prelude::*;
+use ix_testkit::prelude::*;
 
 use ix_net::arp::ArpPacket;
 use ix_net::eth::{EthHeader, EtherType, MacAddr};
@@ -10,7 +10,7 @@ use ix_net::ip::{IpProto, Ipv4Addr, Ipv4Header};
 use ix_net::tcp::{TcpFlags, TcpHeader};
 use ix_net::udp::UdpHeader;
 
-proptest! {
+props! {
     #[test]
     fn eth_roundtrip(dst in any::<[u8; 6]>(), src in any::<[u8; 6]>(), et in any::<u16>()) {
         let h = EthHeader {
@@ -68,9 +68,8 @@ proptest! {
         // Any single-bit flip must fail decode: version/IHL corruption is
         // Unsupported, anything else BadChecksum — never a silent accept
         // of different content.
-        match Ipv4Header::decode(&buf) {
-            Ok(got) => prop_assert_eq!(got, h),
-            Err(_) => {}
+        if let Ok(got) = Ipv4Header::decode(&buf) {
+            prop_assert_eq!(got, h);
         }
         // Restore and confirm it still parses.
         buf[bit / 8] ^= 1 << (bit % 8);
@@ -85,9 +84,9 @@ proptest! {
         ack in any::<u32>(),
         flags in any::<u8>(),
         window in any::<u16>(),
-        mss in proptest::option::of(536u16..9000),
-        wscale in proptest::option::of(0u8..=14),
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        mss in option::of(536u16..9000),
+        wscale in option::of(0u8..=14),
+        payload in collection::vec(any::<u8>(), 0..256),
     ) {
         let src = Ipv4Addr::new(10, 0, 0, 1);
         let dst = Ipv4Addr::new(10, 0, 0, 2);
@@ -113,7 +112,7 @@ proptest! {
 
     #[test]
     fn tcp_checksum_catches_payload_corruption(
-        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        payload in collection::vec(any::<u8>(), 1..128),
         flip in any::<u8>(),
     ) {
         let src = Ipv4Addr::new(10, 0, 0, 1);
@@ -139,7 +138,7 @@ proptest! {
     fn udp_roundtrip(
         sport in any::<u16>(),
         dport in any::<u16>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        payload in collection::vec(any::<u8>(), 0..256),
     ) {
         let src = Ipv4Addr::new(10, 0, 0, 1);
         let dst = Ipv4Addr::new(10, 0, 0, 2);

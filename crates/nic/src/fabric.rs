@@ -159,12 +159,10 @@ mod tests {
         let frame = frame_between(&f, HostId(0), HostId(1), b"ping");
         let src_nic = f.host(HostId(0)).nics[0].clone();
         // Enqueue on queue 0 TX and kick.
-        src_nic
-            .borrow_mut()
-            .tx_ring(0)
-            .push(frame)
-            .ok()
-            .expect("tx ring accepts");
+        assert!(
+            src_nic.borrow_mut().tx_ring(0).push(frame).is_ok(),
+            "tx ring accepts"
+        );
         crate::nic::Nic::kick_tx(&src_nic, &mut sim);
         sim.run();
         let dst_nic = &f.host(HostId(1)).nics[0];

@@ -377,8 +377,7 @@ mod tests {
     #[test]
     fn ring_exhaustion_drops() {
         let mut sim = Simulator::new(0);
-        let mut params = MachineParams::default();
-        params.ring_entries = 2;
+        let params = MachineParams { ring_entries: 2, ..MachineParams::default() };
         let nic = Rc::new(RefCell::new(Nic::new(
             MacAddr::from_host_index(1),
             1,

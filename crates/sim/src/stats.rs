@@ -113,7 +113,11 @@ impl Histogram {
             for (sub, &c) in subs.iter().enumerate() {
                 seen += c;
                 if seen >= target && c > 0 {
-                    return Nanos(Histogram::bucket_low(tier, sub));
+                    // The bucket's lower edge can undershoot the exact
+                    // observed minimum (or overshoot the maximum in the
+                    // top bucket); clamp so quantiles stay within the
+                    // recorded sample range.
+                    return Nanos(Histogram::bucket_low(tier, sub).clamp(self.min, self.max));
                 }
             }
         }

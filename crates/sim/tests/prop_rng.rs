@@ -1,0 +1,132 @@
+//! Property tests (ix-testkit harness) for the simulation substrate:
+//! the RNG's distribution contracts and the histogram's ordering
+//! invariants must hold for *every* seed, since every experiment in the
+//! repo reproduces from `(configuration, seed)` alone.
+
+use ix_sim::{Histogram, Nanos};
+use ix_testkit::prelude::*;
+
+props! {
+    #![config(cases = 128)]
+
+    /// `below(bound)` is always in `[0, bound)` and, for tiny bounds,
+    /// eventually visits every value (no dead residues from the Lemire
+    /// reduction).
+    #[test]
+    fn below_stays_in_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = SimRng::new(seed);
+        let mut seen0 = false;
+        for _ in 0..64 {
+            let v = r.below(bound);
+            prop_assert!(v < bound);
+            seen0 |= v == 0 || bound > 64;
+        }
+        let _ = seen0;
+        let mut r2 = SimRng::new(seed);
+        let small = 1 + bound % 4;
+        let mut hit = vec![false; small as usize];
+        for _ in 0..256 {
+            hit[r2.below(small) as usize] = true;
+        }
+        prop_assert!(hit.iter().all(|&h| h), "missed a residue of {}", small);
+    }
+
+    /// `range_inclusive(lo, hi)` honours both endpoints for any window.
+    #[test]
+    fn range_inclusive_stays_in_window(
+        seed in any::<u64>(),
+        lo in 0u64..1_000_000,
+        span in 0u64..1_000_000,
+    ) {
+        let hi = lo + span;
+        let mut r = SimRng::new(seed);
+        for _ in 0..32 {
+            let v = r.range_inclusive(lo, hi);
+            prop_assert!((lo..=hi).contains(&v), "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Identical seeds give identical streams; forked children diverge
+    /// from the parent but are themselves reproducible.
+    #[test]
+    fn streams_reproduce_from_seed(seed in any::<u64>()) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        let mut ca = a.fork();
+        let mut cb = b.fork();
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+            prop_assert_eq!(ca.next_u64(), cb.next_u64());
+        }
+    }
+
+    /// `discrete` returns a valid index for any positive weight vector.
+    #[test]
+    fn discrete_index_in_range(
+        seed in any::<u64>(),
+        weights in collection::vec(1u32..1000, 1..16),
+    ) {
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0f64;
+        for w in &weights {
+            acc += *w as f64;
+            cum.push(acc);
+        }
+        let mut r = SimRng::new(seed);
+        for _ in 0..64 {
+            prop_assert!(r.discrete(&cum) < cum.len());
+        }
+    }
+
+    /// `shuffle` is a permutation for arbitrary contents and lengths.
+    #[test]
+    fn shuffle_preserves_multiset(
+        seed in any::<u64>(),
+        items in collection::vec(any::<u16>(), 0..64),
+    ) {
+        let mut items = items;
+        let mut expect = items.clone();
+        SimRng::new(seed).shuffle(&mut items);
+        let mut got = items;
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// `unit_f64` and `exponential` respect their codomains.
+    #[test]
+    fn continuous_draws_in_codomain(seed in any::<u64>(), mean in 1u32..100_000) {
+        let mut r = SimRng::new(seed);
+        for _ in 0..64 {
+            let u = r.unit_f64();
+            prop_assert!((0.0..1.0).contains(&u));
+            let e = r.exponential(mean as f64);
+            prop_assert!(e >= 0.0 && e.is_finite());
+        }
+    }
+
+    /// Histogram ordering invariants: min ≤ q(0.5) ≤ q(0.99) ≤ max, and
+    /// count/merge bookkeeping is exact, for arbitrary sample sets.
+    #[test]
+    fn histogram_invariants(
+        xs in collection::vec(0u64..10_000_000, 1..128),
+        ys in collection::vec(0u64..10_000_000, 1..128),
+    ) {
+        let mut h = Histogram::new();
+        for &x in &xs {
+            h.record(Nanos(x));
+        }
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        prop_assert!(h.min() <= h.quantile(0.5));
+        prop_assert!(h.quantile(0.5) <= h.quantile(0.99));
+        prop_assert!(h.quantile(0.99) <= h.max());
+        prop_assert!(h.min() <= h.mean() && h.mean() <= h.max());
+        let mut g = Histogram::new();
+        for &y in &ys {
+            g.record(Nanos(y));
+        }
+        h.merge(&g);
+        prop_assert_eq!(h.count(), (xs.len() + ys.len()) as u64);
+        prop_assert!(h.max() >= g.max() && h.min() <= g.min());
+    }
+}

@@ -1433,7 +1433,9 @@ impl TcpShard {
         self.raw_rst(self.now_ns, sp, dp, seq, ack, false, remote);
     }
 
-    /// Emits a RST without requiring a PCB.
+    /// Emits a RST without requiring a PCB. The argument list mirrors
+    /// the wire header fields it fills in.
+    #[allow(clippy::too_many_arguments)]
     fn raw_rst(
         &mut self,
         _now: u64,

@@ -370,8 +370,8 @@ mod tests {
 
     #[test]
     fn rtt_spike_inflates_rto() {
-        let mut cfg = StackConfig::default();
-        cfg.min_rto_ns = 1_000; // Let the estimator show through.
+        // min_rto_ns low so the estimator shows through.
+        let cfg = StackConfig { min_rto_ns: 1_000, ..StackConfig::default() };
         let mut t = mk(TcpState::Established);
         for _ in 0..20 {
             t.rtt_sample(10_000, &cfg);

@@ -1,10 +1,11 @@
-//! Property-based tests: the TCP invariant that matters — the byte
+//! Property-based tests (on the in-tree `ix-testkit` harness): the TCP
+//! invariant that matters — the byte
 //! stream delivered to the receiver equals the byte stream the sender
 //! submitted, in order, regardless of what the wire does (loss,
 //! duplication, reordering), as long as connectivity is eventually
 //! restored.
 
-use proptest::prelude::*;
+use ix_testkit::prelude::*;
 
 use ix_mempool::Mbuf;
 use ix_net::eth::MacAddr;
@@ -138,8 +139,23 @@ fn hostile_transfer(data: &[u8], seed: u64, drop_pct: u64) -> (Vec<u8>, usize) {
     (received, rounds)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Regression pinned from the retired `prop.proptest-regressions` file:
+/// proptest once shrank a stream-integrity failure to exactly this
+/// input (`cc 590d4e61…`), so it stays as an explicit case forever.
+#[test]
+fn regression_hostile_wire_len4381_drop28() {
+    let len = 4381usize;
+    let seed = 16042995867252657237u64;
+    let drop_pct = 28u64;
+    let data: Vec<u8> = (0..len)
+        .map(|i| (i as u32).wrapping_mul(2654435761).to_le_bytes()[1])
+        .collect();
+    let (received, _rounds) = hostile_transfer(&data, seed, drop_pct);
+    assert_eq!(received, data);
+}
+
+props! {
+    #![config(cases = 24)]
 
     /// Stream integrity under loss+dup+reorder: what B reads is exactly
     /// what A wrote.
@@ -167,8 +183,8 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    #![config(cases = 64)]
 
     /// Sequence-number helpers obey serial arithmetic laws.
     #[test]

@@ -188,8 +188,7 @@ fn large_transfer_is_segmented_and_exact() {
 
 #[test]
 fn send_respects_window_and_recv_done_opens_it() {
-    let mut cfg = StackConfig::default();
-    cfg.recv_window = 4_000;
+    let cfg = StackConfig { recv_window: 4_000, ..StackConfig::default() };
     let mut p = Pair::new(cfg);
     let (c, s) = establish(&mut p, 80);
     // Fill the 4 KB window.
@@ -540,12 +539,14 @@ fn churn_many_short_connections() {
 #[test]
 fn window_scaling_negotiated_and_applied() {
     // Both ends offer wscale: windows above 64KB become usable.
-    let mut cfg = StackConfig::default();
-    cfg.window_scale = 7;
-    cfg.recv_window = 512 * 1024;
     // Large initial cwnd so the flow-control window (not congestion
     // control) is what the test observes.
-    cfg.initial_cwnd_segs = 300;
+    let cfg = StackConfig {
+        window_scale: 7,
+        recv_window: 512 * 1024,
+        initial_cwnd_segs: 300,
+        ..StackConfig::default()
+    };
     let mut p = Pair::new(cfg);
     let (c, s) = establish(&mut p, 80);
     // RFC 7323: the SYN/SYN-ACK windows themselves are never scaled, so
@@ -582,9 +583,7 @@ fn window_scaling_negotiated_and_applied() {
 #[test]
 fn window_scaling_requires_both_ends() {
     // Server scales, client does not: effective window stays <= 64KB.
-    let mut scfg = StackConfig::default();
-    scfg.window_scale = 7;
-    scfg.recv_window = 512 * 1024;
+    let scfg = StackConfig { window_scale: 7, recv_window: 512 * 1024, ..StackConfig::default() };
     let ccfg = StackConfig::default(); // No scaling offered.
     let mut a = TcpShard::new(ccfg, A_IP, mac(1));
     let mut b = TcpShard::new(scfg, B_IP, mac(2));

@@ -1,0 +1,582 @@
+//! A deterministic, seedable property-testing harness with greedy
+//! shrinking, replacing the external `proptest` crate.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Determinism.** Every test's case stream derives from a stable
+//!    hash of the test name (overridable via `IX_PROP_SEED`), using the
+//!    same [`SimRng`] the simulator itself runs on. A failure reproduces
+//!    from `(test name, harness version)` alone — the same
+//!    `(configuration, seed)` discipline the DES substitution relies on.
+//! 2. **Mechanical porting.** The [`props!`] macro mirrors `proptest!`
+//!    syntax (`arg in strategy` bindings, `prop_assert*` macros,
+//!    `#![config(cases = N)]`), so existing suites port by editing
+//!    imports, not logic.
+//! 3. **Useful failures.** On a failing case the harness greedily
+//!    shrinks each argument toward its generator's minimum and reports
+//!    the minimal failing input alongside the original one.
+//!
+//! Strategies are value generators paired with a `shrink` step producing
+//! strictly-simpler candidates; see [`Strategy`].
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ix_sim::SimRng;
+
+/// A generator of test inputs plus a shrinker toward simpler inputs.
+///
+/// `shrink` must return values that are valid outputs of this strategy
+/// (or an empty vector): the harness re-runs the property on candidates
+/// and recurses from the first one that still fails.
+pub trait Strategy {
+    /// The generated input type.
+    type Value: Clone + std::fmt::Debug;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut SimRng) -> Self::Value;
+
+    /// Proposes strictly-simpler variants of `v` (possibly none).
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value>;
+
+    /// Maps generated values through `f` (shrinking stops at the map
+    /// boundary, since `f` is not invertible).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Clone + std::fmt::Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+// ---------------------------------------------------------------------
+// any::<T>() over Arbitrary types.
+// ---------------------------------------------------------------------
+
+/// Types with a canonical full-range generator, for [`any`].
+pub trait Arbitrary: Clone + std::fmt::Debug {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut SimRng) -> Self;
+    /// Proposes simpler variants (toward zero/empty).
+    fn shrink(&self) -> Vec<Self>;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Generates any value of `T` (full range for integers).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SimRng) -> T {
+        T::arbitrary(rng)
+    }
+    fn shrink(&self, v: &T) -> Vec<T> {
+        v.shrink()
+    }
+}
+
+/// Candidate shrinks for an unsigned value toward `lo`.
+fn shrink_toward(v: u64, lo: u64) -> Vec<u64> {
+    if v <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo, lo + (v - lo) / 2, v - 1];
+    out.dedup();
+    out.retain(|&c| c != v);
+    out
+}
+
+macro_rules! uint_arbitrary {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SimRng) -> $t {
+                rng.next_u64() as $t
+            }
+            fn shrink(&self) -> Vec<$t> {
+                shrink_toward(*self as u64, 0).into_iter().map(|v| v as $t).collect()
+            }
+        }
+    )+};
+}
+uint_arbitrary!(u8, u16, u32, u64, usize);
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SimRng) -> $t {
+                rng.next_u64() as $t
+            }
+            fn shrink(&self) -> Vec<$t> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2];
+                if v > 0 { out.push(v - 1); } else { out.push(v + 1); }
+                out.dedup();
+                out.retain(|&c| c != v);
+                out
+            }
+        }
+    )+};
+}
+int_arbitrary!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SimRng) -> bool {
+        rng.below(2) == 1
+    }
+    fn shrink(&self) -> Vec<bool> {
+        if *self { vec![false] } else { Vec::new() }
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut SimRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+    fn shrink(&self) -> Vec<[T; N]> {
+        let mut out = Vec::new();
+        for i in 0..N {
+            for cand in self[i].shrink().into_iter().take(2) {
+                let mut nv = self.clone();
+                nv[i] = cand;
+                out.push(nv);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Integer range strategies: `lo..hi` and `lo..=hi`.
+// ---------------------------------------------------------------------
+
+macro_rules! uint_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                if !self.contains(v) {
+                    return Vec::new(); // Foreign value (e.g. via a union).
+                }
+                shrink_toward(*v as u64, self.start as u64)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SimRng) -> $t {
+                rng.range_inclusive(*self.start() as u64, *self.end() as u64) as $t
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                if !self.contains(v) {
+                    return Vec::new(); // Foreign value (e.g. via a union).
+                }
+                shrink_toward(*v as u64, *self.start() as u64)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
+        }
+    )+};
+}
+uint_range_strategy!(u8, u16, u32, u64, usize);
+
+// ---------------------------------------------------------------------
+// Combinators.
+// ---------------------------------------------------------------------
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Clone + std::fmt::Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut SimRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+    fn shrink(&self, _v: &U) -> Vec<U> {
+        Vec::new() // `f` is not invertible; shrinking stops here.
+    }
+}
+
+/// `Option` strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::{SimRng, Strategy};
+
+    /// The strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `None` or `Some(inner)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut SimRng) -> Option<S::Value> {
+            if rng.below(2) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+        fn shrink(&self, v: &Option<S::Value>) -> Vec<Option<S::Value>> {
+            match v {
+                None => Vec::new(),
+                Some(x) => {
+                    let mut out = vec![None];
+                    out.extend(self.inner.shrink(x).into_iter().map(Some));
+                    out
+                }
+            }
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{SimRng, Strategy};
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Generates a `Vec` of `elem` values with length drawn from `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SimRng) -> Vec<S::Value> {
+            let n = self.len.start + rng.below((self.len.end - self.len.start) as u64) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+        fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.len.start;
+            // Structural shrinks first: shorter vectors find minimal
+            // programs far faster than element tweaks.
+            if v.len() > min {
+                out.push(v[..min].to_vec());
+                out.push(v[..min + (v.len() - min) / 2].to_vec());
+                out.push(v[..v.len() - 1].to_vec());
+                // Drop one element from the middle (order-sensitive
+                // programs often minimise to "two interacting ops").
+                for i in (0..v.len()).take(16) {
+                    let mut nv = v.clone();
+                    nv.remove(i);
+                    out.push(nv);
+                }
+            }
+            for (i, x) in v.iter().enumerate().take(16) {
+                for cand in self.elem.shrink(x) {
+                    let mut nv = v.clone();
+                    nv[i] = cand;
+                    out.push(nv);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Object-safe [`Strategy`] view, for heterogeneous unions.
+pub trait DynStrategy<V> {
+    /// Draws one value.
+    fn generate_dyn(&self, rng: &mut SimRng) -> V;
+    /// Proposes simpler variants (must tolerate values produced by a
+    /// different arm of the union).
+    fn shrink_dyn(&self, v: &V) -> Vec<V>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut SimRng) -> S::Value {
+        self.generate(rng)
+    }
+    fn shrink_dyn(&self, v: &S::Value) -> Vec<S::Value> {
+        self.shrink(v)
+    }
+}
+
+/// Uniform choice between strategies of a common value type; built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<V> {
+    arms: Vec<Box<dyn DynStrategy<V>>>,
+}
+
+impl<V> Union<V> {
+    /// Wraps the given arms; panics if empty.
+    pub fn new(arms: Vec<Box<dyn DynStrategy<V>>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: Clone + std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut SimRng) -> V {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].generate_dyn(rng)
+    }
+    fn shrink(&self, v: &V) -> Vec<V> {
+        self.arms.iter().flat_map(|a| a.shrink_dyn(v)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples of strategies (one per property argument).
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $i:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut SimRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$i.shrink(&v.$i) {
+                        let mut nv = v.clone();
+                        nv.$i = cand;
+                        out.push(nv);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11);
+
+// ---------------------------------------------------------------------
+// The runner.
+// ---------------------------------------------------------------------
+
+/// FNV-1a over the test name: a stable per-test seed, independent of
+/// link order and of other tests in the binary.
+fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn run_one<T>(f: &impl Fn(T), v: T) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| f(v))) {
+        Ok(()) => Ok(()),
+        Err(e) => Err(if let Some(s) = e.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = e.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        }),
+    }
+}
+
+/// Maximum property re-executions spent shrinking one failure.
+const SHRINK_BUDGET: usize = 2048;
+
+/// Runs `cases` random executions of the property `f` over inputs from
+/// `strat`, shrinking and reporting the minimal input on failure.
+///
+/// Environment overrides: `IX_PROP_CASES` scales case counts globally
+/// (for a deeper soak); `IX_PROP_SEED` replaces the per-test seed (for
+/// exploring alternative streams).
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) if any case fails.
+pub fn run_prop<S: Strategy>(name: &str, cases: u32, strat: S, f: impl Fn(S::Value)) {
+    // Floor of 1 so a typo'd `IX_PROP_CASES=0` can't silently turn
+    // every property into a vacuous pass.
+    let cases = std::env::var("IX_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(cases)
+        .max(1);
+    let seed = std::env::var("IX_PROP_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or_else(|| seed_from_name(name));
+    let mut rng = SimRng::new(seed);
+    for case in 0..cases {
+        let original = strat.generate(&mut rng);
+        if let Err(first_msg) = run_one(&f, original.clone()) {
+            // Greedy shrink: take the first still-failing candidate and
+            // restart from it; stop when no candidate fails or the
+            // budget runs out.
+            let mut cur = original.clone();
+            let mut msg = first_msg;
+            let mut budget = SHRINK_BUDGET;
+            'outer: loop {
+                for cand in strat.shrink(&cur) {
+                    if budget == 0 {
+                        break 'outer;
+                    }
+                    budget -= 1;
+                    if let Err(m) = run_one(&f, cand.clone()) {
+                        cur = cand;
+                        msg = m;
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            panic!(
+                "property '{name}' failed at case {case} (seed {seed}):\n  {msg}\n  \
+                 minimal input: {cur:?}\n  original input: {original:?}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let s = collection::vec(any::<u8>(), 0..32);
+        let mut a = SimRng::new(seed_from_name("x"));
+        let mut b = SimRng::new(seed_from_name("x"));
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+        let mut c = SimRng::new(seed_from_name("y"));
+        let xs: Vec<_> = (0..8).map(|_| s.generate(&mut a)).collect();
+        let ys: Vec<_> = (0..8).map(|_| s.generate(&mut c)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..2000 {
+            let v = (10u16..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (3u8..=5).generate(&mut rng);
+            assert!((3..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn shrink_stays_in_range() {
+        let s = 10u32..1000;
+        let mut rng = SimRng::new(2);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            for c in s.shrink(&v) {
+                assert!(c >= 10 && c < v, "candidate {c} from {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimum() {
+        // Property "v < 57" over 0..200 must shrink exactly to 57.
+        let got = catch_unwind(AssertUnwindSafe(|| {
+            run_prop("shrink_to_57", 256, (0u64..200,), |(v,)| assert!(v < 57));
+        }));
+        let msg = match got {
+            Err(e) => *e.downcast::<String>().expect("string payload"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("minimal input: (57,)"), "got: {msg}");
+    }
+
+    #[test]
+    fn vec_shrink_minimises_length() {
+        // "No vec contains a 200+" must shrink to a single offending
+        // element at the length floor.
+        let strat = (collection::vec(0u8..=255, 0..64),);
+        let got = catch_unwind(AssertUnwindSafe(|| {
+            run_prop("shrink_vec", 256, strat, |(v,)| {
+                assert!(v.iter().all(|&x| x < 200));
+            });
+        }));
+        let msg = match got {
+            Err(e) => *e.downcast::<String>().expect("string payload"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("minimal input: ([200],)"), "got: {msg}");
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let s: Union<u8> = Union::new(vec![Box::new(0u8..=0), Box::new(1u8..=1), Box::new(2u8..=2)]);
+        let mut rng = SimRng::new(3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn option_generates_both_variants() {
+        let s = option::of(1u8..=9);
+        let mut rng = SimRng::new(4);
+        let (mut none, mut some) = (0, 0);
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                None => none += 1,
+                Some(v) => {
+                    assert!((1..=9).contains(&v));
+                    some += 1;
+                }
+            }
+        }
+        assert!(none > 50 && some > 50);
+    }
+}

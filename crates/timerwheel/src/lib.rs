@@ -238,7 +238,7 @@ impl<T> TimerWheel<T> {
         let mut all: Vec<u32> = Vec::with_capacity(self.live);
         for level in &mut self.slots {
             for slot in level {
-                all.extend(slot.drain(..));
+                all.append(slot);
             }
         }
         self.now_tick = tick;

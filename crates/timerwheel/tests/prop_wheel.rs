@@ -1,10 +1,10 @@
-//! Property test: the hierarchical wheel agrees with a reference
+//! Property test (ix-testkit harness): the hierarchical wheel agrees with a reference
 //! BinaryHeap implementation on what fires, when (to tick resolution),
 //! and in what order — under arbitrary schedule/cancel/advance programs.
 
 use std::collections::BinaryHeap;
 
-use proptest::prelude::*;
+use ix_testkit::prelude::*;
 
 use ix_timerwheel::{TimerId, TimerWheel, DEFAULT_RESOLUTION_NS};
 
@@ -50,11 +50,11 @@ impl PartialOrd for RefTimer {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    #![config(cases = 64)]
 
     #[test]
-    fn wheel_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+    fn wheel_matches_reference(ops in collection::vec(op_strategy(), 1..120)) {
         let res = DEFAULT_RESOLUTION_NS;
         let mut wheel: TimerWheel<u64> = TimerWheel::new();
         let mut heap: BinaryHeap<RefTimer> = BinaryHeap::new();

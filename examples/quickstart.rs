@@ -7,7 +7,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use bytes::Bytes;
+use ix_testkit::Bytes;
 use ix::core::dataplane::Dataplane;
 use ix::core::libix::{ConnCtx, Libix, LibixCtx, LibixHandler};
 use ix::core::params::CostParams;

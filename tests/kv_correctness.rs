@@ -7,7 +7,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use bytes::Bytes;
+use ix_testkit::Bytes;
 use ix::apps::kvstore::{KvServer, SharedStore};
 use ix::apps::workload::proto;
 use ix::baselines::linux::{LinuxHost, LinuxParams};
