@@ -11,4 +11,22 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Microbench smoke: quick mode trims iteration counts so this is a
+# does-it-still-run check (plus BENCH_sim.json regeneration), not a
+# statistically meaningful measurement.
+IX_BENCH_QUICK=1 cargo bench -q -p ix-bench --offline
+
+# Wall-clock budget: the quick fig5 sweep must stay interactive. The
+# ceiling is generous (slow shared CI hosts), but a scheduler or pool
+# regression that reintroduces the seed's minutes-long runs trips it.
+fig5_budget_s=120
+start_s=$SECONDS
+IX_SWEEP_QUICK=1 ./target/release/fig5_memcached > /dev/null
+elapsed_s=$(( SECONDS - start_s ))
+echo "ci: quick fig5 sweep took ${elapsed_s}s (budget ${fig5_budget_s}s)"
+if [ "$elapsed_s" -gt "$fig5_budget_s" ]; then
+    echo "ci: FAIL — quick fig5 exceeded its wall-clock budget" >&2
+    exit 1
+fi
+
 echo "ci: all green"

@@ -66,6 +66,33 @@ pub enum ServerEngine {
 }
 
 impl ServerEngine {
+    /// Aggregated mbuf-pool statistics across all server cores: total
+    /// alloc/free churn, current outstanding, and summed per-core peaks.
+    pub fn mbuf_stats(&self) -> ix_mempool::PoolStats {
+        fn add(agg: &mut ix_mempool::PoolStats, p: ix_mempool::PoolStats) {
+            agg.allocs += p.allocs;
+            agg.frees += p.frees;
+            agg.exhausted += p.exhausted;
+            agg.outstanding += p.outstanding;
+            agg.peak_outstanding += p.peak_outstanding;
+        }
+        let mut agg = ix_mempool::PoolStats::default();
+        match self {
+            ServerEngine::Ix(d) => agg = d.mbuf_stats(),
+            ServerEngine::Linux(l) => {
+                for c in &l.cores {
+                    add(&mut agg, c.borrow().shard.pool_stats());
+                }
+            }
+            ServerEngine::Mtcp(m) => {
+                for c in &m.cores {
+                    add(&mut agg, c.borrow().shard.pool_stats());
+                }
+            }
+        }
+        agg
+    }
+
     /// `(kernel_ns, user_ns)` CPU split across server cores.
     pub fn cpu_split(&self) -> (u64, u64) {
         match self {
@@ -353,8 +380,33 @@ pub struct EchoResult {
     pub debug: String,
 }
 
+/// Engine-level instrumentation captured at the end of an experiment:
+/// the event-scheduler counters (whole testbed — server and clients run
+/// on one simulator) and the server's aggregated mbuf churn.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineInstrumentation {
+    /// Scheduler counters from the testbed's [`Simulator`].
+    pub sim: ix_sim::SimCounters,
+    /// Server-side mbuf pool statistics, summed across cores.
+    pub mbuf: ix_mempool::PoolStats,
+}
+
+impl EngineInstrumentation {
+    fn capture(tb: &Testbed) -> EngineInstrumentation {
+        EngineInstrumentation {
+            sim: tb.sim.counters(),
+            mbuf: tb.engine.as_ref().expect("launched").mbuf_stats(),
+        }
+    }
+}
+
 /// Runs one echo experiment point.
 pub fn run_echo(cfg: &EchoConfig) -> EchoResult {
+    run_echo_instrumented(cfg).0
+}
+
+/// [`run_echo`] plus the engine instrumentation snapshot.
+pub fn run_echo_instrumented(cfg: &EchoConfig) -> (EchoResult, EngineInstrumentation) {
     let mut tb = Testbed::new(cfg.seed, cfg.server_ports, cfg.n_clients);
     let warmup_end = cfg.warmup.as_nanos();
     let window_end = warmup_end + cfg.measure.as_nanos();
@@ -373,10 +425,11 @@ pub fn run_echo(cfg: &EchoConfig) -> EchoResult {
     });
     // Run a little past the window so in-flight messages drain.
     tb.run_until_ns(window_end + Nanos::from_millis(2).as_nanos());
+    let instr = EngineInstrumentation::capture(&tb);
     let s = stats.borrow();
     let secs = cfg.measure.as_secs_f64();
     let msgs_per_sec = s.messages as f64 / secs;
-    EchoResult {
+    let result = EchoResult {
         msgs_per_sec,
         goodput_gbps: msgs_per_sec * (cfg.msg_size as f64 * 8.0) / 1e9,
         rtt_avg_ns: s.rtt.mean().as_nanos(),
@@ -385,7 +438,8 @@ pub fn run_echo(cfg: &EchoConfig) -> EchoResult {
         messages: s.messages,
         cpu_split: tb.engine.as_ref().expect("launched").cpu_split(),
         debug: tb.debug_line(),
-    }
+    };
+    (result, instr)
 }
 
 // ---------------------------------------------------------------------
@@ -536,7 +590,10 @@ pub fn run_netpipe_seeded(
     // NetPIPE runs the *same* system on both ends (§5.2) — launch the
     // client engine accordingly on the client host.
     let host_id = tb.clients[0];
-    let result = {
+    // The client engine must stay alive for the whole run: the NIC holds
+    // only weak references to elastic threads, so a quiescent thread with
+    // no pending timer is kept resurrectable solely by its `Dataplane`.
+    let (result, _client_eng) = {
         let host = tb.fabric.host(host_id);
         let cell: Rc<RefCell<Option<Rc<RefCell<crate::netpipe::NetpipeResult>>>>> =
             Rc::new(RefCell::new(None));
@@ -575,7 +632,7 @@ pub fn run_netpipe_seeded(
             ServerEngine::Mtcp(m) => m.seed_arp(sip, smac),
         }
         let taken = cell.borrow().clone();
-        taken.expect("client app created")
+        (taken.expect("client app created"), eng)
     };
     // Size-dependent budget: large messages at low bandwidth need time.
     let budget = Nanos::from_millis(200 + (msg_size as u64 * reps as u64) / 100_000);
@@ -665,6 +722,11 @@ pub struct KvResult {
 
 /// Runs one memcached measurement point.
 pub fn run_kv(cfg: &KvConfig) -> KvResult {
+    run_kv_instrumented(cfg).0
+}
+
+/// [`run_kv`] plus the engine instrumentation snapshot.
+pub fn run_kv_instrumented(cfg: &KvConfig) -> (KvResult, EngineInstrumentation) {
     let mut tb = Testbed::new(cfg.seed, 1, cfg.n_clients);
     let warmup_end = cfg.warmup.as_nanos();
     let window_end = warmup_end + cfg.measure.as_nanos();
@@ -733,13 +795,14 @@ pub fn run_kv(cfg: &KvConfig) -> KvResult {
         }
     }
     tb.run_until_ns(window_end + Nanos::from_millis(3).as_nanos());
+    let instr = EngineInstrumentation::capture(&tb);
     let (store_ops, store_lock_wait_ns) = {
         let st = store.borrow();
         (st.ops, st.lock_wait_ns)
     };
     let s = stats.borrow();
     let secs = cfg.measure.as_secs_f64();
-    KvResult {
+    let result = KvResult {
         rps: s.completed as f64 / secs,
         avg_ns: s.latency.mean().as_nanos(),
         p99_ns: s.latency.p99().as_nanos(),
@@ -752,5 +815,6 @@ pub fn run_kv(cfg: &KvConfig) -> KvResult {
         debug: tb.debug_line(),
         store_ops,
         store_lock_wait_ns,
-    }
+    };
+    (result, instr)
 }

@@ -14,9 +14,189 @@ use ix_mempool::MbufPool;
 use ix_net::ip::Ipv4Addr;
 use ix_net::rss::{hash_ipv4_tuple, TOEPLITZ_DEFAULT_KEY};
 use ix_net::tcp::{TcpFlags, TcpHeader};
-use ix_sim::Histogram;
+use ix_sim::{Histogram, Nanos, Simulator};
 use ix_testkit::bench::BenchRunner;
 use ix_timerwheel::TimerWheel;
+
+/// The seed engine's scheduler, kept as the reference point for the
+/// calendar-queue rewrite: a `BinaryHeap` ordered by `(time, seq)` with
+/// a tombstone `HashSet` consulted (and cleaned) on every pop.
+mod binheap_model {
+    use std::collections::{BinaryHeap, HashSet};
+
+    struct Ev {
+        time: u64,
+        seq: u64,
+        action: Box<dyn FnOnce()>,
+    }
+
+    impl PartialEq for Ev {
+        fn eq(&self, other: &Ev) -> bool {
+            (self.time, self.seq) == (other.time, other.seq)
+        }
+    }
+    impl Eq for Ev {}
+    impl PartialOrd for Ev {
+        fn partial_cmp(&self, other: &Ev) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Ev {
+        fn cmp(&self, other: &Ev) -> std::cmp::Ordering {
+            // Reversed: BinaryHeap is a max-heap, we want min-(time, seq).
+            (other.time, other.seq).cmp(&(self.time, self.seq))
+        }
+    }
+
+    pub struct BinHeapSim {
+        now: u64,
+        seq: u64,
+        queue: BinaryHeap<Ev>,
+        cancelled: HashSet<u64>,
+        executed: u64,
+    }
+
+    impl BinHeapSim {
+        pub fn new() -> BinHeapSim {
+            BinHeapSim {
+                now: 0,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                cancelled: HashSet::new(),
+                executed: 0,
+            }
+        }
+
+        pub fn schedule_in(&mut self, delay: u64, action: impl FnOnce() + 'static) -> u64 {
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(Ev {
+                time: self.now + delay,
+                seq,
+                action: Box::new(action),
+            });
+            seq
+        }
+
+        pub fn cancel(&mut self, seq: u64) {
+            self.cancelled.insert(seq);
+        }
+
+        pub fn step(&mut self) -> bool {
+            while let Some(ev) = self.queue.pop() {
+                if self.cancelled.remove(&ev.seq) {
+                    continue;
+                }
+                self.now = ev.time;
+                (ev.action)();
+                self.executed += 1;
+                return true;
+            }
+            false
+        }
+
+        pub fn executed(&self) -> u64 {
+            self.executed
+        }
+    }
+}
+
+/// Scheduler workloads, run identically against the calendar-queue
+/// engine and the BinaryHeap reference. Each iteration schedules and
+/// fires so the queue holds a steady working set; one event executes
+/// per iteration, so events/sec = 1e9 / ns_per_iter.
+fn bench_scheduler(r: &mut BenchRunner) {
+    /// Steady-state queue depth (a loaded testbed keeps thousands of
+    /// timers and packet events outstanding).
+    const DEPTH: u64 = 8192;
+    /// Near-tier delay spread: inside the ~1.05 ms calendar horizon.
+    const NEAR_SPREAD: u64 = 900_000;
+    /// Far-tier delay: well past the horizon, lands in the overflow heap.
+    const FAR_DELAY: u64 = 8_000_000;
+
+    // -- Pure schedule/fire churn at depth.
+    r.bench("scheduler/churn_fire_8k", |b| {
+        let mut sim = Simulator::new(7);
+        for i in 0..DEPTH {
+            sim.schedule_in(Nanos(500 + (i * 97) % NEAR_SPREAD), |_| {});
+        }
+        let mut d = 0u64;
+        b.iter(|| {
+            d = (d.wrapping_mul(997).wrapping_add(131)) % NEAR_SPREAD;
+            sim.schedule_in(Nanos(500 + d), |_| {});
+            black_box(sim.step());
+        })
+    });
+    r.bench("scheduler_binheap/churn_fire_8k", |b| {
+        let mut sim = binheap_model::BinHeapSim::new();
+        for i in 0..DEPTH {
+            sim.schedule_in(500 + (i * 97) % NEAR_SPREAD, || {});
+        }
+        let mut d = 0u64;
+        b.iter(|| {
+            d = (d.wrapping_mul(997).wrapping_add(131)) % NEAR_SPREAD;
+            sim.schedule_in(500 + d, || {});
+            black_box(sim.step());
+        });
+        black_box(sim.executed());
+    });
+
+    // -- Cancel-dominant: the RTO pattern — arm a retransmit timer, then
+    // cancel it when the ACK arrives a moment later. The in-flight
+    // cancelled timers (200 µs of them) form the queue's working set;
+    // the 600 ns events keep the clock moving one fire per iteration.
+    r.bench("scheduler/cancel_rto_rearm", |b| {
+        let mut sim = Simulator::new(7);
+        b.iter(|| {
+            let id = sim.schedule_in(Nanos(200_000), |_| {});
+            sim.cancel(id);
+            sim.schedule_in(Nanos(600), |_| {});
+            black_box(sim.step());
+        })
+    });
+    r.bench("scheduler_binheap/cancel_rto_rearm", |b| {
+        let mut sim = binheap_model::BinHeapSim::new();
+        b.iter(|| {
+            let id = sim.schedule_in(200_000, || {});
+            sim.cancel(id);
+            sim.schedule_in(600, || {});
+            black_box(sim.step());
+        });
+        black_box(sim.executed());
+    });
+
+    // -- Mixed horizon: half the inserts spread across the near calendar,
+    // half go deep into the overflow tier and must be promoted back.
+    r.bench("scheduler/mixed_near_far", |b| {
+        let mut sim = Simulator::new(7);
+        for i in 0..DEPTH {
+            let base = (i * 97) % NEAR_SPREAD;
+            sim.schedule_in(Nanos(if i % 2 == 0 { 500 + base } else { FAR_DELAY + base }), |_| {});
+        }
+        let mut d = 0u64;
+        b.iter(|| {
+            d = (d.wrapping_mul(997).wrapping_add(131)) % NEAR_SPREAD;
+            let far = d.is_multiple_of(2);
+            sim.schedule_in(Nanos(if far { FAR_DELAY + d } else { 500 + d }), |_| {});
+            black_box(sim.step());
+        })
+    });
+    r.bench("scheduler_binheap/mixed_near_far", |b| {
+        let mut sim = binheap_model::BinHeapSim::new();
+        for i in 0..DEPTH {
+            let base = (i * 97) % NEAR_SPREAD;
+            sim.schedule_in(if i % 2 == 0 { 500 + base } else { FAR_DELAY + base }, || {});
+        }
+        let mut d = 0u64;
+        b.iter(|| {
+            d = (d.wrapping_mul(997).wrapping_add(131)) % NEAR_SPREAD;
+            let far = d.is_multiple_of(2);
+            sim.schedule_in(if far { FAR_DELAY + d } else { 500 + d }, || {});
+            black_box(sim.step());
+        });
+        black_box(sim.executed());
+    });
+}
 
 fn bench_toeplitz(r: &mut BenchRunner) {
     let src = Ipv4Addr::new(10, 0, 0, 1);
@@ -130,13 +310,77 @@ fn bench_end_to_end(r: &mut BenchRunner) {
     });
 }
 
+/// Persists every result (and the calendar-vs-BinaryHeap comparison) to
+/// `results/BENCH_sim.json`.
+fn write_report(r: &BenchRunner) {
+    let quick = std::env::var("IX_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+    let mut rows = String::from("[");
+    for (i, res) in r.results().iter().enumerate() {
+        if i > 0 {
+            rows.push_str(", ");
+        }
+        rows += &format!(
+            "{{\"name\": \"{}\", \"ns_per_iter\": {:.2}, \"iters\": {}}}",
+            ix_bench::report::json_escape(&res.name),
+            res.ns_per_iter,
+            res.iters
+        );
+    }
+    rows.push(']');
+    // Quick (CI smoke) runs get their own keys so they never clobber
+    // recorded full-length numbers.
+    let suffix = if quick { "_quick" } else { "" };
+    ix_bench::report::update_section(
+        &format!("microbench{suffix}"),
+        &format!("{{\"quick\": {quick}, \"results\": {rows}}}"),
+    );
+
+    // One event fires per iteration in every scheduler workload, so
+    // events/sec is directly 1e9 / ns_per_iter and the speedup is the
+    // ns ratio against the BinaryHeap model.
+    let find = |name: &str| r.results().iter().find(|x| x.name == name).map(|x| x.ns_per_iter);
+    let mut cmp = String::from("{");
+    let mut first = true;
+    for wl in ["churn_fire_8k", "cancel_rto_rearm", "mixed_near_far"] {
+        if let (Some(new), Some(base)) = (
+            find(&format!("scheduler/{wl}")),
+            find(&format!("scheduler_binheap/{wl}")),
+        ) {
+            if !first {
+                cmp.push_str(", ");
+            }
+            first = false;
+            cmp += &format!(
+                "\"{wl}\": {{\"calendar_ns\": {new:.2}, \"binheap_ns\": {base:.2}, \
+                 \"calendar_events_per_sec\": {:.0}, \"binheap_events_per_sec\": {:.0}, \
+                 \"speedup\": {:.2}}}",
+                1e9 / new,
+                1e9 / base,
+                base / new
+            );
+            println!(
+                "[scheduler] {wl}: {:.1} ns/event vs binheap {:.1} ns/event ({:.2}x)",
+                new,
+                base,
+                base / new
+            );
+        }
+    }
+    cmp.push('}');
+    if cmp.len() > 2 {
+        ix_bench::report::update_section(&format!("scheduler_speedup{suffix}"), &cmp);
+    }
+}
+
 fn main() {
     let mut r = BenchRunner::from_args();
     bench_toeplitz(&mut r);
     bench_timerwheel(&mut r);
+    bench_scheduler(&mut r);
     bench_mempool(&mut r);
     bench_tcp_codec(&mut r);
     bench_histogram(&mut r);
     bench_end_to_end(&mut r);
+    write_report(&r);
     r.finish();
 }

@@ -8,34 +8,46 @@
 
 use ix_apps::harness::{run_echo, EchoConfig, System};
 
+const COLUMNS: [(System, usize); 5] = [
+    (System::Ix, 1),
+    (System::Ix, 4),
+    (System::Linux, 1),
+    (System::Linux, 4),
+    (System::Mtcp, 1),
+];
+
 fn main() {
     ix_bench::banner(
         "Figure 3a",
         "Echo connections/sec vs server cores (n=1, s=64B; RST close + reopen)",
     );
-    let cores: &[usize] = &[1, 2, 3, 4, 6, 8];
+    let cores: &[usize] =
+        if ix_bench::sweep::quick() { &[1, 8] } else { &[1, 2, 3, 4, 6, 8] };
+    let mut points: Vec<(usize, System, usize)> = Vec::new();
+    for &c in cores {
+        for (sys, ports) in COLUMNS {
+            points.push((c, sys, ports));
+        }
+    }
+    let outcome = ix_bench::sweep::run(&points, |&(c, sys, ports)| {
+        let cfg = EchoConfig {
+            system: sys,
+            server_cores: c,
+            server_ports: ports,
+            n_per_conn: 1,
+            msg_size: 64,
+            ..EchoConfig::default()
+        };
+        run_echo(&cfg)
+    });
     println!(
         "{:>5} | {:>10} {:>10} | {:>10} {:>10} | {:>10}",
         "cores", "IX-10G", "IX-40G", "Linux-10G", "Linux-40G", "mTCP-10G"
     );
-    for &c in cores {
+    for (ci, &c) in cores.iter().enumerate() {
         let mut row = format!("{c:>5} |");
-        for (sys, ports) in [
-            (System::Ix, 1),
-            (System::Ix, 4),
-            (System::Linux, 1),
-            (System::Linux, 4),
-            (System::Mtcp, 1),
-        ] {
-            let cfg = EchoConfig {
-                system: sys,
-                server_cores: c,
-                server_ports: ports,
-                n_per_conn: 1,
-                msg_size: 64,
-                ..EchoConfig::default()
-            };
-            let r = run_echo(&cfg);
+        for (i, &(sys, ports)) in COLUMNS.iter().enumerate() {
+            let r = &outcome.results[ci * COLUMNS.len() + i];
             row += &format!(" {:>9.2}M", r.msgs_per_sec / 1e6);
             if (sys, ports) == (System::Ix, 4) || (sys, ports) == (System::Linux, 4) {
                 row += " |";
@@ -45,4 +57,5 @@ fn main() {
     }
     println!();
     println!("Paper: IX-10G saturates at 3 cores; IX-40G linear to ~3.8M conn/s at 8 cores.");
+    ix_bench::sweep::record("fig3a_cores", &outcome);
 }

@@ -8,35 +8,46 @@
 
 use ix_apps::harness::{run_echo, EchoConfig, System};
 
+const COLUMNS: [(System, usize); 5] = [
+    (System::Ix, 1),
+    (System::Ix, 4),
+    (System::Linux, 1),
+    (System::Linux, 4),
+    (System::Mtcp, 1),
+];
+
 fn main() {
     ix_bench::banner(
         "Figure 3b",
         "Echo messages/sec vs round trips per connection (s=64B, 8 cores)",
     );
-    let ns: &[usize] = &[1, 8, 64, 256, 1024];
+    let ns: &[usize] = if ix_bench::sweep::quick() { &[1, 1024] } else { &[1, 8, 64, 256, 1024] };
+    let mut points: Vec<(usize, System, usize)> = Vec::new();
+    for &n in ns {
+        for (sys, ports) in COLUMNS {
+            points.push((n, sys, ports));
+        }
+    }
+    let outcome = ix_bench::sweep::run(&points, |&(n, sys, ports)| {
+        let cfg = EchoConfig {
+            system: sys,
+            server_cores: 8,
+            server_ports: ports,
+            n_per_conn: n,
+            msg_size: 64,
+            ..EchoConfig::default()
+        };
+        run_echo(&cfg)
+    });
     println!(
         "{:>6} | {:>10} {:>10} | {:>10} {:>10} | {:>10}",
         "n", "IX-10G", "IX-40G", "Linux-10G", "Linux-40G", "mTCP-10G"
     );
     let mut at_1024 = Vec::new();
-    for &n in ns {
+    for (ni, &n) in ns.iter().enumerate() {
         let mut row = format!("{n:>6} |");
-        for (sys, ports) in [
-            (System::Ix, 1),
-            (System::Ix, 4),
-            (System::Linux, 1),
-            (System::Linux, 4),
-            (System::Mtcp, 1),
-        ] {
-            let cfg = EchoConfig {
-                system: sys,
-                server_cores: 8,
-                server_ports: ports,
-                n_per_conn: n,
-                msg_size: 64,
-                ..EchoConfig::default()
-            };
-            let r = run_echo(&cfg);
+        for (i, &(sys, ports)) in COLUMNS.iter().enumerate() {
+            let r = &outcome.results[ni * COLUMNS.len() + i];
             row += &format!(" {:>9.2}M", r.msgs_per_sec / 1e6);
             if matches!((sys, ports), (System::Ix, 4) | (System::Linux, 4)) {
                 row += " |";
@@ -55,4 +66,5 @@ fn main() {
             ix10.2 / lnx10.2
         );
     }
+    ix_bench::sweep::record("fig3b_roundtrips", &outcome);
 }

@@ -9,32 +9,47 @@
 
 use ix_apps::harness::{run_connscale, ConnScaleConfig, System};
 
+const COLUMNS: [(System, usize); 4] = [
+    (System::Ix, 1),
+    (System::Ix, 4),
+    (System::Linux, 1),
+    (System::Linux, 4),
+];
+
 fn main() {
     ix_bench::banner("Figure 4", "Echo messages/sec vs connection count (64B RPC)");
-    let conn_counts: &[usize] = &[100, 1_000, 10_000, 50_000, 100_000, 250_000];
+    let conn_counts: &[usize] = if ix_bench::sweep::quick() {
+        &[100, 10_000]
+    } else {
+        &[100, 1_000, 10_000, 50_000, 100_000, 250_000]
+    };
+    let mut points: Vec<(usize, System, usize)> = Vec::new();
+    for &n in conn_counts {
+        for (sys, ports) in COLUMNS {
+            points.push((n, sys, ports));
+        }
+    }
+    let outcome = ix_bench::sweep::run(&points, |&(n, sys, ports)| {
+        let cfg = ConnScaleConfig {
+            system: sys,
+            server_ports: ports,
+            total_conns: n,
+            // Few connections bound concurrency by themselves.
+            outstanding_per_thread: if n < 1_000 { 1 } else { 3 },
+            ..ConnScaleConfig::default()
+        };
+        run_connscale(&cfg)
+    });
     println!(
         "{:>8} | {:>10} {:>10} {:>10} {:>10} | {:>9}",
         "conns", "IX-10G", "IX-40G", "Linux-10G", "Linux-40G", "miss/msg"
     );
     let mut ix40_series = Vec::new();
-    for &n in conn_counts {
+    for (ni, &n) in conn_counts.iter().enumerate() {
         let mut row = format!("{n:>8} |");
         let mut misses = 0.0;
-        for (sys, ports) in [
-            (System::Ix, 1),
-            (System::Ix, 4),
-            (System::Linux, 1),
-            (System::Linux, 4),
-        ] {
-            let cfg = ConnScaleConfig {
-                system: sys,
-                server_ports: ports,
-                total_conns: n,
-                // Few connections bound concurrency by themselves.
-                outstanding_per_thread: if n < 1_000 { 1 } else { 3 },
-                ..ConnScaleConfig::default()
-            };
-            let r = run_connscale(&cfg);
+        for (i, &(sys, ports)) in COLUMNS.iter().enumerate() {
+            let r = &outcome.results[ni * COLUMNS.len() + i];
             row += &format!(" {:>9.2}M", r.msgs_per_sec / 1e6);
             misses = r.misses_per_msg;
             if (sys, ports) == (System::Ix, 4) {
@@ -56,4 +71,5 @@ fn main() {
         }
     }
     println!("Paper: misses/msg 1.4 below ~10k connections, ~25 at 250k (DDIO model).");
+    ix_bench::sweep::record("fig4_connscale", &outcome);
 }

@@ -6,10 +6,11 @@
 //! Linux runs 8 cores; IX runs 6 (application lock contention stops IX
 //! gaining beyond 6, §5.5).
 
-use ix_apps::harness::{run_kv, KvConfig, System};
+use ix_apps::harness::{run_kv, KvConfig, KvResult, System};
 use ix_apps::workload::WorkloadKind;
+use ix_sim::Nanos;
 
-fn sweep(system: System, wl: WorkloadKind, targets: &[f64]) {
+fn print_series(system: System, wl: WorkloadKind, rows: &[(f64, &KvResult)]) {
     println!(
         "--- {} / {:?} ({} cores)",
         system.name(),
@@ -20,15 +21,7 @@ fn sweep(system: System, wl: WorkloadKind, targets: &[f64]) {
         "{:>9} | {:>9} | {:>9} {:>9} | {:>10} {:>10}",
         "target", "RPS", "avg us", "p99 us", "agent avg", "agent p99"
     );
-    for &t in targets {
-        let cfg = KvConfig {
-            system,
-            workload: wl,
-            target_rps: t,
-            server_cores: if system == System::Ix { 6 } else { 8 },
-            ..KvConfig::default()
-        };
-        let r = run_kv(&cfg);
+    for &(t, r) in rows {
         println!(
             "{:>8.0}K | {:>8.0}K | {:>9.1} {:>9.1} | {:>10.1} {:>10.1}{}",
             t / 1e3,
@@ -47,14 +40,58 @@ fn main() {
         "Figure 5",
         "memcached latency vs throughput, ETC and USR (SLA: p99 <= 500us)",
     );
-    let linux_targets: &[f64] = &[100e3, 200e3, 300e3, 400e3, 500e3, 600e3, 700e3];
-    let ix_targets: &[f64] = &[
-        100e3, 400e3, 800e3, 1200e3, 1600e3, 2000e3, 2300e3,
-    ];
+    let quick = ix_bench::sweep::quick();
+    let linux_targets: &[f64] = if quick {
+        &[200e3, 500e3]
+    } else {
+        &[100e3, 200e3, 300e3, 400e3, 500e3, 600e3, 700e3]
+    };
+    let ix_targets: &[f64] = if quick {
+        &[400e3, 1600e3]
+    } else {
+        &[100e3, 400e3, 800e3, 1200e3, 1600e3, 2000e3, 2300e3]
+    };
+    // Each (system, workload, target) point is a full independent
+    // simulation (~7s serial each) — this figure dominates the suite's
+    // runtime, so farm all 28 points across cores.
+    let mut points: Vec<(System, WorkloadKind, f64)> = Vec::new();
     for wl in [WorkloadKind::Etc, WorkloadKind::Usr] {
-        sweep(System::Linux, wl, linux_targets);
-        sweep(System::Ix, wl, ix_targets);
+        for &t in linux_targets {
+            points.push((System::Linux, wl, t));
+        }
+        for &t in ix_targets {
+            points.push((System::Ix, wl, t));
+        }
+    }
+    let outcome = ix_bench::sweep::run(&points, |&(system, wl, t)| {
+        let mut cfg = KvConfig {
+            system,
+            workload: wl,
+            target_rps: t,
+            server_cores: if system == System::Ix { 6 } else { 8 },
+            ..KvConfig::default()
+        };
+        if ix_bench::sweep::quick() {
+            cfg.warmup = Nanos::from_millis(4);
+            cfg.measure = Nanos::from_millis(8);
+        }
+        run_kv(&cfg)
+    });
+    let mut i = 0;
+    for wl in [WorkloadKind::Etc, WorkloadKind::Usr] {
+        for (system, targets) in [(System::Linux, linux_targets), (System::Ix, ix_targets)] {
+            let rows: Vec<(f64, &KvResult)> = targets
+                .iter()
+                .map(|&t| {
+                    let r = &outcome.results[i];
+                    i += 1;
+                    (t, r)
+                })
+                .collect();
+            print_series(system, wl, &rows);
+        }
     }
     println!();
     println!("Paper (Table 2 SLA capacities): ETC-Linux 550K, ETC-IX 1550K, USR-Linux 500K, USR-IX 1800K.");
+    ix_bench::sweep::record("fig5_memcached", &outcome);
 }

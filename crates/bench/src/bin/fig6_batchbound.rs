@@ -15,7 +15,30 @@ fn main() {
         "memcached USR p99 latency vs throughput for batch bounds B (IX, 6 cores)",
     );
     let bounds: &[usize] = &[1, 2, 8, 16, 64];
-    let targets: &[f64] = &[200e3, 800e3, 1400e3, 2000e3];
+    let targets: &[f64] = if ix_bench::sweep::quick() {
+        &[200e3, 2000e3]
+    } else {
+        &[200e3, 800e3, 1400e3, 2000e3]
+    };
+    let mut points: Vec<(f64, usize)> = Vec::new();
+    for &t in targets {
+        for &b in bounds {
+            points.push((t, b));
+        }
+    }
+    let outcome = ix_bench::sweep::run(&points, |&(t, b)| {
+        let tuning =
+            EngineTuning { ix: CostParams::with_batch_bound(b), ..EngineTuning::default() };
+        let cfg = KvConfig {
+            system: System::Ix,
+            workload: WorkloadKind::Usr,
+            target_rps: t,
+            server_cores: 6,
+            tuning,
+            ..KvConfig::default()
+        };
+        run_kv(&cfg)
+    });
     println!(
         "{:>9} | {}",
         "target",
@@ -25,20 +48,10 @@ fn main() {
             .collect::<String>()
     );
     let mut max_rps = vec![0.0f64; bounds.len()];
-    for &t in targets {
+    for (ti, &t) in targets.iter().enumerate() {
         let mut row = format!("{:>8.0}K |", t / 1e3);
-        for (i, &b) in bounds.iter().enumerate() {
-            let tuning =
-                EngineTuning { ix: CostParams::with_batch_bound(b), ..EngineTuning::default() };
-            let cfg = KvConfig {
-                system: System::Ix,
-                workload: WorkloadKind::Usr,
-                target_rps: t,
-                server_cores: 6,
-                tuning,
-                ..KvConfig::default()
-            };
-            let r = run_kv(&cfg);
+        for (i, best) in max_rps.iter_mut().enumerate() {
+            let r = &outcome.results[ti * bounds.len() + i];
             let sat = r.rps < t * 0.95;
             row += &format!(
                 "{:>16}",
@@ -48,7 +61,7 @@ fn main() {
                     format!("{:.1}", r.agent_p99_ns as f64 / 1e3)
                 }
             );
-            max_rps[i] = max_rps[i].max(r.rps);
+            *best = best.max(r.rps);
         }
         println!("{row}");
     }
@@ -63,4 +76,5 @@ fn main() {
             100.0 * (b16 / max_rps[0] - 1.0)
         );
     }
+    ix_bench::sweep::record("fig6_batchbound", &outcome);
 }

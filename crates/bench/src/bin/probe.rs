@@ -1,8 +1,38 @@
 //! Calibration probe: quick sanity numbers for all three systems.
 //! Not a paper figure — a development aid kept for reproducibility work.
+//!
+//! Besides the application-level numbers, the probe prints the engine's
+//! own instrumentation: event-scheduler counters (volume, cancellation
+//! ratio, queue depth, calendar-tier split) and the server's mbuf
+//! alloc/free churn, so a perf regression in the simulator itself is
+//! visible without a profiler.
 
-use ix_apps::harness::{run_echo, run_kv, run_netpipe, EchoConfig, EngineTuning, KvConfig, System};
+use ix_apps::harness::{
+    run_echo_instrumented, run_kv_instrumented, run_netpipe, EchoConfig, EngineInstrumentation,
+    EngineTuning, KvConfig, System,
+};
 use ix_apps::workload::WorkloadKind;
+
+fn print_instrumentation(instr: &EngineInstrumentation) {
+    let c = instr.sim;
+    println!(
+        "         sched: {} scheduled ({} near / {} far, {} promoted), {} executed, {} cancelled (+{} stale), depth hw {} (bucket hw {})",
+        c.scheduled,
+        c.near_inserts,
+        c.far_inserts,
+        c.promotions,
+        c.executed,
+        c.cancelled,
+        c.cancel_noops,
+        c.pending_high_water,
+        c.bucket_high_water,
+    );
+    let m = instr.mbuf;
+    println!(
+        "         mbuf:  {} allocs / {} frees, peak outstanding {}, exhausted {}",
+        m.allocs, m.frees, m.peak_outstanding, m.exhausted
+    );
+}
 
 fn main() {
     let tuning = EngineTuning::default();
@@ -18,7 +48,7 @@ fn main() {
             system: sys,
             ..EchoConfig::default()
         };
-        let r = run_echo(&cfg);
+        let (r, instr) = run_echo_instrumented(&cfg);
         println!(
             "  {:<6} {:>6.2} M msg/s  rtt avg {:>7.1} us  p99 {:>7.1} us  conns {} kernel% {:.0}",
             sys.name(),
@@ -29,6 +59,7 @@ fn main() {
             100.0 * r.cpu_split.0 as f64 / (r.cpu_split.0 + r.cpu_split.1).max(1) as f64,
         );
         println!("         {}", r.debug);
+        print_instrumentation(&instr);
     }
 
     println!("== memcached USR @ 300K RPS (sanity)");
@@ -40,7 +71,7 @@ fn main() {
             server_cores: if sys == System::Ix { 6 } else { 8 },
             ..KvConfig::default()
         };
-        let r = run_kv(&cfg);
+        let (r, instr) = run_kv_instrumented(&cfg);
         println!(
             "  {:<6} {:>7.0}K rps  avg {:>7.1} us  p99 {:>7.1} us  agent avg {:>6.1} p99 {:>6.1}  kernel% {:.0} shed {}",
             sys.name(),
@@ -53,5 +84,6 @@ fn main() {
             r.shed,
         );
         println!("         net avg {:.1} p99 {:.1} us", r.net_avg_ns as f64/1e3, r.net_p99_ns as f64/1e3);
+        print_instrumentation(&instr);
     }
 }

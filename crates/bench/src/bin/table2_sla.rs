@@ -12,48 +12,13 @@ use ix_apps::workload::WorkloadKind;
 
 const SLA_NS: u64 = 500_000;
 
-/// Finds the highest sustainable target whose agent p99 meets the SLA,
-/// by grid walk then bisection refinement.
-fn sla_capacity(system: System, wl: WorkloadKind) -> f64 {
-    let cores = if system == System::Ix { 6 } else { 8 };
-    let probe = |rps: f64| -> (f64, u64) {
-        let cfg = KvConfig {
-            system,
-            workload: wl,
-            target_rps: rps,
-            server_cores: cores,
-            ..KvConfig::default()
-        };
-        let r = run_kv(&cfg);
-        (r.rps, r.agent_p99_ns)
-    };
-    // Fixed grid walk (bounded runtime): highest target that meets the
-    // SLA and is actually achieved.
-    let grid: &[f64] = if system == System::Ix {
-        &[1_000e3, 1_300e3, 1_600e3, 1_900e3, 2_200e3]
-    } else {
-        &[350e3, 450e3, 550e3, 650e3]
-    };
-    let mut best = 0.0;
-    for &t in grid {
-        let (ach, p99) = probe(t);
-        if p99 <= SLA_NS && ach >= t * 0.95 {
-            best = t;
-        }
+/// The SLA grid per system: bounded-runtime fixed walk, probed in
+/// parallel with every other point in the table.
+fn grid(system: System) -> &'static [f64] {
+    match system {
+        System::Ix => &[1_000e3, 1_300e3, 1_600e3, 1_900e3, 2_200e3],
+        _ => &[350e3, 450e3, 550e3, 650e3],
     }
-    best
-}
-
-/// Unloaded p99 from a light-load run.
-fn unloaded_p99(system: System, wl: WorkloadKind) -> u64 {
-    let cfg = KvConfig {
-        system,
-        workload: wl,
-        target_rps: 50_000.0,
-        server_cores: if system == System::Ix { 6 } else { 8 },
-        ..KvConfig::default()
-    };
-    run_kv(&cfg).agent_p99_ns
 }
 
 fn main() {
@@ -61,24 +26,55 @@ fn main() {
         "Table 2",
         "Unloaded p99 latency and max RPS under a 500us p99 SLA",
     );
+    // Flatten the whole table into one point list: for each of the four
+    // (workload, system) configs, one unloaded probe (target 50K) plus
+    // its SLA grid. All points are independent simulations.
+    let configs: Vec<(WorkloadKind, System)> = [WorkloadKind::Etc, WorkloadKind::Usr]
+        .into_iter()
+        .flat_map(|wl| [System::Linux, System::Ix].map(|s| (wl, s)))
+        .collect();
+    let mut points: Vec<(WorkloadKind, System, f64)> = Vec::new();
+    for &(wl, sys) in &configs {
+        points.push((wl, sys, 50_000.0));
+        for &t in grid(sys) {
+            points.push((wl, sys, t));
+        }
+    }
+    let outcome = ix_bench::sweep::run(&points, |&(wl, system, target)| {
+        let cfg = KvConfig {
+            system,
+            workload: wl,
+            target_rps: target,
+            server_cores: if system == System::Ix { 6 } else { 8 },
+            ..KvConfig::default()
+        };
+        run_kv(&cfg)
+    });
     println!(
         "{:<12} | {:>14} | {:>16} | paper",
         "config", "min lat @p99", "RPS @SLA<500us"
     );
     let paper = [("ETC-Linux", 94, 550), ("ETC-IX", 45, 1550), ("USR-Linux", 85, 500), ("USR-IX", 32, 1800)];
     let mut i = 0;
-    for wl in [WorkloadKind::Etc, WorkloadKind::Usr] {
-        for sys in [System::Linux, System::Ix] {
-            let unloaded = unloaded_p99(sys, wl);
-            let cap = sla_capacity(sys, wl);
-            let (pname, plat, pcap) = paper[i];
-            println!(
-                "{:<12} | {:>11.1} us | {:>12.0}K    | {pname}: {plat} us, {pcap}K",
-                format!("{:?}-{}", wl, sys.name()),
-                unloaded as f64 / 1e3,
-                cap / 1e3,
-            );
+    for (ci, &(wl, sys)) in configs.iter().enumerate() {
+        let unloaded = outcome.results[i].agent_p99_ns;
+        i += 1;
+        // Highest grid target that meets the SLA and is actually achieved.
+        let mut cap = 0.0;
+        for &t in grid(sys) {
+            let r = &outcome.results[i];
             i += 1;
+            if r.agent_p99_ns <= SLA_NS && r.rps >= t * 0.95 {
+                cap = t;
+            }
         }
+        let (pname, plat, pcap) = paper[ci];
+        println!(
+            "{:<12} | {:>11.1} us | {:>12.0}K    | {pname}: {plat} us, {pcap}K",
+            format!("{:?}-{}", wl, sys.name()),
+            unloaded as f64 / 1e3,
+            cap / 1e3,
+        );
     }
+    ix_bench::sweep::record("table2_sla", &outcome);
 }

@@ -1,9 +1,14 @@
 //! Benchmark harness for the IX reproduction.
 //!
 //! One binary per paper table/figure (see `src/bin/`): each regenerates
-//! the corresponding rows/series. Criterion microbenchmarks of the hot
-//! data structures live under `benches/`. Shared output formatting lives
-//! here.
+//! the corresponding rows/series. Microbenchmarks of the hot data
+//! structures live under `benches/`. Shared output formatting lives
+//! here, alongside the parallel [`sweep`] runner the figure binaries
+//! farm their points out with and the [`report`] writer that persists
+//! measurements to `results/BENCH_sim.json`.
+
+pub mod report;
+pub mod sweep;
 
 /// Prints a figure/table header with the paper reference.
 pub fn banner(id: &str, caption: &str) {

@@ -1,0 +1,168 @@
+//! Machine-readable bench output: `results/BENCH_sim.json`.
+//!
+//! Every producer of performance numbers — the microbench harness, each
+//! figure binary's sweep runner — writes its measurements into one JSON
+//! file keyed by section, so the repo's perf trajectory is tracked in a
+//! diffable artifact instead of scrollback. The workspace is hermetic
+//! (no serde), so this module hand-rolls the tiny subset of JSON it
+//! needs: a flat top-level object whose values are replaced wholesale,
+//! section by section, preserving the sections other binaries wrote.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Path of the shared results file, anchored to the workspace root so it
+/// is stable no matter which directory `cargo` runs from.
+pub fn results_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_sim.json"
+    ))
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Splits the top-level object of `text` into `(key, raw value)` pairs.
+/// Returns `None` when the text is not a parsable flat object (the file
+/// is then rewritten from scratch rather than corrupted further).
+fn split_sections(text: &str) -> Option<Vec<(String, String)>> {
+    let body = text.trim();
+    let body = body.strip_prefix('{')?.strip_suffix('}')?;
+    let mut sections = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        // Key.
+        rest = rest.strip_prefix('"')?;
+        let key_end = {
+            let mut end = None;
+            let mut escaped = false;
+            for (i, c) in rest.char_indices() {
+                match c {
+                    '\\' if !escaped => escaped = true,
+                    '"' if !escaped => {
+                        end = Some(i);
+                        break;
+                    }
+                    _ => escaped = false,
+                }
+            }
+            end?
+        };
+        let key = rest[..key_end].to_string();
+        rest = rest[key_end + 1..].trim_start().strip_prefix(':')?.trim_start();
+        // Raw value: scan to the next top-level comma.
+        let mut depth = 0i32;
+        let mut in_string = false;
+        let mut escaped = false;
+        let mut value_end = rest.len();
+        for (i, c) in rest.char_indices() {
+            if in_string {
+                match c {
+                    '\\' if !escaped => escaped = true,
+                    '"' if !escaped => in_string = false,
+                    _ => escaped = false,
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                ',' if depth == 0 => {
+                    value_end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if in_string || depth != 0 {
+            return None;
+        }
+        sections.push((key, rest[..value_end].trim().to_string()));
+        rest = rest[value_end..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Some(sections)
+}
+
+/// Renders sections back into a stable, human-diffable JSON object.
+fn render(sections: &[(String, String)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in sections.iter().enumerate() {
+        out.push_str(&format!("  \"{}\": {}", json_escape(k), v));
+        out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+/// Replaces (or appends) the section `key` with the pre-rendered JSON
+/// `raw_value`, preserving every other section in the file. Errors are
+/// reported to stderr but never abort a bench run.
+pub fn update_section(key: &str, raw_value: &str) {
+    let path = results_path();
+    let mut sections = fs::read_to_string(&path)
+        .ok()
+        .and_then(|t| split_sections(&t))
+        .unwrap_or_default();
+    match sections.iter_mut().find(|(k, _)| k == key) {
+        Some(slot) => slot.1 = raw_value.to_string(),
+        None => sections.push((key.to_string(), raw_value.to_string())),
+    }
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    if let Err(e) = fs::write(&path, render(&sections)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[bench] wrote section {key:?} to {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_roundtrips() {
+        let text = r#"{
+  "a": {"x": 1, "y": [1, 2, {"z": "s,tr"}]},
+  "b": 3.5,
+  "c": "plain \"quoted\" text"
+}"#;
+        let s = split_sections(text).expect("parses");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[1], ("b".to_string(), "3.5".to_string()));
+        assert!(s[0].1.starts_with('{') && s[0].1.ends_with('}'));
+        let rendered = render(&s);
+        let again = split_sections(&rendered).expect("round trip");
+        assert_eq!(s, again);
+    }
+
+    #[test]
+    fn garbage_resets_cleanly() {
+        assert!(split_sections("not json").is_none());
+        assert!(split_sections("{\"unterminated\": [1, 2}").is_none());
+    }
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -26,13 +26,44 @@ pub struct PoolStats {
 
 /// The shared free list behind a pool. `Mbuf::drop` pushes storage back
 /// here, so the list must be reference-counted and interior-mutable.
+///
+/// The list owns the outstanding/peak accounting so the pool's alloc hot
+/// path is a single `RefCell` borrow: one pop, one counter bump.
 #[derive(Debug, Default)]
 pub struct FreeList {
     free: Vec<Box<[u8]>>,
+    /// Buffers materialized so far; grows in large-page blocks up to
+    /// `capacity`.
+    provisioned: usize,
+    /// The configured capacity in buffers.
+    capacity: usize,
     outstanding: u64,
+    peak_outstanding: u64,
 }
 
 impl FreeList {
+    /// Pops a buffer and charges it as outstanding, in one pass. Backing
+    /// storage is materialized on demand one simulated 2 MB large page
+    /// at a time (§4.2: the dataplane grows its mbuf region in large
+    /// pages), so a testbed of many shards only pays — in allocation and
+    /// page-fault cost — for the buffers its workload actually touches.
+    fn take(&mut self) -> Option<Box<[u8]>> {
+        if self.free.is_empty() && self.provisioned < self.capacity {
+            let block = (self.capacity - self.provisioned).min(LARGE_PAGE / MBUF_DATA_SIZE);
+            self.free.reserve(block);
+            for _ in 0..block {
+                self.free.push(vec![0u8; MBUF_DATA_SIZE].into_boxed_slice());
+            }
+            self.provisioned += block;
+        }
+        let storage = self.free.pop()?;
+        self.outstanding += 1;
+        if self.outstanding > self.peak_outstanding {
+            self.peak_outstanding = self.outstanding;
+        }
+        Some(storage)
+    }
+
     pub(crate) fn recycle(&mut self, storage: Box<[u8]>) {
         debug_assert!(self.outstanding > 0, "free without matching alloc");
         self.outstanding -= 1;
@@ -42,12 +73,13 @@ impl FreeList {
 
 /// A pool of MTU-sized packet buffers for one hardware thread.
 ///
-/// Capacity is expressed in buffers and is provisioned up front in
-/// page-sized blocks, as the paper describes; `alloc` never touches the
-/// global allocator after construction. When the pool is exhausted,
-/// `alloc` returns `None` — the NIC model translates that into a packet
-/// drop, exactly what a real NIC does when the host is out of receive
-/// buffers.
+/// Capacity is expressed in buffers; backing storage is provisioned on
+/// demand in simulated 2 MB large-page blocks (§4.2), and once a buffer
+/// is materialized it recycles through the free list forever — the
+/// steady-state alloc path never touches the global allocator. When the
+/// pool is exhausted, `alloc` returns `None` — the NIC model translates
+/// that into a packet drop, exactly what a real NIC does when the host
+/// is out of receive buffers.
 #[derive(Debug)]
 pub struct MbufPool {
     list: Rc<RefCell<FreeList>>,
@@ -56,14 +88,16 @@ pub struct MbufPool {
 }
 
 impl MbufPool {
-    /// Creates a pool of `capacity` mbufs, fully provisioned up front.
+    /// Creates a pool of `capacity` mbufs.
     pub fn new(capacity: usize) -> MbufPool {
-        let mut free = Vec::with_capacity(capacity);
-        for _ in 0..capacity {
-            free.push(vec![0u8; MBUF_DATA_SIZE].into_boxed_slice());
-        }
         MbufPool {
-            list: Rc::new(RefCell::new(FreeList { free, outstanding: 0 })),
+            list: Rc::new(RefCell::new(FreeList {
+                free: Vec::new(),
+                provisioned: 0,
+                capacity,
+                outstanding: 0,
+                peak_outstanding: 0,
+            })),
             capacity,
             stats: PoolStats::default(),
         }
@@ -74,27 +108,19 @@ impl MbufPool {
         MbufPool::new(pages * (LARGE_PAGE / MBUF_DATA_SIZE))
     }
 
-    /// Allocates an mbuf, or `None` if the pool is exhausted.
+    /// Allocates an mbuf, or `None` if the pool is exhausted. One borrow,
+    /// one pop: the free list carries the outstanding/peak bookkeeping.
     pub fn alloc(&mut self) -> Option<Mbuf> {
-        let storage = {
-            let mut list = self.list.borrow_mut();
-            match list.free.pop() {
-                Some(s) => {
-                    list.outstanding += 1;
-                    s
-                }
-                None => {
-                    drop(list);
-                    self.stats.exhausted += 1;
-                    return None;
-                }
+        match self.list.borrow_mut().take() {
+            Some(storage) => {
+                self.stats.allocs += 1;
+                Some(Mbuf::from_storage(storage, Rc::downgrade(&self.list)))
             }
-        };
-        self.stats.allocs += 1;
-        let outstanding = self.list.borrow().outstanding;
-        self.stats.outstanding = outstanding;
-        self.stats.peak_outstanding = self.stats.peak_outstanding.max(outstanding);
-        Some(Mbuf::from_storage(storage, Rc::downgrade(&self.list)))
+            None => {
+                self.stats.exhausted += 1;
+                None
+            }
+        }
     }
 
     /// Allocates an mbuf pre-filled with `data`.
@@ -109,18 +135,21 @@ impl MbufPool {
         self.capacity
     }
 
-    /// Buffers currently available.
+    /// Buffers currently available (capacity minus outstanding; unfilled
+    /// headroom is materialized on demand).
     pub fn available(&self) -> usize {
-        self.list.borrow().free.len()
+        let list = self.list.borrow();
+        list.capacity - list.outstanding as usize
     }
 
-    /// A snapshot of allocation statistics (frees are derived from the
-    /// free-list state at call time).
+    /// A snapshot of allocation statistics (outstanding/peak/frees come
+    /// from the free-list state at call time).
     pub fn stats(&self) -> PoolStats {
-        let outstanding = self.list.borrow().outstanding;
+        let list = self.list.borrow();
         PoolStats {
-            outstanding,
-            frees: self.stats.allocs - outstanding,
+            outstanding: list.outstanding,
+            peak_outstanding: list.peak_outstanding,
+            frees: self.stats.allocs - list.outstanding,
             ..self.stats
         }
     }

@@ -1,4 +1,5 @@
-//! The event loop: a priority queue of timestamped closures.
+//! The event loop: an indexed event slab drained through a two-tier
+//! time queue.
 //!
 //! Components (NICs, links, dataplanes, applications) are reference-counted
 //! cells; events are closures that capture handles to the components they
@@ -9,40 +10,107 @@
 //! is a monotonically increasing insertion counter, so ties are broken by
 //! scheduling order and every run of the same program with the same seed
 //! executes the identical event sequence.
+//!
+//! # Queue structure
+//!
+//! The dominant events in every experiment are short-delay NIC, link and
+//! poll-loop callbacks landing within a millisecond of `now`. The queue is
+//! therefore split in two tiers keyed by the event's *bucket*
+//! (`time >> BUCKET_SHIFT`):
+//!
+//! * a **calendar ring** of `N_BUCKETS` unsorted vectors covering the near
+//!   horizon `[cursor, cursor + N_BUCKETS)` buckets — O(1) insert, and pops
+//!   sort one small bucket at a time instead of sifting a global heap;
+//! * an **overflow heap** for far-future timers beyond the horizon, whose
+//!   entries are promoted into the ring as the cursor advances.
+//!
+//! Events due in the cursor's own bucket (or earlier — the clock can be
+//! ahead of the cursor after `run_until` fast-forwards it) live in
+//! `active`, a run sorted descending by `(time, seq)` so the next event is
+//! popped from the back. Every event also owns a slot in a generational
+//! slab; cancellation flips the slot state in place (O(1), no tombstone
+//! set) and a stale [`EventId`] — one whose event already fired — fails the
+//! generation check and is a true no-op, so `events_pending` stays exact.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::rng::SimRng;
 use crate::time::{Nanos, SimTime};
 
+/// log2 of the calendar bucket width in nanoseconds (4.096 µs buckets).
+const BUCKET_SHIFT: u32 = 12;
+/// Number of calendar buckets (must be a power of two). With
+/// `BUCKET_SHIFT = 12` the ring covers a ~1.05 ms horizon — comfortably
+/// past every per-packet and poll-loop delay, while RTO-scale timers go
+/// to the overflow heap.
+const N_BUCKETS: usize = 256;
+
 /// Identifies a scheduled event so it can be cancelled.
+///
+/// Packs a slab index and a generation; a stale id (the event fired or was
+/// already cancelled, and the slot was reused) fails the generation check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
-type Action = Box<dyn FnOnce(&mut Simulator)>;
+impl EventId {
+    fn new(idx: u32, gen: u32) -> EventId {
+        EventId(u64::from(gen) << 32 | u64::from(idx))
+    }
 
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    action: Action,
+    fn idx(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
 }
 
-impl PartialEq for Scheduled {
+type Action = Box<dyn FnOnce(&mut Simulator)>;
+
+/// Slot state in the event slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Not referenced by any queue tier.
+    Vacant,
+    /// Scheduled and live.
+    Pending,
+    /// Cancelled in place; still referenced by a queue tier and reclaimed
+    /// when the pop path reaches it.
+    Cancelled,
+}
+
+struct Slot {
+    generation: u32,
+    state: SlotState,
+    time: SimTime,
+    seq: u64,
+    action: Option<Action>,
+}
+
+/// A far-future event parked in the overflow heap, ordered earliest-first
+/// by `(time, seq)`.
+struct FarEvent {
+    time: SimTime,
+    seq: u64,
+    idx: u32,
+}
+
+impl PartialEq for FarEvent {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl Eq for Scheduled {}
+impl Eq for FarEvent {}
 
-impl PartialOrd for Scheduled {
+impl PartialOrd for FarEvent {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for Scheduled {
+impl Ord for FarEvent {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest-first.
         other
@@ -52,15 +120,57 @@ impl Ord for Scheduled {
     }
 }
 
-/// The discrete-event simulator: virtual clock, event queue, and the
-/// deterministic random source.
+/// Engine instrumentation: every counter the scheduler maintains on its
+/// hot path, so perf work on the simulator is measured rather than
+/// guessed. Snapshot via [`Simulator::counters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Events accepted by `schedule_at`/`schedule_in`.
+    pub scheduled: u64,
+    /// Events whose action ran.
+    pub executed: u64,
+    /// Live events cancelled in place.
+    pub cancelled: u64,
+    /// Cancels that were no-ops (already fired or already cancelled).
+    pub cancel_noops: u64,
+    /// High-water mark of pending (live) events.
+    pub pending_high_water: u64,
+    /// Inserts that landed in the calendar ring or the active run.
+    pub near_inserts: u64,
+    /// Inserts that landed in the overflow heap (beyond the horizon).
+    pub far_inserts: u64,
+    /// Overflow entries promoted into the ring as the cursor advanced.
+    pub promotions: u64,
+    /// Largest single bucket drained into the active run (per-bucket
+    /// occupancy high-water; large values suggest widening the ring).
+    pub bucket_high_water: u64,
+}
+
+/// The discrete-event simulator: virtual clock, two-tier event queue, and
+/// the deterministic random source.
 pub struct Simulator {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled>,
-    cancelled: HashSet<u64>,
+    slab: Vec<Slot>,
+    free: Vec<u32>,
+    /// Sorted run (descending `(time, seq)`) of events due in bucket
+    /// `cursor` or earlier; the next event is `active.back()`. A deque so
+    /// the degenerate backlog pattern — every insert earlier or later
+    /// than the whole run — stays O(1) instead of memmoving the run.
+    active: VecDeque<u32>,
+    /// Near-horizon calendar: slot `b % N_BUCKETS` holds the events of
+    /// bucket `b` for `b` in `(cursor, cursor + N_BUCKETS)`, unsorted.
+    ring: Vec<Vec<u32>>,
+    /// Total entries (live + cancelled) across all ring buckets.
+    ring_len: usize,
+    /// Bucket number the active run was drained from.
+    cursor: u64,
+    /// Far-future events beyond the calendar horizon.
+    overflow: BinaryHeap<FarEvent>,
+    /// Exact count of live (non-cancelled, non-fired) events.
+    pending: u64,
+    counters: SimCounters,
     rng: SimRng,
-    executed: u64,
 }
 
 impl Simulator {
@@ -69,10 +179,16 @@ impl Simulator {
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            active: VecDeque::new(),
+            ring: (0..N_BUCKETS).map(|_| Vec::new()).collect(),
+            ring_len: 0,
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+            pending: 0,
+            counters: SimCounters::default(),
             rng: SimRng::new(seed),
-            executed: 0,
         }
     }
 
@@ -88,12 +204,58 @@ impl Simulator {
 
     /// Number of events executed so far (for engine diagnostics).
     pub fn events_executed(&self) -> u64 {
-        self.executed
+        self.counters.executed
     }
 
-    /// Number of events currently pending.
+    /// Exact number of live events currently pending (cancelled events
+    /// leave this count immediately).
     pub fn events_pending(&self) -> usize {
-        self.queue.len() - self.cancelled.len().min(self.queue.len())
+        self.pending as usize
+    }
+
+    /// A snapshot of the engine's instrumentation counters.
+    pub fn counters(&self) -> SimCounters {
+        self.counters
+    }
+
+    fn key(&self, idx: u32) -> (SimTime, u64) {
+        let s = &self.slab[idx as usize];
+        (s.time, s.seq)
+    }
+
+    /// Returns a vacant slot index, growing the slab if the free list is
+    /// empty.
+    fn alloc_slot(&mut self, time: SimTime, seq: u64, action: Action) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let s = &mut self.slab[idx as usize];
+            debug_assert_eq!(s.state, SlotState::Vacant);
+            s.state = SlotState::Pending;
+            s.time = time;
+            s.seq = seq;
+            s.action = Some(action);
+            idx
+        } else {
+            let idx = u32::try_from(self.slab.len()).expect("event slab exceeds u32 indices");
+            self.slab.push(Slot {
+                generation: 0,
+                state: SlotState::Pending,
+                time,
+                seq,
+                action: Some(action),
+            });
+            idx
+        }
+    }
+
+    /// Reclaims a slot: bumps the generation (invalidating outstanding
+    /// [`EventId`]s) and returns it to the free list.
+    fn free_slot(&mut self, idx: u32) {
+        let s = &mut self.slab[idx as usize];
+        debug_assert_ne!(s.state, SlotState::Vacant);
+        s.state = SlotState::Vacant;
+        s.generation = s.generation.wrapping_add(1);
+        s.action = None;
+        self.free.push(idx);
     }
 
     /// Schedules `action` to run at absolute time `at`.
@@ -109,12 +271,29 @@ impl Simulator {
         assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled {
-            time: at,
-            seq,
-            action: Box::new(action),
-        });
-        EventId(seq)
+        let idx = self.alloc_slot(at, seq, Box::new(action));
+        let generation = self.slab[idx as usize].generation;
+        let bucket = at.0 >> BUCKET_SHIFT;
+        if bucket <= self.cursor {
+            // Due in (or before) the active bucket — `run_until` can leave
+            // the clock and cursor ahead of untouched buckets. Insert into
+            // the sorted run directly.
+            let k = (at, seq);
+            let pos = self.active.partition_point(|&i| self.key(i) > k);
+            self.active.insert(pos, idx);
+            self.counters.near_inserts += 1;
+        } else if bucket - self.cursor < N_BUCKETS as u64 {
+            self.ring[(bucket % N_BUCKETS as u64) as usize].push(idx);
+            self.ring_len += 1;
+            self.counters.near_inserts += 1;
+        } else {
+            self.overflow.push(FarEvent { time: at, seq, idx });
+            self.counters.far_inserts += 1;
+        }
+        self.pending += 1;
+        self.counters.scheduled += 1;
+        self.counters.pending_high_water = self.counters.pending_high_water.max(self.pending);
+        EventId::new(idx, generation)
     }
 
     /// Schedules `action` to run after `delay`.
@@ -126,26 +305,126 @@ impl Simulator {
         self.schedule_at(self.now + delay, action)
     }
 
-    /// Cancels a previously scheduled event. Cancelling an event that has
-    /// already fired (or was already cancelled) is a no-op.
+    /// Cancels a previously scheduled event in place. Cancelling an event
+    /// that has already fired (or was already cancelled) is a no-op — the
+    /// slot's generation has moved on, so the stale id matches nothing and
+    /// no state is retained.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        let idx = id.idx() as usize;
+        match self.slab.get_mut(idx) {
+            Some(s)
+                if s.generation == id.generation() && s.state == SlotState::Pending =>
+            {
+                s.state = SlotState::Cancelled;
+                // Drop the closure now; the queue reference is reclaimed
+                // lazily when the pop path reaches it.
+                s.action = None;
+                self.pending -= 1;
+                self.counters.cancelled += 1;
+            }
+            _ => self.counters.cancel_noops += 1,
+        }
+    }
+
+    /// Advances the cursor to the next non-empty bucket, promotes overflow
+    /// entries that fell inside the new horizon, and drains that bucket
+    /// into the sorted active run. Returns `false` when no events remain
+    /// in either tier.
+    fn advance_bucket(&mut self) -> bool {
+        debug_assert!(self.active.is_empty());
+        loop {
+            if self.ring_len == 0 {
+                let Some(top) = self.overflow.peek() else {
+                    return false;
+                };
+                // Fast-forward across the empty stretch.
+                self.cursor = top.time.0 >> BUCKET_SHIFT;
+            } else {
+                // Every ring entry's bucket lies in [cursor, cursor + N),
+                // and entries sharing a slot share a bucket, so the first
+                // non-empty slot scanning forward is the earliest bucket.
+                let mut found = None;
+                for off in 0..N_BUCKETS as u64 {
+                    let b = self.cursor + off;
+                    if !self.ring[(b % N_BUCKETS as u64) as usize].is_empty() {
+                        found = Some(b);
+                        break;
+                    }
+                }
+                self.cursor = found.expect("ring_len > 0 implies a non-empty bucket");
+            }
+            // Promote far-future events that the new horizon now covers.
+            while let Some(top) = self.overflow.peek() {
+                let b = top.time.0 >> BUCKET_SHIFT;
+                if b - self.cursor >= N_BUCKETS as u64 {
+                    break;
+                }
+                let e = self.overflow.pop().expect("peeked");
+                self.ring[(b % N_BUCKETS as u64) as usize].push(e.idx);
+                self.ring_len += 1;
+                self.counters.promotions += 1;
+            }
+            let slot = (self.cursor % N_BUCKETS as u64) as usize;
+            let mut run = std::mem::take(&mut self.ring[slot]);
+            if run.is_empty() {
+                continue;
+            }
+            self.ring_len -= run.len();
+            self.counters.bucket_high_water =
+                self.counters.bucket_high_water.max(run.len() as u64);
+            run.sort_unstable_by_key(|&idx| std::cmp::Reverse(self.key(idx)));
+            self.active = run.into();
+            return true;
+        }
+    }
+
+    /// Reclaims cancelled slots at the head of the queue until a live
+    /// event (or emptiness) is exposed; returns its time without popping.
+    fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            while let Some(&idx) = self.active.back() {
+                match self.slab[idx as usize].state {
+                    SlotState::Cancelled => {
+                        self.active.pop_back();
+                        self.free_slot(idx);
+                    }
+                    SlotState::Pending => return Some(self.slab[idx as usize].time),
+                    SlotState::Vacant => unreachable!("vacant slot referenced by queue"),
+                }
+            }
+            if !self.advance_bucket() {
+                return None;
+            }
+        }
+    }
+
+    /// Pops the next live event. The slot is freed *before* the action is
+    /// returned, so a `cancel` issued from inside the action (or any time
+    /// later) sees a stale generation and is a no-op.
+    fn pop_live(&mut self) -> Option<(SimTime, Action)> {
+        self.peek_time()?;
+        let idx = self.active.pop_back().expect("peek_time exposed a live event");
+        let s = &mut self.slab[idx as usize];
+        let time = s.time;
+        let action = s.action.take().expect("pending slot holds an action");
+        self.free_slot(idx);
+        Some((time, action))
     }
 
     /// Executes the next pending event, if any, advancing the clock to its
     /// timestamp. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        while let Some(ev) = self.queue.pop() {
-            if self.cancelled.remove(&ev.seq) {
-                continue;
+        match self.pop_live() {
+            Some((time, action)) => {
+                debug_assert!(time >= self.now);
+                self.now = time;
+                self.pending -= 1;
+                self.counters.executed += 1;
+                action(self);
+                true
             }
-            debug_assert!(ev.time >= self.now);
-            self.now = ev.time;
-            self.executed += 1;
-            (ev.action)(self);
-            return true;
+            None => false,
         }
-        false
     }
 
     /// Runs until the event queue is exhausted.
@@ -158,17 +437,7 @@ impl Simulator {
     /// `max(now, deadline)` when the deadline is reached.
     pub fn run_until(&mut self, deadline: SimTime) {
         loop {
-            let next = loop {
-                match self.queue.peek() {
-                    Some(ev) if self.cancelled.contains(&ev.seq) => {
-                        let ev = self.queue.pop().expect("peeked");
-                        self.cancelled.remove(&ev.seq);
-                    }
-                    Some(ev) => break Some(ev.time),
-                    None => break None,
-                }
-            };
-            match next {
+            match self.peek_time() {
                 Some(t) if t <= deadline => {
                     self.step();
                 }
@@ -193,8 +462,8 @@ impl std::fmt::Debug for Simulator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("now", &self.now)
-            .field("pending", &self.queue.len())
-            .field("executed", &self.executed)
+            .field("pending", &self.pending)
+            .field("executed", &self.counters.executed)
             .finish()
     }
 }
@@ -318,5 +587,129 @@ mod tests {
         }
         assert_eq!(trace(99), trace(99));
         assert_ne!(trace(99), trace(100));
+    }
+
+    #[test]
+    fn far_future_events_cross_the_horizon() {
+        // Events far beyond the calendar horizon (overflow tier) still run
+        // in exact order, including ties and interleavings with near ones.
+        let mut sim = Simulator::new(0);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let horizon = (N_BUCKETS as u64) << BUCKET_SHIFT;
+        for &t in &[3 * horizon, 5, horizon + 1, 10 * horizon, 3 * horizon] {
+            let log = log.clone();
+            sim.schedule_at(SimTime(t), move |sim| {
+                log.borrow_mut().push(sim.now().as_nanos());
+            });
+        }
+        sim.run();
+        assert_eq!(
+            *log.borrow(),
+            vec![5, horizon + 1, 3 * horizon, 3 * horizon, 10 * horizon]
+        );
+        // All four events past `horizon` overflow (bucket - cursor >= N).
+        assert_eq!(sim.counters().far_inserts, 4);
+        assert!(sim.counters().promotions >= 4);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_stateless_and_pending_stays_exact() {
+        // Regression for the seed engine's leak: cancelling an
+        // already-fired EventId parked its seq in the tombstone set
+        // forever and skewed events_pending. The slab's generation check
+        // makes the stale cancel a true no-op.
+        let mut sim = Simulator::new(0);
+        let id = sim.schedule_at(SimTime(10), |_| {});
+        sim.run();
+        assert_eq!(sim.events_pending(), 0);
+        sim.cancel(id); // Stale: must retain no state.
+        assert_eq!(sim.counters().cancel_noops, 1);
+        assert_eq!(sim.counters().cancelled, 0);
+        sim.schedule_at(SimTime(20), |_| {});
+        sim.schedule_at(SimTime(30), |_| {});
+        // Seed engine reported 1 here (2 queued - 1 stale tombstone).
+        assert_eq!(sim.events_pending(), 2);
+        sim.run();
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn stale_cancel_does_not_kill_recycled_slot() {
+        // The slot of a fired event is recycled for the next schedule;
+        // a stale id for the old occupant must not cancel the new one.
+        let mut sim = Simulator::new(0);
+        let old = sim.schedule_at(SimTime(10), |_| {});
+        sim.run();
+        let hit = Rc::new(RefCell::new(false));
+        let h = hit.clone();
+        let new = sim.schedule_at(SimTime(20), move |_| *h.borrow_mut() = true);
+        assert_ne!(old, new, "recycled slot must carry a fresh generation");
+        sim.cancel(old);
+        sim.run();
+        assert!(*hit.borrow(), "stale cancel must not suppress the new event");
+    }
+
+    #[test]
+    fn cancelled_pending_count_and_double_cancel() {
+        let mut sim = Simulator::new(0);
+        let a = sim.schedule_at(SimTime(10), |_| {});
+        let _b = sim.schedule_at(SimTime(20), |_| {});
+        let _c = sim.schedule_at(SimTime(30), |_| {});
+        assert_eq!(sim.events_pending(), 3);
+        sim.cancel(a);
+        assert_eq!(sim.events_pending(), 2);
+        sim.cancel(a); // Double cancel: no-op, count unchanged.
+        assert_eq!(sim.events_pending(), 2);
+        sim.run();
+        assert_eq!(sim.events_executed(), 2);
+        assert_eq!(sim.counters().cancelled, 1);
+        assert_eq!(sim.counters().cancel_noops, 1);
+    }
+
+    #[test]
+    fn schedule_behind_the_cursor_after_run_until() {
+        // run_until can fast-forward the clock deep into a bucket the
+        // cursor never visited; a subsequent short-delay schedule must
+        // still fire, in order.
+        let mut sim = Simulator::new(0);
+        let horizon = (N_BUCKETS as u64) << BUCKET_SHIFT;
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        sim.schedule_at(SimTime(20 * horizon), move |sim| {
+            l.borrow_mut().push(sim.now().as_nanos());
+        });
+        sim.run_until(SimTime(7 * horizon + 5));
+        assert_eq!(sim.now(), SimTime(7 * horizon + 5));
+        for d in [3u64, 1, 2] {
+            let l = log.clone();
+            sim.schedule_in(Nanos(d), move |sim| {
+                l.borrow_mut().push(sim.now().as_nanos());
+            });
+        }
+        sim.run();
+        let base = 7 * horizon + 5;
+        assert_eq!(
+            *log.borrow(),
+            vec![base + 1, base + 2, base + 3, 20 * horizon]
+        );
+    }
+
+    #[test]
+    fn counters_track_the_queue() {
+        let mut sim = Simulator::new(0);
+        for t in 1..=10u64 {
+            sim.schedule_at(SimTime(t), |_| {});
+        }
+        let far = sim.schedule_at(SimTime(1 << 40), |_| {});
+        sim.cancel(far);
+        sim.run();
+        let c = sim.counters();
+        assert_eq!(c.scheduled, 11);
+        assert_eq!(c.executed, 10);
+        assert_eq!(c.cancelled, 1);
+        assert_eq!(c.pending_high_water, 11);
+        assert_eq!(c.near_inserts, 10);
+        assert_eq!(c.far_inserts, 1);
+        assert!(c.bucket_high_water >= 1);
     }
 }

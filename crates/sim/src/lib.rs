@@ -36,7 +36,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{EventId, Simulator};
+pub use engine::{EventId, SimCounters, Simulator};
 pub use rng::SimRng;
 pub use stats::{Histogram, RunningStats};
 pub use time::{Nanos, SimTime};

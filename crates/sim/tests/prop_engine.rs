@@ -1,0 +1,166 @@
+//! Property test: the two-tier calendar scheduler executes the exact
+//! event order of a reference `(time, seq)` priority-queue model, under
+//! random schedule/cancel interleavings — including cancellations issued
+//! both before the run and from inside executing events, nested
+//! scheduling, and delays spanning the near-horizon ring and the
+//! overflow heap.
+//!
+//! Each program is a list of `(delay, flags)` ops interpreted twice: once
+//! against the real [`Simulator`], once against a model that keeps every
+//! outstanding event in a flat vector and always fires the minimal
+//! `(time, seq)`. Any divergence in execution order, executed count, or
+//! pending count is a scheduler ordering bug.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ix_sim::{Nanos, SimTime, Simulator};
+use ix_testkit::prelude::*;
+
+/// Flag bits on each op.
+const F_CHILD: u8 = 1; // Schedule a follow-up from inside the event.
+const F_CANCEL_BEFORE: u8 = 2; // Cancel a pseudo-random op before the run.
+const F_CANCEL_DURING: u8 = 4; // Cancel the next op from inside the event.
+const F_FAR: u8 = 8; // Stretch the delay deep past the calendar horizon.
+
+type Op = (u64, u8);
+
+fn effective_delay(&(delay, flags): &Op) -> u64 {
+    if flags & F_FAR != 0 {
+        delay * 1024
+    } else {
+        delay
+    }
+}
+
+fn child_delay(&(delay, _): &Op) -> u64 {
+    delay / 2 + 1
+}
+
+/// Runs `prog` on the real engine; returns (execution log, executed).
+fn run_engine(prog: &[Op]) -> (Vec<u64>, u64) {
+    let mut sim = Simulator::new(0);
+    let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let ids: Rc<RefCell<Vec<ix_sim::EventId>>> = Rc::new(RefCell::new(Vec::new()));
+    for (i, op) in prog.iter().enumerate() {
+        let (log_c, ids_c, op, n) = (log.clone(), ids.clone(), *op, prog.len());
+        let id = sim.schedule_at(SimTime(effective_delay(&op)), move |sim| {
+            let log = log_c;
+            log.borrow_mut().push(i as u64);
+            if op.1 & F_CANCEL_DURING != 0 {
+                let target = ids_c.borrow()[(i + 1) % n];
+                sim.cancel(target);
+            }
+            if op.1 & F_CHILD != 0 {
+                let log = log.clone();
+                sim.schedule_in(Nanos(child_delay(&op)), move |_| {
+                    log.borrow_mut().push(i as u64 + 1_000_000);
+                });
+            }
+        });
+        ids.borrow_mut().push(id);
+    }
+    for (i, op) in prog.iter().enumerate() {
+        if op.1 & F_CANCEL_BEFORE != 0 {
+            let target = ids.borrow()[i * 7 % prog.len()];
+            sim.cancel(target);
+        }
+    }
+    sim.run();
+    assert_eq!(sim.events_pending(), 0, "queue must drain completely");
+    let out = log.borrow().clone();
+    (out, sim.events_executed())
+}
+
+/// Model entry: one outstanding event.
+struct Entry {
+    time: u64,
+    seq: u64,
+    tag: u64,
+    /// `Some(op)` for initial events (may cancel/spawn); children carry
+    /// `None`.
+    op: Option<Op>,
+    /// Op index, for cancel targeting.
+    idx: usize,
+}
+
+/// Runs `prog` on the reference model: a flat vector popped by minimal
+/// `(time, seq)`, with seqs assigned in the same order the engine
+/// assigns them.
+fn run_model(prog: &[Op]) -> (Vec<u64>, u64) {
+    let mut next_seq = 0u64;
+    let mut outstanding: Vec<Entry> = Vec::new();
+    // seq assigned to initial op i (children are never cancel targets).
+    let mut op_seq = Vec::new();
+    for (i, op) in prog.iter().enumerate() {
+        outstanding.push(Entry {
+            time: effective_delay(op),
+            seq: next_seq,
+            tag: i as u64,
+            op: Some(*op),
+            idx: i,
+        });
+        op_seq.push(next_seq);
+        next_seq += 1;
+    }
+    let mut cancelled: Vec<u64> = Vec::new();
+    let mut fired: Vec<u64> = Vec::new();
+    let cancel = |seq: u64, fired: &[u64], cancelled: &mut Vec<u64>| {
+        if !fired.contains(&seq) && !cancelled.contains(&seq) {
+            cancelled.push(seq);
+        }
+    };
+    for (i, op) in prog.iter().enumerate() {
+        if op.1 & F_CANCEL_BEFORE != 0 {
+            cancel(op_seq[i * 7 % prog.len()], &fired, &mut cancelled);
+        }
+    }
+    let mut log = Vec::new();
+    let mut executed = 0u64;
+    while let Some(pos) = outstanding
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, e)| (e.time, e.seq))
+        .map(|(p, _)| p)
+    {
+        let e = outstanding.remove(pos);
+        if cancelled.contains(&e.seq) {
+            continue;
+        }
+        fired.push(e.seq);
+        log.push(e.tag);
+        executed += 1;
+        if let Some(op) = e.op {
+            if op.1 & F_CANCEL_DURING != 0 {
+                cancel(op_seq[(e.idx + 1) % prog.len()], &fired, &mut cancelled);
+            }
+            if op.1 & F_CHILD != 0 {
+                outstanding.push(Entry {
+                    time: e.time + child_delay(&op),
+                    seq: next_seq,
+                    tag: e.idx as u64 + 1_000_000,
+                    op: None,
+                    idx: e.idx,
+                });
+                next_seq += 1;
+            }
+        }
+    }
+    (log, executed)
+}
+
+props! {
+    #![config(cases = 256)]
+
+    /// The calendar scheduler's execution order equals the reference
+    /// priority-queue model's for any schedule/cancel program.
+    #[test]
+    fn scheduler_matches_priority_queue_model(
+        prog in collection::vec((0u64..2_200_000, any::<u8>()), 1..48),
+    ) {
+        let (engine_log, engine_executed) = run_engine(&prog);
+        let (model_log, model_executed) = run_model(&prog);
+        prop_assert_eq!(&engine_log, &model_log, "execution order diverged");
+        prop_assert_eq!(engine_executed, model_executed);
+    }
+}

@@ -190,6 +190,12 @@ impl TcpShard {
         self.flows.len()
     }
 
+    /// Snapshot of the shard's mbuf-pool statistics (alloc/free churn,
+    /// outstanding and peak occupancy) for engine instrumentation.
+    pub fn pool_stats(&self) -> ix_mempool::PoolStats {
+        self.pool.stats()
+    }
+
     /// Starts listening on `port`.
     pub fn listen(&mut self, port: u16) {
         self.listeners.insert(port);
