@@ -29,4 +29,23 @@ if [ "$elapsed_s" -gt "$fig5_budget_s" ]; then
     exit 1
 fi
 
+# Faulted-sweep smoke: the quick fig7 point set (baseline, 1% loss,
+# queue hang + watchdog) must run and recover within its own budget —
+# a fault-plane or watchdog regression shows up as a stall (nonzero
+# exit is not expected, but the wall-clock catches pathological RTO
+# storms that multiply the event count).
+fig7_budget_s=60
+start_s=$SECONDS
+IX_SWEEP_QUICK=1 ./target/release/fig7_faults | tee /tmp/ci_fig7.out | tail -n +4
+elapsed_s=$(( SECONDS - start_s ))
+echo "ci: quick fig7 sweep took ${elapsed_s}s (budget ${fig7_budget_s}s)"
+if [ "$elapsed_s" -gt "$fig7_budget_s" ]; then
+    echo "ci: FAIL — quick fig7 exceeded its wall-clock budget" >&2
+    exit 1
+fi
+if ! grep -q "no permanently stalled connections" /tmp/ci_fig7.out; then
+    echo "ci: FAIL — quick fig7 reported a stalled scenario" >&2
+    exit 1
+fi
+
 echo "ci: all green"

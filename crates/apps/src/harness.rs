@@ -93,6 +93,33 @@ impl ServerEngine {
         agg
     }
 
+    /// Aggregated TCP stack counters across all server cores: every
+    /// per-shard counter (retransmits, checksum/parse drops, recovery
+    /// events, ...) summed — previously only mbuf statistics were
+    /// aggregated and per-core TCP counters were invisible to
+    /// experiments.
+    pub fn tcp_stats(&self) -> ix_tcp::StackStats {
+        let mut agg = ix_tcp::StackStats::default();
+        match self {
+            ServerEngine::Ix(d) => {
+                for th in &d.threads {
+                    agg.absorb(&th.borrow().shard.stats);
+                }
+            }
+            ServerEngine::Linux(l) => {
+                for c in &l.cores {
+                    agg.absorb(&c.borrow().shard.stats);
+                }
+            }
+            ServerEngine::Mtcp(m) => {
+                for c in &m.cores {
+                    agg.absorb(&c.borrow().shard.stats);
+                }
+            }
+        }
+        agg
+    }
+
     /// `(kernel_ns, user_ns)` CPU split across server cores.
     pub fn cpu_split(&self) -> (u64, u64) {
         match self {
@@ -389,13 +416,17 @@ pub struct EngineInstrumentation {
     pub sim: ix_sim::SimCounters,
     /// Server-side mbuf pool statistics, summed across cores.
     pub mbuf: ix_mempool::PoolStats,
+    /// Server-side TCP stack counters, summed across cores.
+    pub tcp: ix_tcp::StackStats,
 }
 
 impl EngineInstrumentation {
     fn capture(tb: &Testbed) -> EngineInstrumentation {
+        let engine = tb.engine.as_ref().expect("launched");
         EngineInstrumentation {
             sim: tb.sim.counters(),
-            mbuf: tb.engine.as_ref().expect("launched").mbuf_stats(),
+            mbuf: engine.mbuf_stats(),
+            tcp: engine.tcp_stats(),
         }
     }
 }
@@ -580,7 +611,75 @@ pub fn run_netpipe_seeded(
     tuning: &EngineTuning,
     seed: u64,
 ) -> (u64, f64) {
+    let r = run_netpipe_inner::<fn(u16, u16) -> ix_faults::FaultPlan>(
+        system, msg_size, reps, tuning, seed, None, None,
+    );
+    assert!(r.done, "NetPIPE did not finish (size {msg_size}, {} reps done)", r.reps);
+    (r.one_way_ns, r.goodput_gbps)
+}
+
+/// Result of a NetPIPE run under an installed fault plan.
+#[derive(Debug, Clone)]
+pub struct FaultedNetpipeResult {
+    /// Mean one-way latency, ns (0 if no reps finished).
+    pub one_way_ns: u64,
+    /// Goodput, Gbps (0 if no reps finished).
+    pub goodput_gbps: f64,
+    /// Whether the transfer completed within the budget.
+    pub done: bool,
+    /// Round trips completed.
+    pub reps: usize,
+    /// Server-side TCP counters (retransmits, checksum drops, recovery).
+    pub server_tcp: ix_tcp::StackStats,
+    /// Client-side TCP counters.
+    pub client_tcp: ix_tcp::StackStats,
+    /// Fault-plane counters (what was actually injected).
+    pub faults: ix_faults::FaultSnapshot,
+}
+
+/// Runs NetPIPE with a fault plan installed on the fabric. `plan` is
+/// built from `(server_port, client_port)` — the two hosts' switch
+/// ports — so callers can aim loss, flaps, or corruption at either
+/// cable. `budget_ms` overrides the fault-free time budget (faulted
+/// transfers need slack for RTO backoff). Does not assert completion;
+/// inspect [`FaultedNetpipeResult::done`].
+pub fn run_netpipe_faulted(
+    system: System,
+    msg_size: usize,
+    reps: usize,
+    tuning: &EngineTuning,
+    seed: u64,
+    budget_ms: u64,
+    plan: impl FnOnce(u16, u16) -> ix_faults::FaultPlan,
+) -> FaultedNetpipeResult {
+    run_netpipe_inner(system, msg_size, reps, tuning, seed, Some(plan), Some(budget_ms))
+}
+
+fn run_netpipe_inner<F>(
+    system: System,
+    msg_size: usize,
+    reps: usize,
+    tuning: &EngineTuning,
+    seed: u64,
+    plan: Option<F>,
+    budget_ms: Option<u64>,
+) -> FaultedNetpipeResult
+where
+    F: FnOnce(u16, u16) -> ix_faults::FaultPlan,
+{
     let mut tb = Testbed::new(seed, 1, 1);
+    // Install faults (if any) before traffic starts. A `FaultPlan::none()`
+    // is not installed at all, keeping the fault-free path untouched.
+    let faults = plan.and_then(|f| {
+        let sp = tb.fabric.host_port(tb.server, 0);
+        let cp = tb.fabric.host_port(tb.clients[0], 0);
+        let p = f(sp, cp);
+        if p.is_none() {
+            None
+        } else {
+            Some(tb.fabric.install_faults(p))
+        }
+    });
     let start_jitter_ns = tb.sim.rng().below(2_000);
     let srv_rng = tb.sim.rng().fork();
     tb.launch_server(system, 1, tuning, 7100, move |_| {
@@ -593,7 +692,7 @@ pub fn run_netpipe_seeded(
     // The client engine must stay alive for the whole run: the NIC holds
     // only weak references to elastic threads, so a quiescent thread with
     // no pending timer is kept resurrectable solely by its `Dataplane`.
-    let (result, _client_eng) = {
+    let (result, client_eng) = {
         let host = tb.fabric.host(host_id);
         let cell: Rc<RefCell<Option<Rc<RefCell<crate::netpipe::NetpipeResult>>>>> =
             Rc::new(RefCell::new(None));
@@ -635,11 +734,226 @@ pub fn run_netpipe_seeded(
         (taken.expect("client app created"), eng)
     };
     // Size-dependent budget: large messages at low bandwidth need time.
-    let budget = Nanos::from_millis(200 + (msg_size as u64 * reps as u64) / 100_000);
+    let budget = Nanos::from_millis(
+        budget_ms.unwrap_or(200 + (msg_size as u64 * reps as u64) / 100_000),
+    );
     tb.run_until_ns(budget.as_nanos());
     let r = result.borrow();
-    assert!(r.done, "NetPIPE did not finish (size {msg_size}, {} reps done)", r.reps);
-    (r.one_way_ns(), r.goodput_gbps())
+    FaultedNetpipeResult {
+        one_way_ns: r.one_way_ns(),
+        goodput_gbps: r.goodput_gbps(),
+        done: r.done,
+        reps: r.reps,
+        server_tcp: tb.engine.as_ref().expect("server").tcp_stats(),
+        client_tcp: client_eng.tcp_stats(),
+        faults: faults.map(|f| f.borrow().snapshot()).unwrap_or_default(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-recovery experiment (Fig 7): continuous echo load with a fault
+// plan installed, goodput sampled in fixed windows to measure the dip
+// and the time to recover.
+// ---------------------------------------------------------------------
+
+/// Configuration of one fault-recovery measurement.
+#[derive(Debug, Clone)]
+pub struct FaultRecoveryConfig {
+    /// Server system.
+    pub system: System,
+    /// Server elastic threads / cores.
+    pub server_cores: usize,
+    /// Client machines.
+    pub n_clients: usize,
+    /// Handler threads per client machine.
+    pub client_threads: usize,
+    /// Connections per client thread.
+    pub conns_per_thread: usize,
+    /// Message size.
+    pub msg_size: usize,
+    /// Round trips per connection before RST + reopen. The default is
+    /// effectively infinite: long-lived connections recover via
+    /// retransmission instead of re-dialling through SYN timeouts.
+    pub n_per_conn: usize,
+    /// Total experiment duration.
+    pub duration: Nanos,
+    /// Goodput sampling window.
+    pub sample_window: Nanos,
+    /// When the injected faults begin (baseline windows end here).
+    pub fault_from: Nanos,
+    /// IXCP queue-hang watchdog period (IX servers only; `None` = off).
+    pub watchdog_period: Option<Nanos>,
+    /// Engine knobs.
+    pub tuning: EngineTuning,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FaultRecoveryConfig {
+    fn default() -> FaultRecoveryConfig {
+        FaultRecoveryConfig {
+            system: System::Ix,
+            server_cores: 4,
+            n_clients: 4,
+            client_threads: 2,
+            conns_per_thread: 4,
+            msg_size: 64,
+            n_per_conn: 1_000_000,
+            duration: Nanos::from_millis(40),
+            sample_window: Nanos::from_millis(1),
+            fault_from: Nanos::from_millis(10),
+            watchdog_period: None,
+            tuning: EngineTuning::default(),
+            seed: 7,
+        }
+    }
+}
+
+/// Results of one fault-recovery measurement.
+#[derive(Debug, Clone)]
+pub struct FaultRecoveryResult {
+    /// Sampling window length, ns.
+    pub window_ns: u64,
+    /// Server-side payload bytes received per window (the goodput time
+    /// series the recovery metrics are computed from).
+    pub per_window_rx_bytes: Vec<u64>,
+    /// Mean bytes/window over the pre-fault baseline windows.
+    pub baseline_bytes: f64,
+    /// Smallest window at/after the fault onset.
+    pub min_bytes: u64,
+    /// `min_bytes / baseline_bytes` — depth of the goodput dip.
+    pub dip_frac: f64,
+    /// Time from fault onset until the end of the last window below 80%
+    /// of baseline (`None` when goodput never dipped).
+    pub recover_ns: Option<u64>,
+    /// The final window was still below 80% of baseline: traffic did not
+    /// recover within the run.
+    pub stalled: bool,
+    /// Echo messages per second over the whole run.
+    pub msgs_per_sec: f64,
+    /// 99th-percentile echo RTT, ns.
+    pub rtt_p99_ns: u64,
+    /// Server TCP counters (retransmits, recovery episodes, drops).
+    pub tcp: ix_tcp::StackStats,
+    /// Fault-plane counters.
+    pub faults: ix_faults::FaultSnapshot,
+    /// Watchdog counters when a watchdog ran.
+    pub watchdog: Option<ix_core::ixcp::WatchdogStats>,
+}
+
+/// Periodic goodput sampler: pushes the delta of a cumulative byte
+/// counter every `window` ns until `end`.
+fn sample_tick(
+    sim: &mut Simulator,
+    read: Rc<dyn Fn() -> u64>,
+    out: Rc<RefCell<Vec<u64>>>,
+    window: u64,
+    end: u64,
+    last: u64,
+) {
+    let cur = read();
+    out.borrow_mut().push(cur - last);
+    if sim.now().as_nanos() + window <= end {
+        sim.schedule_in(Nanos(window), move |sim| {
+            sample_tick(sim, read, out, window, end, cur);
+        });
+    }
+}
+
+/// Runs one fault-recovery point. `plan` builds the fault plan from the
+/// server's switch port (fault the server cable, its NIC queues, or
+/// return [`ix_faults::FaultPlan::none`] for a baseline run).
+pub fn run_fault_recovery(
+    cfg: &FaultRecoveryConfig,
+    plan: impl FnOnce(u16) -> ix_faults::FaultPlan,
+) -> FaultRecoveryResult {
+    let mut tb = Testbed::new(cfg.seed, 1, cfg.n_clients);
+    let p = plan(tb.fabric.host_port(tb.server, 0));
+    let faults = if p.is_none() { None } else { Some(tb.fabric.install_faults(p)) };
+    let end = cfg.duration.as_nanos();
+    let stats = EchoBenchStats::new(0, end);
+    let msg = cfg.msg_size;
+    tb.launch_server(cfg.system, cfg.server_cores, &cfg.tuning, 7000, |_| {
+        EchoServer::new(msg, 120)
+    });
+    let server_ip = tb.server_ip();
+    let st = stats.clone();
+    let (npc, conns) = (cfg.n_per_conn, cfg.conns_per_thread);
+    tb.launch_linux_clients(cfg.client_threads, &cfg.tuning, move |_, _| {
+        let mut c = EchoClient::new(server_ip, 7000, msg, npc, conns, true, st.clone());
+        c.stop_at_ns = end;
+        c
+    });
+    // Cumulative server-side payload bytes, summed across shards.
+    let read: Rc<dyn Fn() -> u64> = match tb.engine.as_ref().expect("server") {
+        ServerEngine::Ix(d) => {
+            let ts = d.threads.clone();
+            Rc::new(move || ts.iter().map(|t| t.borrow().shard.stats.bytes_rx).sum())
+        }
+        ServerEngine::Linux(l) => {
+            let cs = l.cores.clone();
+            Rc::new(move || cs.iter().map(|c| c.borrow().shard.stats.bytes_rx).sum())
+        }
+        ServerEngine::Mtcp(m) => {
+            let cs = m.cores.clone();
+            Rc::new(move || cs.iter().map(|c| c.borrow().shard.stats.bytes_rx).sum())
+        }
+    };
+    let samples: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let window = cfg.sample_window.as_nanos();
+    {
+        let (r, o) = (read, samples.clone());
+        tb.sim.schedule_in(Nanos(window), move |sim| {
+            sample_tick(sim, r, o, window, end, 0);
+        });
+    }
+    let watchdog = match (cfg.watchdog_period, tb.engine.as_ref().expect("server")) {
+        (Some(p), ServerEngine::Ix(d)) => {
+            Some(ix_core::ixcp::start_queue_watchdog(&mut tb.sim, d, p.as_nanos(), end))
+        }
+        _ => None,
+    };
+    tb.run_until_ns(end + Nanos::from_millis(2).as_nanos());
+
+    let per = samples.borrow().clone();
+    let fault_idx = (cfg.fault_from.as_nanos() / window) as usize;
+    // Baseline skips the first window (connection ramp). Empty when the
+    // faults start at (or before) that window — continuous-fault runs
+    // have no clean baseline and report zero for the dip metrics.
+    let pre_from = 1.min(per.len());
+    let pre = &per[pre_from..fault_idx.clamp(pre_from, per.len())];
+    let baseline = if pre.is_empty() {
+        0.0
+    } else {
+        pre.iter().sum::<u64>() as f64 / pre.len() as f64
+    };
+    let after = &per[fault_idx.min(per.len())..];
+    let min_bytes = after.iter().copied().min().unwrap_or(0);
+    let dip_frac = if baseline > 0.0 { min_bytes as f64 / baseline } else { 0.0 };
+    let thresh = 0.8 * baseline;
+    let mut last_below = None;
+    for (i, &v) in after.iter().enumerate() {
+        if (v as f64) < thresh {
+            last_below = Some(i);
+        }
+    }
+    let stalled = matches!(last_below, Some(i) if i + 1 == after.len());
+    let recover_ns = last_below.map(|i| (i as u64 + 1) * window);
+    let s = stats.borrow();
+    FaultRecoveryResult {
+        window_ns: window,
+        per_window_rx_bytes: per,
+        baseline_bytes: baseline,
+        min_bytes,
+        dip_frac,
+        recover_ns,
+        stalled,
+        msgs_per_sec: s.messages as f64 / cfg.duration.as_secs_f64(),
+        rtt_p99_ns: s.rtt.p99().as_nanos(),
+        tcp: tb.engine.as_ref().expect("server").tcp_stats(),
+        faults: faults.map(|f| f.borrow().snapshot()).unwrap_or_default(),
+        watchdog: watchdog.map(|w| *w.borrow()),
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -32,7 +32,10 @@ pub mod netpipe;
 pub mod workload;
 
 pub use echo::{EchoBenchStats, EchoClient, EchoServer};
-pub use harness::{EchoConfig, EchoResult, System, Testbed};
+pub use harness::{
+    EchoConfig, EchoResult, FaultRecoveryConfig, FaultRecoveryResult, FaultedNetpipeResult,
+    System, Testbed,
+};
 pub use kvstore::{KvServer, SharedStore};
 pub use mutilate::{LoadStats, MutilateAgent, MutilateClient};
 pub use netpipe::{NetpipeClient, NetpipeResult, NetpipeServer};

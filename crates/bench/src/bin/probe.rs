@@ -32,6 +32,17 @@ fn print_instrumentation(instr: &EngineInstrumentation) {
         "         mbuf:  {} allocs / {} frees, peak outstanding {}, exhausted {}",
         m.allocs, m.frees, m.peak_outstanding, m.exhausted
     );
+    let t = instr.tcp;
+    println!(
+        "         tcp:   {} retx ({} rto, {} fastrtx, {} persist), max recovery {:.1} us, drops {} parse / {} csum",
+        t.retransmits,
+        t.rto_fires,
+        t.fast_retransmits,
+        t.persist_probes,
+        t.max_recovery_ns as f64 / 1e3,
+        t.parse_drops,
+        t.checksum_drops,
+    );
 }
 
 fn main() {

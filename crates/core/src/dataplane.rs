@@ -178,6 +178,12 @@ impl ElasticThread {
                     break 'poll;
                 }
                 let (nic, q) = t.queues[qi].clone();
+                // A hung RX queue (fault plane) stops draining: frames
+                // stay in the ring until the window ends or the control
+                // plane re-steers the flow groups away.
+                if nic.borrow().rx_queue_hung(now_ns, q) {
+                    continue;
+                }
                 let f = nic.borrow_mut().rx_ring(q).poll();
                 if let Some(f) = f {
                     t.rx_since_replenish[qi] += 1;
@@ -313,9 +319,13 @@ impl ElasticThread {
             if t.parked {
                 (false, None)
             } else {
+                let now_ns = sim.now().as_nanos();
                 let rx_pending = t.queues.iter().any(|(nic, q)| {
                     let mut n = nic.borrow_mut();
-                    n.rx_ring(*q).pending() > 0
+                    // Backlog on a hung queue cannot be drained by
+                    // iterating; sleep and let the notify edge (or the
+                    // watchdog) wake us instead of busy-spinning.
+                    n.rx_ring(*q).pending() > 0 && !n.rx_queue_hung(now_ns, *q)
                 });
                 let more = rx_pending
                     || !t.shard.quiescent()

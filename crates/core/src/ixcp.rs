@@ -16,10 +16,14 @@
 //!   dataplane can raise so the control plane allocates more resources
 //!   (§3).
 
-use ix_sim::Simulator;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ix_sim::{Nanos, Simulator};
 use ix_tcp::Tcb;
 
-use crate::dataplane::{Dataplane, ElasticThread};
+use crate::dataplane::{Dataplane, ElasticThread, ThreadRef};
 
 /// Identifies a registered dataplane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,6 +40,29 @@ pub struct CongestionReport {
     /// the NIC edge", §3 — this is that edge overflowing).
     pub rx_drops: u64,
 }
+
+/// Counters from the queue-hang watchdog (graceful degradation: a
+/// non-draining RX queue gets its RSS flow groups re-steered to healthy
+/// queues, reusing the §4.4 migration mechanism).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchdogStats {
+    /// Sampling passes executed.
+    pub scans: u64,
+    /// Hangs detected: a queue with backlog that polled nothing for a
+    /// whole period.
+    pub hangs_detected: u64,
+    /// RSS redirection buckets moved off hung queues.
+    pub buckets_resteered: u64,
+    /// Live connections migrated to healthy shards.
+    pub flows_migrated: u64,
+    /// Frames discarded from hung rings at re-steer time (the wedged DMA
+    /// consumer cannot poll them; modelled as a queue reset, recovered by
+    /// TCP retransmission).
+    pub frames_discarded: u64,
+}
+
+/// Shared handle to the watchdog's counters.
+pub type WatchdogRef = Rc<RefCell<WatchdogStats>>;
 
 /// The control plane: owns the dataplane registry and the elastic
 /// scaling mechanism.
@@ -173,6 +200,176 @@ impl ControlPlane {
 
         // 4. Wake the active threads so adopted flows make progress.
         for th in dp.threads.iter().take(n) {
+            ElasticThread::schedule_iteration(th, sim);
+        }
+    }
+
+    /// Starts a periodic watchdog over the dataplane's RX queues. Every
+    /// `period_ns` it samples each queue's poll progress; a queue that
+    /// holds a backlog across a whole period without draining a single
+    /// frame is declared hung, and its RSS flow groups are re-steered to
+    /// the healthy queues (the §4.4 migration mechanism driven by a
+    /// health signal instead of a scaling decision). The watchdog stops
+    /// rescheduling itself once the next tick would land past
+    /// `deadline_ns`, so bounded experiment runs still drain to
+    /// completion.
+    ///
+    /// Returns a shared handle to the watchdog's counters.
+    pub fn start_queue_watchdog(
+        &self,
+        sim: &mut Simulator,
+        id: DataplaneId,
+        period_ns: u64,
+        deadline_ns: u64,
+    ) -> WatchdogRef {
+        start_queue_watchdog(sim, &self.dataplanes[id.0], period_ns, deadline_ns)
+    }
+}
+
+/// Standalone form of [`ControlPlane::start_queue_watchdog`] for callers
+/// that hold a [`Dataplane`] directly (experiment harnesses).
+pub fn start_queue_watchdog(
+    sim: &mut Simulator,
+    dp: &Dataplane,
+    period_ns: u64,
+    deadline_ns: u64,
+) -> WatchdogRef {
+    let threads = Rc::new(dp.threads.clone());
+    let stats: WatchdogRef = Rc::new(RefCell::new(WatchdogStats::default()));
+    let last = Rc::new(RefCell::new(HashMap::new()));
+    let (t, l, s) = (threads, last, stats.clone());
+    sim.schedule_in(Nanos(period_ns), move |sim| {
+        watchdog_tick(sim, t, l, s, period_ns, deadline_ns);
+    });
+    stats
+}
+
+/// Last-sample memory per `(thread, queue-slot)`: frames polled so far
+/// and the ring backlog at that instant.
+type WatchdogSamples = Rc<RefCell<HashMap<(usize, usize), (u64, usize)>>>;
+
+/// One watchdog pass: sample every queue, detect hangs, re-steer, and
+/// reschedule while within the deadline.
+fn watchdog_tick(
+    sim: &mut Simulator,
+    threads: Rc<Vec<ThreadRef>>,
+    last: WatchdogSamples,
+    stats: WatchdogRef,
+    period_ns: u64,
+    deadline_ns: u64,
+) {
+    stats.borrow_mut().scans += 1;
+    for (ti, th) in threads.iter().enumerate() {
+        if th.borrow().parked {
+            continue;
+        }
+        let queues = th.borrow().queues().to_vec();
+        for (pi, (nic, q)) in queues.iter().enumerate() {
+            let (pending, received) = {
+                let mut n = nic.borrow_mut();
+                let r = n.rx_ring(*q);
+                (r.pending(), r.received)
+            };
+            // Frames polled out so far; if this stands still across a
+            // period while a backlog sits in the ring, nothing is
+            // draining the queue.
+            let polled = received - pending as u64;
+            let prev = last.borrow_mut().insert((ti, pi), (polled, pending));
+            if let Some((prev_polled, prev_pending)) = prev {
+                if pending > 0 && prev_pending > 0 && polled == prev_polled {
+                    stats.borrow_mut().hangs_detected += 1;
+                    resteer_hung_queue(sim, &threads, ti, &stats);
+                }
+            }
+        }
+    }
+    if sim.now().as_nanos() + period_ns <= deadline_ns {
+        sim.schedule_in(Nanos(period_ns), move |sim| {
+            watchdog_tick(sim, threads, last, stats, period_ns, deadline_ns);
+        });
+    }
+}
+
+/// Moves every RSS bucket of thread `hung`'s queue to the healthy active
+/// queues (round-robin), resets the wedged ring(s), and migrates the
+/// hung shard's connections to their new owners.
+fn resteer_hung_queue(
+    sim: &mut Simulator,
+    threads: &[ThreadRef],
+    hung: usize,
+    stats: &WatchdogRef,
+) {
+    let now_ns = sim.now().as_nanos();
+    let healthy: Vec<usize> = threads
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| *i != hung && !t.borrow().parked)
+        .map(|(i, _)| i)
+        .collect();
+    if healthy.is_empty() {
+        return; // Nowhere to move traffic: degraded until the hang ends.
+    }
+    let queues = threads[hung].borrow().queues().to_vec();
+    // 1. Reprogram every port identically (multi-port hosts hash a flow
+    //    the same way on each member, so the tables must agree) and
+    //    reset the wedged rings.
+    let mut moved = 0u64;
+    let mut discarded = 0u64;
+    for (nic, q) in &queues {
+        let mut map = nic.borrow().redirection().to_vec();
+        let mut rr = 0usize;
+        for e in map.iter_mut() {
+            if *e == hung {
+                *e = healthy[rr % healthy.len()];
+                rr += 1;
+                moved += 1;
+            }
+        }
+        let mut n = nic.borrow_mut();
+        n.set_redirection(map);
+        // 2. Discard frames wedged behind the stuck DMA consumer: they
+        //    cannot be polled during the hang, and replaying them after
+        //    migration would resurrect stale segments on the wrong
+        //    shard. TCP retransmission recovers the loss.
+        let ring = n.rx_ring(*q);
+        while ring.poll().is_some() {
+            discarded += 1;
+        }
+        let un = ring.unreplenished();
+        ring.replenish(un);
+    }
+    if moved == 0 {
+        return; // Already re-steered by an earlier detection.
+    }
+    {
+        let mut s = stats.borrow_mut();
+        s.buckets_resteered += moved;
+        s.frames_discarded += discarded;
+    }
+    // 3. Migrate the hung shard's connections to the shards their
+    //    buckets now map to (same mechanism as elastic revocation).
+    let steer_nic = queues[0].0.clone();
+    let local_ip = threads[hung].borrow().shard.local_ip;
+    let extracted = {
+        let nic = steer_nic.clone();
+        threads[hung].borrow_mut().shard.extract_flows(|tcb| {
+            nic.borrow().queue_for_flow(tcb.remote_ip, local_ip, tcb.remote_port, tcb.local_port)
+                != hung
+        })
+    };
+    for tcb in extracted {
+        let q = steer_nic.borrow().queue_for_flow(
+            tcb.remote_ip,
+            local_ip,
+            tcb.remote_port,
+            tcb.local_port,
+        );
+        stats.borrow_mut().flows_migrated += 1;
+        threads[q].borrow_mut().shard.absorb_flows(now_ns, vec![tcb]);
+    }
+    // 4. Wake the healthy threads so adopted flows make progress.
+    for th in threads.iter() {
+        if !th.borrow().parked {
             ElasticThread::schedule_iteration(th, sim);
         }
     }

@@ -78,6 +78,28 @@ impl Fabric {
         &self.hosts[id.0 as usize]
     }
 
+    /// Installs a fault plan across the whole fabric: the switch and
+    /// every NIC share one live [`ix_faults::FaultState`], so per-link
+    /// and per-queue counters accumulate in one place. Returns the
+    /// handle for snapshotting counters. Call after all hosts exist;
+    /// links/NICs are keyed by switch port (see [`Fabric::host_port`]).
+    pub fn install_faults(&mut self, plan: ix_faults::FaultPlan) -> ix_faults::FaultsRef {
+        let state = ix_faults::FaultState::shared(plan);
+        self.switch.borrow_mut().set_faults(state.clone());
+        for host in &self.hosts {
+            for nic in &host.nics {
+                nic.borrow_mut().set_faults(state.clone());
+            }
+        }
+        state
+    }
+
+    /// The switch port of a host's `nth` NIC — the key for that link in
+    /// a [`ix_faults::FaultPlan`].
+    pub fn host_port(&self, id: HostId, nth: usize) -> u16 {
+        self.hosts[id.0 as usize].nics[nth].borrow().switch_port
+    }
+
     /// The machine parameters the fabric was built with.
     pub fn params(&self) -> &MachineParams {
         &self.params

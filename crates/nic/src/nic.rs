@@ -3,6 +3,7 @@
 use std::cell::RefCell;
 use std::rc::{Rc, Weak};
 
+use ix_faults::FaultsRef;
 use ix_mempool::Mbuf;
 use ix_net::eth::{EthHeader, EtherType, MacAddr};
 use ix_net::ip::IpProto;
@@ -56,6 +57,10 @@ pub struct Nic {
     /// Whether a drain event chain is currently active.
     tx_draining: bool,
     switch: Weak<RefCell<Switch>>,
+    /// Installed fault plane, if any (shared with the switch; keyed by
+    /// this NIC's `switch_port`). Absent by default — the fault-free
+    /// path is untouched.
+    faults: Option<FaultsRef>,
     /// Port counters.
     pub stats: NicStats,
     /// When true, frames whose destination MAC does not match are still
@@ -82,6 +87,7 @@ impl Nic {
             tx_cursor: 0,
             tx_draining: false,
             switch: Weak::new(),
+            faults: None,
             stats: NicStats::default(),
             promiscuous: false,
             params,
@@ -104,6 +110,23 @@ impl Nic {
         self.notify[q] = Some(f);
     }
 
+    /// Installs the fault plane ([`crate::fabric::Fabric::install_faults`]
+    /// wires the same handle into the switch).
+    pub fn set_faults(&mut self, faults: FaultsRef) {
+        self.faults = Some(faults);
+    }
+
+    /// True when RX queue `q` is inside a scripted hang window at
+    /// `now_ns`: the driver must not drain it (frames keep landing and
+    /// the ring eventually tail-drops, like a wedged DMA consumer).
+    /// Always false without a fault plane.
+    pub fn rx_queue_hung(&self, now_ns: u64, q: QueueId) -> bool {
+        match &self.faults {
+            Some(f) => f.borrow_mut().rx_queue_hung(self.switch_port, q, now_ns),
+            None => false,
+        }
+    }
+
     /// Reprograms the RSS redirection table. `map[i]` is the queue for
     /// hash bucket `i`; the control plane uses this to rebalance flow
     /// groups between elastic threads (§3, §4.4).
@@ -112,6 +135,14 @@ impl Nic {
         let q = self.queues();
         assert!(map.iter().all(|&m| m < q), "queue out of range");
         self.redirection = map;
+    }
+
+    /// The current RSS redirection table (`map[i]` = queue for hash
+    /// bucket `i`). The control plane reads it to compute incremental
+    /// re-steers (e.g. the queue-hang watchdog moving only the buckets
+    /// of an unhealthy queue).
+    pub fn redirection(&self) -> &[QueueId] {
+        &self.redirection
     }
 
     /// Read access to a queue's RX ring.
@@ -198,11 +229,20 @@ impl Nic {
 
     /// Driver side: the stack wrote TX descriptors and rang the doorbell.
     /// Starts the wire-drain event chain if it is idle.
+    ///
+    /// Fault-plane hook: a scripted doorbell loss swallows this kick —
+    /// queued frames sit in the ring until the *next* doorbell (exactly
+    /// the failure a missed MMIO write produces).
     pub fn kick_tx(nic: &NicRef, sim: &mut Simulator) {
         let start = {
             let mut n = nic.borrow_mut();
             if n.tx_draining {
                 return;
+            }
+            if let Some(f) = &n.faults {
+                if f.borrow_mut().doorbell_lost(n.switch_port) {
+                    return;
+                }
             }
             n.tx_draining = true;
             sim.now()
@@ -215,6 +255,21 @@ impl Nic {
     /// the next drain at the frame's end-of-serialization instant, which
     /// models back-to-back line-rate transmission.
     fn drain_one(nic: &NicRef, sim: &mut Simulator) {
+        // Fault-plane hook: inside a TX hang window the drain engine
+        // stalls in place and resumes when the window closes. The
+        // `tx_draining` flag stays set so doorbells keep coalescing.
+        let hang_until = {
+            let n = nic.borrow();
+            match &n.faults {
+                Some(f) => f.borrow_mut().tx_hang_until(n.switch_port, sim.now().as_nanos()),
+                None => None,
+            }
+        };
+        if let Some(end) = hang_until {
+            let nic = nic.clone();
+            sim.schedule_at(ix_sim::SimTime(end), move |sim| Nic::drain_one(&nic, sim));
+            return;
+        }
         let (frame, depart, sw, port) = {
             let mut n = nic.borrow_mut();
             let queues = n.queues();

@@ -10,8 +10,9 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use ix_faults::{FaultsRef, LinkVerdict};
 use ix_mempool::Mbuf;
-use ix_net::eth::{EthHeader, MacAddr};
+use ix_net::eth::{EthHeader, EtherType, MacAddr};
 use ix_net::rss::{hash_ipv4_tuple, TOEPLITZ_DEFAULT_KEY};
 use ix_sim::{Nanos, SimTime, Simulator};
 
@@ -51,6 +52,12 @@ pub struct Switch {
     table: HashMap<MacAddr, PortSel>,
     /// Counters.
     pub stats: SwitchStats,
+    /// Installed fault plane, if any. Links are keyed by switch port;
+    /// each frame consults the fault plane once per link it crosses
+    /// (once at ingress for the sender's link, once at egress for the
+    /// receiver's). Absent by default: the fault-free path draws no
+    /// randomness and schedules nothing extra.
+    faults: Option<FaultsRef>,
 }
 
 impl Switch {
@@ -62,7 +69,14 @@ impl Switch {
             attached: (0..ports).map(|_| None).collect(),
             table: HashMap::new(),
             stats: SwitchStats::default(),
+            faults: None,
         }
+    }
+
+    /// Installs the fault plane ([`crate::fabric::Fabric::install_faults`]
+    /// wires the same handle into every NIC).
+    pub fn set_faults(&mut self, faults: FaultsRef) {
+        self.faults = Some(faults);
     }
 
     /// Attaches a NIC to a port and installs its MAC in the forwarding
@@ -138,7 +152,34 @@ impl Switch {
     /// A frame has fully arrived at `in_port`. Forwards it: cut-through
     /// latency, output-port serialization, propagation, then delivery
     /// into the destination NIC (which adds its own RX latency).
-    pub fn ingress(switch: &Rc<RefCell<Switch>>, sim: &mut Simulator, frame: Mbuf, in_port: u16) {
+    ///
+    /// Fault-plane hook #1: the sender's link (`in_port`) gets a verdict
+    /// here, covering the host→switch leg of that cable.
+    pub fn ingress(switch: &Rc<RefCell<Switch>>, sim: &mut Simulator, mut frame: Mbuf, in_port: u16) {
+        let faults = switch.borrow().faults.clone();
+        if let Some(f) = faults {
+            let now_ns = sim.now().as_nanos();
+            let corruptible = Switch::is_ipv4(&frame);
+            match f.borrow_mut().link_verdict(in_port, now_ns, corruptible) {
+                LinkVerdict::Deliver => {}
+                LinkVerdict::Drop => return,
+                LinkVerdict::Corrupt(r) => Switch::corrupt(&mut frame, r),
+                LinkVerdict::Delay(d) => {
+                    // Reordering on the ingress leg: re-enter forwarding
+                    // after the extra delay (bypassing a second verdict).
+                    let sw = switch.clone();
+                    sim.schedule_in(Nanos(d), move |sim| {
+                        Switch::forward(&sw, sim, frame, in_port);
+                    });
+                    return;
+                }
+            }
+        }
+        Switch::forward(switch, sim, frame, in_port);
+    }
+
+    /// The fault-free forwarding body of [`Switch::ingress`].
+    fn forward(switch: &Rc<RefCell<Switch>>, sim: &mut Simulator, frame: Mbuf, in_port: u16) {
         let outs = switch.borrow_mut().resolve(&frame, in_port);
         let Some((&last, rest)) = outs.split_last() else {
             return;
@@ -151,8 +192,43 @@ impl Switch {
         Switch::egress(switch, sim, frame, last);
     }
 
+    /// True when the frame carries an IPv4 ethertype (and therefore
+    /// checksum protection for everything past the Ethernet header).
+    fn is_ipv4(frame: &Mbuf) -> bool {
+        let data = frame.data();
+        data.len() > EthHeader::LEN
+            && u16::from_be_bytes([data[12], data[13]]) == EtherType::Ipv4.to_u16()
+    }
+
+    /// Flips one byte of an IPv4 frame at a checksum-protected offset
+    /// (anywhere past the Ethernet header: the IP header checksum covers
+    /// the header, the TCP/UDP pseudo-header checksum covers the rest),
+    /// so the receiving stack must detect and drop the frame.
+    fn corrupt(frame: &mut Mbuf, r: u64) {
+        let len = frame.len();
+        debug_assert!(len > EthHeader::LEN);
+        let span = (len - EthHeader::LEN) as u64;
+        let off = EthHeader::LEN + (r % span) as usize;
+        frame.data_mut()[off] ^= 0xff;
+    }
+
     /// Schedules one frame out of `out` port.
-    fn egress(switch: &Rc<RefCell<Switch>>, sim: &mut Simulator, frame: Mbuf, out: u16) {
+    ///
+    /// Fault-plane hook #2: the receiver's link (`out`) gets a verdict
+    /// here, covering the switch→host leg of that cable.
+    fn egress(switch: &Rc<RefCell<Switch>>, sim: &mut Simulator, mut frame: Mbuf, out: u16) {
+        let mut extra_delay = 0u64;
+        let faults = switch.borrow().faults.clone();
+        if let Some(f) = faults {
+            let now_ns = sim.now().as_nanos();
+            let corruptible = Switch::is_ipv4(&frame);
+            match f.borrow_mut().link_verdict(out, now_ns, corruptible) {
+                LinkVerdict::Deliver => {}
+                LinkVerdict::Drop => return,
+                LinkVerdict::Corrupt(r) => Switch::corrupt(&mut frame, r),
+                LinkVerdict::Delay(d) => extra_delay = d,
+            }
+        }
         let (depart, dst_nic, prop, rx_lat) = {
             let mut sw = switch.borrow_mut();
             let l2_payload = frame.len().saturating_sub(EthHeader::LEN);
@@ -165,7 +241,7 @@ impl Switch {
             (depart, dst, sw.params.propagation_ns, sw.params.nic_rx_latency_ns)
         };
         let Some(dst_nic) = dst_nic else { return };
-        sim.schedule_at(depart + Nanos(prop + rx_lat), move |sim| {
+        sim.schedule_at(depart + Nanos(prop + rx_lat + extra_delay), move |sim| {
             Nic::deliver(&dst_nic, sim, frame);
         });
     }

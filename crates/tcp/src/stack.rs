@@ -11,6 +11,7 @@ use ix_net::icmp::{IcmpHeader, IcmpType};
 use ix_net::ip::{IpProto, Ipv4Addr, Ipv4Header};
 use ix_net::tcp::{seq_le, seq_lt, TcpFlags, TcpHeader};
 use ix_net::udp::UdpHeader;
+use ix_net::NetError;
 use ix_timerwheel::TimerWheel;
 
 use crate::arp_table::ArpTable;
@@ -62,7 +63,7 @@ pub struct UdpDatagram {
 }
 
 /// Aggregate stack counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StackStats {
     /// TCP segments processed.
     pub rx_segments: u64,
@@ -76,6 +77,20 @@ pub struct StackStats {
     pub rst_rx: u64,
     /// Frames dropped for bad checksums / malformed headers.
     pub parse_drops: u64,
+    /// Subset of `parse_drops` rejected specifically by checksum
+    /// verification (IP header, TCP/UDP pseudo-header, ICMP). A frame
+    /// corrupted on the wire lands here — and is never delivered.
+    pub checksum_drops: u64,
+    /// Retransmission timeouts that fired (including SYN timeouts).
+    pub rto_fires: u64,
+    /// Fast retransmits triggered by three duplicate ACKs.
+    pub fast_retransmits: u64,
+    /// Zero-window persist probes sent.
+    pub persist_probes: u64,
+    /// Longest loss-recovery episode observed, ns: from the first loss
+    /// signal (RTO fire or fast-retransmit entry) until the cumulative
+    /// ACK covers the recovery point captured at that instant.
+    pub max_recovery_ns: u64,
     /// TCP segments to ports nobody listens on.
     pub no_listener: u64,
     /// Active opens completed.
@@ -96,6 +111,35 @@ pub struct StackStats {
     pub udp_tx: u64,
     /// Outbound packets dropped because the mbuf pool was empty.
     pub pool_drops: u64,
+}
+
+impl StackStats {
+    /// Folds another shard's counters into this one. Every counter sums,
+    /// except `max_recovery_ns`, which keeps the maximum (it is a
+    /// per-episode high-water mark, not a rate).
+    pub fn absorb(&mut self, other: &StackStats) {
+        self.rx_segments += other.rx_segments;
+        self.tx_segments += other.tx_segments;
+        self.retransmits += other.retransmits;
+        self.rst_tx += other.rst_tx;
+        self.rst_rx += other.rst_rx;
+        self.parse_drops += other.parse_drops;
+        self.checksum_drops += other.checksum_drops;
+        self.rto_fires += other.rto_fires;
+        self.fast_retransmits += other.fast_retransmits;
+        self.persist_probes += other.persist_probes;
+        self.max_recovery_ns = self.max_recovery_ns.max(other.max_recovery_ns);
+        self.no_listener += other.no_listener;
+        self.conns_opened += other.conns_opened;
+        self.conns_accepted += other.conns_accepted;
+        self.bytes_rx += other.bytes_rx;
+        self.bytes_tx += other.bytes_tx;
+        self.arp_tx += other.arp_tx;
+        self.icmp_echo += other.icmp_echo;
+        self.udp_rx += other.udp_rx;
+        self.udp_tx += other.udp_tx;
+        self.pool_drops += other.pool_drops;
+    }
 }
 
 /// Timer payload: identifies the flow (with generation) and the kind.
@@ -566,6 +610,15 @@ impl TcpShard {
     // Input path.
     // ------------------------------------------------------------------
 
+    /// Records a frame rejected by header parsing, distinguishing
+    /// checksum failures (wire corruption) from structural damage.
+    fn count_parse_drop(&mut self, err: NetError) {
+        self.stats.parse_drops += 1;
+        if err == NetError::BadChecksum {
+            self.stats.checksum_drops += 1;
+        }
+    }
+
     /// Processes one received frame (Ethernet and up). The engine calls
     /// this for each frame polled from the RX ring.
     pub fn input(&mut self, now_ns: u64, mut frame: Mbuf) {
@@ -599,9 +652,12 @@ impl TcpShard {
     }
 
     fn input_ipv4(&mut self, mut frame: Mbuf) {
-        let Ok(ip) = Ipv4Header::decode(frame.data()) else {
-            self.stats.parse_drops += 1;
-            return;
+        let ip = match Ipv4Header::decode(frame.data()) {
+            Ok(ip) => ip,
+            Err(e) => {
+                self.count_parse_drop(e);
+                return;
+            }
         };
         if ip.dst != self.local_ip {
             self.stats.parse_drops += 1;
@@ -625,9 +681,12 @@ impl TcpShard {
     }
 
     fn input_icmp(&mut self, ip: Ipv4Header, mut frame: Mbuf) {
-        let Ok(hdr) = IcmpHeader::decode(frame.data()) else {
-            self.stats.parse_drops += 1;
-            return;
+        let hdr = match IcmpHeader::decode(frame.data()) {
+            Ok(hdr) => hdr,
+            Err(e) => {
+                self.count_parse_drop(e);
+                return;
+            }
         };
         if hdr.icmp_type == IcmpType::EchoRequest {
             self.stats.icmp_echo += 1;
@@ -644,9 +703,12 @@ impl TcpShard {
     }
 
     fn input_udp(&mut self, ip: Ipv4Header, mut frame: Mbuf) {
-        let Ok(hdr) = UdpHeader::decode(frame.data(), ip.src, ip.dst) else {
-            self.stats.parse_drops += 1;
-            return;
+        let hdr = match UdpHeader::decode(frame.data(), ip.src, ip.dst) {
+            Ok(hdr) => hdr,
+            Err(e) => {
+                self.count_parse_drop(e);
+                return;
+            }
         };
         frame.truncate(hdr.len as usize);
         frame.pull(UdpHeader::LEN);
@@ -680,9 +742,12 @@ impl TcpShard {
     }
 
     fn input_tcp(&mut self, ip: Ipv4Header, mut frame: Mbuf) {
-        let Ok((hdr, hlen)) = TcpHeader::decode(frame.data(), ip.src, ip.dst) else {
-            self.stats.parse_drops += 1;
-            return;
+        let (hdr, hlen) = match TcpHeader::decode(frame.data(), ip.src, ip.dst) {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.count_parse_drop(e);
+                return;
+            }
         };
         frame.pull(hlen);
         self.stats.rx_segments += 1;
@@ -942,6 +1007,14 @@ impl TcpShard {
                     tcb.cwnd = tcb.ssthresh;
                 }
             }
+            if let Some((start, point)) = tcb.recovery_episode {
+                if !seq_lt(ack, point) {
+                    tcb.recovery_episode = None;
+                    let dur = now.saturating_sub(start);
+                    self.stats.max_recovery_ns = self.stats.max_recovery_ns.max(dur);
+                }
+            }
+            let tcb = self.flows.get_mut(&key).expect("checked");
             tcb.cwnd_on_ack(bytes);
             tcb.dup_acks = 0;
             tcb.retries = 0;
@@ -981,7 +1054,11 @@ impl TcpShard {
                 tcb.dup_acks += 1;
                 if tcb.dup_acks == 3 {
                     tcb.cwnd_on_fast_retransmit();
+                    if tcb.recovery_episode.is_none() {
+                        tcb.recovery_episode = Some((now, tcb.snd_nxt));
+                    }
                     self.stats.retransmits += 1;
+                    self.stats.fast_retransmits += 1;
                     self.retransmit_front(key);
                 }
             } else if (window as u32) << tcb.snd_wscale > old_wnd {
@@ -1230,6 +1307,7 @@ impl TcpShard {
             payload: &[],
         };
         self.emit_segment_for_key(key, spec);
+        self.stats.persist_probes += 1;
         let t = self.wheel.schedule(
             self.cfg.persist_ns,
             TimerEntry { key, gen, kind: TimerKind::Persist },
@@ -1239,8 +1317,13 @@ impl TcpShard {
 
     fn rto_fire(&mut self, key: u64) {
         let cfg = self.cfg.clone();
+        let now = self.now_ns;
+        self.stats.rto_fires += 1;
         let tcb = self.flows.get_mut(&key).expect("live");
         tcb.retries += 1;
+        if tcb.recovery_episode.is_none() {
+            tcb.recovery_episode = Some((now, tcb.snd_nxt));
+        }
         if tcb.retries > cfg.max_retries {
             let (id, cookie, state) = (tcb.id, tcb.cookie, tcb.state);
             if state == TcpState::SynSent {

@@ -113,6 +113,12 @@ pub struct Tcb {
     pub dup_acks: u32,
     /// In fast recovery until `snd_una` passes this point.
     pub recover: Option<u32>,
+    /// Open loss-recovery episode: `(start_ns, recovery_point)` captured
+    /// at the first loss signal (RTO fire or fast-retransmit entry).
+    /// Cleared — and its duration folded into
+    /// `StackStats::max_recovery_ns` — once the cumulative ACK reaches
+    /// the recovery point.
+    pub recovery_episode: Option<(u64, u32)>,
 
     // --- Receive state ---
     /// Next expected sequence number.
@@ -195,6 +201,7 @@ impl Tcb {
             ssthresh: u32::MAX / 2,
             dup_acks: 0,
             recover: None,
+            recovery_episode: None,
             rcv_nxt: 0,
             rcv_buf: cfg.recv_window,
             rcv_outstanding: 0,

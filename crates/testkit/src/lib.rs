@@ -52,10 +52,17 @@ macro_rules! prop_assert_ne {
     ($($t:tt)*) => { assert_ne!($($t)*) };
 }
 
-/// Uniform choice between strategies with a common value type:
-/// `prop_oneof![s1, s2, s3]`.
+/// Choice between strategies with a common value type. Uniform:
+/// `prop_oneof![s1, s2, s3]`. Weighted, with draw probability
+/// proportional to each arm's weight: `prop_oneof![9 => common, 1 =>
+/// rare]` (all arms must then carry a weight).
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:expr => $arm:expr),+ $(,)?) => {
+        $crate::prop::Union::weighted(vec![
+            $(($weight, Box::new($arm) as Box<dyn $crate::prop::DynStrategy<_>>)),+
+        ])
+    };
     ($($arm:expr),+ $(,)?) => {
         $crate::prop::Union::new(vec![
             $(Box::new($arm) as Box<dyn $crate::prop::DynStrategy<_>>),+

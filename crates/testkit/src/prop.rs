@@ -50,6 +50,19 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Rejects generated values failing `pred`, redrawing from `rng`
+    /// until one passes (mirrors `proptest`'s `prop_filter`). `label`
+    /// names the constraint in the panic raised if the predicate keeps
+    /// rejecting — a filter that thins the space below ~1% should be
+    /// rewritten as a constructive strategy instead.
+    fn prop_filter<F>(self, label: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, label, pred }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -224,6 +237,47 @@ where
     }
 }
 
+/// The strategy returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    label: &'static str,
+    pred: F,
+}
+
+/// Draws per [`Filter::generate`] before giving up; generous because a
+/// rejection this persistent means the filter is doing the generator's
+/// job and the strategy should be restructured.
+const FILTER_MAX_DRAWS: usize = 1000;
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut SimRng) -> S::Value {
+        for _ in 0..FILTER_MAX_DRAWS {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter \"{}\" rejected {FILTER_MAX_DRAWS} consecutive draws; \
+             make the strategy constructive instead",
+            self.label
+        );
+    }
+    fn shrink(&self, v: &S::Value) -> Vec<S::Value> {
+        // Candidates must still satisfy the filter, or the harness
+        // would report a "minimal" input the strategy cannot produce.
+        let mut out = self.inner.shrink(v);
+        out.retain(|c| (self.pred)(c));
+        out
+    }
+}
+
 /// `Option` strategies, mirroring `proptest::option`.
 pub mod option {
     use super::{SimRng, Strategy};
@@ -332,28 +386,46 @@ impl<S: Strategy> DynStrategy<S::Value> for S {
     }
 }
 
-/// Uniform choice between strategies of a common value type; built by
-/// [`prop_oneof!`](crate::prop_oneof).
+/// Weighted choice between strategies of a common value type; built by
+/// [`prop_oneof!`](crate::prop_oneof) (uniform unless arms carry
+/// `weight =>` prefixes).
 pub struct Union<V> {
-    arms: Vec<Box<dyn DynStrategy<V>>>,
+    arms: Vec<(u32, Box<dyn DynStrategy<V>>)>,
+    total_weight: u64,
 }
 
 impl<V> Union<V> {
-    /// Wraps the given arms; panics if empty.
+    /// Wraps the given arms with equal weight; panics if empty.
     pub fn new(arms: Vec<Box<dyn DynStrategy<V>>>) -> Union<V> {
+        Union::weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    /// Wraps `(weight, arm)` pairs; each arm is drawn with probability
+    /// proportional to its weight. Panics if empty or if every weight
+    /// is zero (a zero-weight arm still contributes shrink candidates).
+    pub fn weighted(arms: Vec<(u32, Box<dyn DynStrategy<V>>)>) -> Union<V> {
         assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
-        Union { arms }
+        let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! needs a non-zero weight");
+        Union { arms, total_weight }
     }
 }
 
 impl<V: Clone + std::fmt::Debug> Strategy for Union<V> {
     type Value = V;
     fn generate(&self, rng: &mut SimRng) -> V {
-        let arm = rng.below(self.arms.len() as u64) as usize;
-        self.arms[arm].generate_dyn(rng)
+        let mut pick = rng.below(self.total_weight);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.generate_dyn(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("pick < total_weight = sum of arm weights");
     }
     fn shrink(&self, v: &V) -> Vec<V> {
-        self.arms.iter().flat_map(|a| a.shrink_dyn(v)).collect()
+        self.arms.iter().flat_map(|(_, a)| a.shrink_dyn(v)).collect()
     }
 }
 
@@ -561,6 +633,58 @@ mod tests {
             seen[s.generate(&mut rng) as usize] = true;
         }
         assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn weighted_union_biases_draws() {
+        // 9:1 arms must come out near 9:1, never exactly uniform.
+        let s: Union<u8> =
+            Union::weighted(vec![(9, Box::new(0u8..=0)), (1, Box::new(1u8..=1))]);
+        let mut rng = SimRng::new(5);
+        let mut counts = [0u32; 2];
+        for _ in 0..1000 {
+            counts[s.generate(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > 800 && counts[1] > 30, "counts: {counts:?}");
+    }
+
+    #[test]
+    fn weighted_prop_oneof_macro_accepts_both_forms() {
+        let w: Union<u8> = crate::prop_oneof![3 => 0u8..=0, 1 => 1u8..=1];
+        let u: Union<u8> = crate::prop_oneof![0u8..=0, 1u8..=1];
+        let mut rng = SimRng::new(6);
+        for _ in 0..50 {
+            assert!(w.generate(&mut rng) <= 1);
+            assert!(u.generate(&mut rng) <= 1);
+        }
+    }
+
+    #[test]
+    fn filter_generates_only_passing_values_and_shrinks_within() {
+        let s = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        let mut rng = SimRng::new(7);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert_eq!(v % 2, 0, "filter leaked {v}");
+        }
+        // Shrink candidates must also satisfy the predicate.
+        for c in s.shrink(&88) {
+            assert_eq!(c % 2, 0, "shrink leaked {c}");
+        }
+    }
+
+    #[test]
+    fn filter_panics_with_label_when_unsatisfiable() {
+        let s = (0u64..100).prop_filter("impossible", |_| false);
+        let got = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = SimRng::new(8);
+            s.generate(&mut rng)
+        }));
+        let msg = match got {
+            Err(e) => *e.downcast::<String>().expect("string payload"),
+            Ok(v) => panic!("filter produced {v}"),
+        };
+        assert!(msg.contains("impossible"), "got: {msg}");
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`nic`](ix_nic) — the simulated hardware: multi-queue NICs with
 //!   Toeplitz RSS, descriptor rings, links, the cut-through switch, and
 //!   the DDIO cache model.
+//! * [`faults`](ix_faults) — the scripted fault plane: per-link loss,
+//!   burst loss, flaps, corruption, reordering, and NIC queue hangs,
+//!   all deterministic from `(plan, seed)`.
 //! * [`baselines`](ix_baselines) — the Linux and mTCP execution models
 //!   the paper compares against.
 //! * [`apps`](ix_apps) — echo/NetPIPE/memcached applications, Facebook
@@ -38,9 +41,11 @@
 pub use ix_apps as apps;
 pub use ix_baselines as baselines;
 pub use ix_core as core;
+pub use ix_faults as faults;
 pub use ix_mempool as mempool;
 pub use ix_net as net;
 pub use ix_nic as nic;
 pub use ix_sim as sim;
 pub use ix_tcp as tcp;
+pub use ix_testkit as testkit;
 pub use ix_timerwheel as timerwheel;

@@ -6,8 +6,12 @@
 //! stream drift) at the whole-experiment level — and also prove the seed
 //! is actually wired through, not silently ignored.
 
-use ix_apps::harness::{run_echo, run_netpipe_seeded, EchoConfig, EngineTuning, System};
+use ix_apps::harness::{
+    run_echo, run_netpipe_faulted, run_netpipe_seeded, EchoConfig, EngineTuning, System,
+};
+use ix_faults::{FaultPlan, GilbertElliott, LinkFaults};
 use ix_sim::Nanos;
+use ix_tcp::StackConfig;
 
 #[test]
 fn netpipe_same_seed_reproduces_byte_identically() {
@@ -58,4 +62,63 @@ fn echo_experiment_reproduces_from_config_and_seed() {
         format!("{y:?}"),
         "same (config, seed) produced different results"
     );
+}
+
+/// One fixed faulted NetPIPE point: 2% Bernoulli loss layered with a
+/// Gilbert–Elliott burst chain and one 2 ms flap on the client cable.
+fn faulted_netpipe_point() -> ix_apps::harness::FaultedNetpipeResult {
+    let tuning = EngineTuning { stack: StackConfig::low_latency(), ..EngineTuning::default() };
+    run_netpipe_faulted(System::Ix, 256, 40, &tuning, 42, 3_000, |_, client_port| {
+        FaultPlan::new(0xf1f0).with_link(
+            client_port,
+            LinkFaults {
+                loss: 0.02,
+                burst: Some(GilbertElliott::bursty(0.01, 4.0)),
+                down_windows: vec![(4_000_000, 6_000_000)],
+                ..LinkFaults::default()
+            },
+        )
+    })
+}
+
+#[test]
+fn faulted_netpipe_replays_byte_identically() {
+    let a = faulted_netpipe_point();
+    let b = faulted_netpipe_point();
+    // The faults must really bite — otherwise this replays nothing —
+    // and the transfer must still complete through recovery.
+    assert!(a.faults.dropped_total() > 0, "fault plan injected nothing: {:?}", a.faults);
+    assert!(a.done, "faulted NetPIPE stalled: {} reps, {:?}", a.reps, a.faults);
+    assert!(
+        a.server_tcp.retransmits + a.client_tcp.retransmits > 0,
+        "drops occurred but nothing was retransmitted"
+    );
+    // Byte-identical replay: every measurement, every TCP counter, and
+    // every fault counter — including the f64 goodput bits.
+    assert_eq!(a.one_way_ns, b.one_way_ns, "latency diverged between identical faulted runs");
+    assert_eq!(a.goodput_gbps.to_bits(), b.goodput_gbps.to_bits(), "goodput bits diverged");
+    assert_eq!((a.reps, a.done), (b.reps, b.done));
+    assert_eq!(a.server_tcp, b.server_tcp, "server TCP counters diverged");
+    assert_eq!(a.client_tcp, b.client_tcp, "client TCP counters diverged");
+    assert_eq!(a.faults, b.faults, "fault counters diverged");
+}
+
+#[test]
+fn faulted_netpipe_different_fault_seed_is_a_different_run() {
+    let a = faulted_netpipe_point();
+    let tuning = EngineTuning { stack: StackConfig::low_latency(), ..EngineTuning::default() };
+    let b = run_netpipe_faulted(System::Ix, 256, 40, &tuning, 42, 3_000, |_, client_port| {
+        FaultPlan::new(0x0dd).with_link(
+            client_port,
+            LinkFaults {
+                loss: 0.02,
+                burst: Some(GilbertElliott::bursty(0.01, 4.0)),
+                down_windows: vec![(4_000_000, 6_000_000)],
+                ..LinkFaults::default()
+            },
+        )
+    });
+    // Same experiment seed, different fault seed: the fault RNG stream
+    // is independent and must actually steer which frames drop.
+    assert_ne!(a.faults, b.faults, "fault seed had no effect on the injected faults");
 }
