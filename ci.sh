@@ -29,6 +29,20 @@ if [ "$elapsed_s" -gt "$fig5_budget_s" ]; then
     exit 1
 fi
 
+# Connection-scale smoke: the quick fig4 point set (100 and 10k
+# connections, all four system/port columns) exercises the flow-table
+# demux, TCB slab, and rotating-client ready ring end to end. The
+# budget catches an accidental return to per-message O(conns) scans.
+fig4_budget_s=120
+start_s=$SECONDS
+IX_SWEEP_QUICK=1 ./target/release/fig4_connscale > /dev/null
+elapsed_s=$(( SECONDS - start_s ))
+echo "ci: quick fig4 sweep took ${elapsed_s}s (budget ${fig4_budget_s}s)"
+if [ "$elapsed_s" -gt "$fig4_budget_s" ]; then
+    echo "ci: FAIL — quick fig4 exceeded its wall-clock budget" >&2
+    exit 1
+fi
+
 # Faulted-sweep smoke: the quick fig7 point set (baseline, 1% loss,
 # queue hang + watchdog) must run and recover within its own budget —
 # a fault-plane or watchdog regression shows up as a stall (nonzero

@@ -120,6 +120,37 @@ impl ServerEngine {
         agg
     }
 
+    /// Aggregated flow-table / TCB-slab occupancy across all server
+    /// shards: live flows, high-water slab slots, and resident bytes
+    /// summed — the peak-RSS-style accounting the Fig 4 sweep prints
+    /// per point.
+    pub fn flow_mem(&self) -> ix_tcp::FlowMapMem {
+        let mut agg = ix_tcp::FlowMapMem { live: 0, slab_slots: 0, bytes: 0 };
+        let mut add = |m: ix_tcp::FlowMapMem| {
+            agg.live += m.live;
+            agg.slab_slots += m.slab_slots;
+            agg.bytes += m.bytes;
+        };
+        match self {
+            ServerEngine::Ix(d) => {
+                for th in &d.threads {
+                    add(th.borrow().shard.flow_mem_stats());
+                }
+            }
+            ServerEngine::Linux(l) => {
+                for c in &l.cores {
+                    add(c.borrow().shard.flow_mem_stats());
+                }
+            }
+            ServerEngine::Mtcp(m) => {
+                for c in &m.cores {
+                    add(c.borrow().shard.flow_mem_stats());
+                }
+            }
+        }
+        agg
+    }
+
     /// `(kernel_ns, user_ns)` CPU split across server cores.
     pub fn cpu_split(&self) -> (u64, u64) {
         match self {
@@ -532,6 +563,11 @@ pub struct ConnScaleResult {
     pub misses_per_msg: f64,
     /// Live server-side connection count at the end.
     pub server_conns: u64,
+    /// Summed per-core mbuf pool high-water marks (buffers).
+    pub mbuf_peak: u64,
+    /// Flow-table / TCB-slab occupancy across server shards at the
+    /// end of the window (live flows, high-water slab slots, bytes).
+    pub tcb_mem: ix_tcp::FlowMapMem,
 }
 
 /// Runs one Fig 4 point.
@@ -581,11 +617,16 @@ pub fn run_connscale(cfg: &ConnScaleConfig) -> ConnScaleResult {
     };
     let misses = ix_nic::cache::DdioModel::new(tb.fabric.params())
         .misses_per_message(cfg.total_conns as u64);
+    // Memory accounting is read after the measured window closed, so
+    // it cannot perturb the simulated results.
+    let engine = tb.engine.as_ref().expect("launched");
     ConnScaleResult {
         msgs_per_sec: s.messages as f64 / secs,
         rtt_avg_ns: s.rtt.mean().as_nanos(),
         misses_per_msg: misses,
         server_conns,
+        mbuf_peak: engine.mbuf_stats().peak_outstanding,
+        tcb_mem: engine.flow_mem(),
     }
 }
 

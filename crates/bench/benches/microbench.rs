@@ -288,6 +288,124 @@ fn bench_tcp_codec(r: &mut BenchRunner) {
     });
 }
 
+/// Flow-table workloads, run identically against the open-addressing
+/// [`ix_tcp::FlowMap`] and the `HashMap<u64, _>` it replaced in the
+/// TCP shard. Payloads are 64 B (a TCB-shaped cache-line) and keys are
+/// `FlowId::pack`-shaped words, so the comparison measures exactly the
+/// per-packet demux the stack performs.
+fn bench_flowtable(r: &mut BenchRunner) {
+    use ix_tcp::FlowMap;
+    use std::collections::HashMap;
+
+    type Payload = [u64; 8];
+    const LIVE: usize = 100_000;
+
+    /// `FlowId::pack`-shaped key: remote ip | remote port | local port.
+    fn flow_key(i: u64) -> u64 {
+        ((0x0a00_0001 + (i / 64)) << 32) | ((16_384 + (i % 48_000)) << 16) | 80
+    }
+
+    // -- Hot-path demux: random established-flow lookups at 100k live.
+    r.bench("flowtable/lookup_hit", |b| {
+        let mut m: FlowMap<Payload> = FlowMap::new();
+        for i in 0..LIVE as u64 {
+            m.insert(flow_key(i), [i; 8]);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i.wrapping_mul(25_214_903_917).wrapping_add(11)) % LIVE;
+            black_box(m.get(flow_key(i as u64)).expect("present")[0]);
+        })
+    });
+    r.bench("flowtable_hashmap/lookup_hit", |b| {
+        let mut m: HashMap<u64, Payload> = HashMap::new();
+        for i in 0..LIVE as u64 {
+            m.insert(flow_key(i), [i; 8]);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i.wrapping_mul(25_214_903_917).wrapping_add(11)) % LIVE;
+            black_box(m.get(&flow_key(i as u64)).expect("present")[0]);
+        })
+    });
+
+    // -- Connection churn at steady state: one accept + one close per
+    // iteration against a 100k-flow working set (the §5.3 RST-churn
+    // pattern at Fig 4 scale).
+    r.bench("flowtable/insert_churn", |b| {
+        let mut m: FlowMap<Payload> = FlowMap::new();
+        for i in 0..LIVE as u64 {
+            m.insert(flow_key(i), [i; 8]);
+        }
+        let (mut head, mut tail) = (LIVE as u64, 0u64);
+        b.iter(|| {
+            m.insert(flow_key(head), [head; 8]);
+            black_box(m.remove(flow_key(tail)).expect("present"));
+            head += 1;
+            tail += 1;
+        })
+    });
+    r.bench("flowtable_hashmap/insert_churn", |b| {
+        let mut m: HashMap<u64, Payload> = HashMap::new();
+        for i in 0..LIVE as u64 {
+            m.insert(flow_key(i), [i; 8]);
+        }
+        let (mut head, mut tail) = (LIVE as u64, 0u64);
+        b.iter(|| {
+            m.insert(flow_key(head), [head; 8]);
+            black_box(m.remove(&flow_key(tail)).expect("present"));
+            head += 1;
+            tail += 1;
+        })
+    });
+
+    // -- Flow-group migration: one iteration = extract every flow whose
+    // RSS bucket moved (1/8 of a 10k-flow shard, in sorted-key order,
+    // as `extract_flows` does) and absorb them back.
+    const SHARD: u64 = 10_000;
+    r.bench("flowtable/migrate_extract", |b| {
+        let mut m: FlowMap<Payload> = FlowMap::new();
+        for i in 0..SHARD {
+            m.insert(flow_key(i), [i; 8]);
+        }
+        b.iter(|| {
+            // Key-only scan, as `extract_flows` does: the probe array
+            // alone decides the batch; the slab is touched per moved
+            // flow only.
+            let mut batch = m.collect_keys();
+            batch.retain(|k| (k >> 16) & 7 == 0);
+            batch.sort_unstable();
+            let mut out = Vec::with_capacity(batch.len());
+            for &k in &batch {
+                out.push((k, m.remove(k).expect("present")));
+            }
+            for (k, v) in out {
+                m.insert(k, v);
+            }
+            black_box(m.len());
+        })
+    });
+    r.bench("flowtable_hashmap/migrate_extract", |b| {
+        let mut m: HashMap<u64, Payload> = HashMap::new();
+        for i in 0..SHARD {
+            m.insert(flow_key(i), [i; 8]);
+        }
+        b.iter(|| {
+            let mut batch: Vec<u64> =
+                m.iter().filter(|(k, _)| (*k >> 16) & 7 == 0).map(|(k, _)| *k).collect();
+            batch.sort_unstable();
+            let mut out = Vec::with_capacity(batch.len());
+            for &k in &batch {
+                out.push((k, m.remove(&k).expect("present")));
+            }
+            for (k, v) in out {
+                m.insert(k, v);
+            }
+            black_box(m.len());
+        })
+    });
+}
+
 fn bench_histogram(r: &mut BenchRunner) {
     r.bench("stats/histogram_record", |b| {
         let mut h = Histogram::new();
@@ -370,6 +488,37 @@ fn write_report(r: &BenchRunner) {
     if cmp.len() > 2 {
         ix_bench::report::update_section(&format!("scheduler_speedup{suffix}"), &cmp);
     }
+
+    // Same shape for the flow-table workloads: identical workload run
+    // against the open-addressing FlowMap and the HashMap it replaced.
+    let mut cmp = String::from("{");
+    let mut first = true;
+    for wl in ["lookup_hit", "insert_churn", "migrate_extract"] {
+        if let (Some(new), Some(base)) = (
+            find(&format!("flowtable/{wl}")),
+            find(&format!("flowtable_hashmap/{wl}")),
+        ) {
+            if !first {
+                cmp.push_str(", ");
+            }
+            first = false;
+            cmp += &format!(
+                "\"{wl}\": {{\"flowtable_ns\": {new:.2}, \"hashmap_ns\": {base:.2}, \
+                 \"speedup\": {:.2}}}",
+                base / new
+            );
+            println!(
+                "[flowtable] {wl}: {:.1} ns/op vs HashMap {:.1} ns/op ({:.2}x)",
+                new,
+                base,
+                base / new
+            );
+        }
+    }
+    cmp.push('}');
+    if cmp.len() > 2 {
+        ix_bench::report::update_section(&format!("flowtable_speedup{suffix}"), &cmp);
+    }
 }
 
 fn main() {
@@ -379,6 +528,7 @@ fn main() {
     bench_scheduler(&mut r);
     bench_mempool(&mut r);
     bench_tcp_codec(&mut r);
+    bench_flowtable(&mut r);
     bench_histogram(&mut r);
     bench_end_to_end(&mut r);
     write_report(&r);

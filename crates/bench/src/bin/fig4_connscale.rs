@@ -21,7 +21,7 @@ fn main() {
     let conn_counts: &[usize] = if ix_bench::sweep::quick() {
         &[100, 10_000]
     } else {
-        &[100, 1_000, 10_000, 50_000, 100_000, 250_000]
+        &[100, 1_000, 10_000, 50_000, 100_000, 250_000, 500_000]
     };
     let mut points: Vec<(usize, System, usize)> = Vec::new();
     for &n in conn_counts {
@@ -36,6 +36,11 @@ fn main() {
             total_conns: n,
             // Few connections bound concurrency by themselves.
             outstanding_per_thread: if n < 1_000 { 1 } else { 3 },
+            // The 18-host fleet saturates below 500k connections; the
+            // half-million point doubles the client machines (paper
+            // §5.4 tops out at 18x24 threads — connection counts past
+            // 250k need a larger fleet).
+            n_clients: if n > 250_000 { 36 } else { ConnScaleConfig::default().n_clients },
             ..ConnScaleConfig::default()
         };
         run_connscale(&cfg)
@@ -71,5 +76,28 @@ fn main() {
         }
     }
     println!("Paper: misses/msg 1.4 below ~10k connections, ~25 at 250k (DDIO model).");
+    // Peak-RSS-style accounting, per point: summed per-core mbuf pool
+    // high-water marks plus flow-table / TCB-slab occupancy. Printed
+    // after the figure rows so those stay byte-identical across runs.
+    println!();
+    println!(
+        "{:>8} | {:>10} | {:>9} {:>9} {:>10} {:>8}",
+        "conns", "system", "mbuf_peak", "tcb_live", "slab_slots", "tcb_MiB"
+    );
+    for (ni, &n) in conn_counts.iter().enumerate() {
+        for (i, &(sys, ports)) in COLUMNS.iter().enumerate() {
+            let r = &outcome.results[ni * COLUMNS.len() + i];
+            println!(
+                "{:>8} | {:>6}-{}0G | {:>9} {:>9} {:>10} {:>8.2}",
+                n,
+                sys.name(),
+                ports,
+                r.mbuf_peak,
+                r.tcb_mem.live,
+                r.tcb_mem.slab_slots,
+                r.tcb_mem.bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
+    }
     ix_bench::sweep::record("fig4_connscale", &outcome);
 }

@@ -169,13 +169,8 @@ impl ControlPlane {
             let mut t = th.borrow_mut();
             let local_ip = t.shard.local_ip;
             let nic = steer_nic.clone();
-            let extracted = t.shard.extract_flows(|tcb| {
-                let q = nic.borrow().queue_for_flow(
-                    tcb.remote_ip,
-                    local_ip,
-                    tcb.remote_port,
-                    tcb.local_port,
-                );
+            let extracted = t.shard.extract_flows(|remote_ip, remote_port, local_port| {
+                let q = nic.borrow().queue_for_flow(remote_ip, local_ip, remote_port, local_port);
                 q != i
             });
             if !extracted.is_empty() {
@@ -259,6 +254,13 @@ fn watchdog_tick(
     deadline_ns: u64,
 ) {
     stats.borrow_mut().scans += 1;
+    // Sample every queue first, then re-steer all hung threads in ONE
+    // pass. Re-steering per detection handled simultaneous hangs badly:
+    // the first re-steer only knew about the first hung queue, so it
+    // happily rotated buckets onto the *other* wedged queue — traffic
+    // moved from one black hole into another and stayed stalled until
+    // (at best) a later tick.
+    let mut hung: Vec<usize> = Vec::new();
     for (ti, th) in threads.iter().enumerate() {
         if th.borrow().parked {
             continue;
@@ -278,10 +280,15 @@ fn watchdog_tick(
             if let Some((prev_polled, prev_pending)) = prev {
                 if pending > 0 && prev_pending > 0 && polled == prev_polled {
                     stats.borrow_mut().hangs_detected += 1;
-                    resteer_hung_queue(sim, &threads, ti, &stats);
+                    if !hung.contains(&ti) {
+                        hung.push(ti);
+                    }
                 }
             }
         }
+    }
+    if !hung.is_empty() {
+        resteer_hung_queues(sim, &threads, &hung, &stats);
     }
     if sim.now().as_nanos() + period_ns <= deadline_ns {
         sim.schedule_in(Nanos(period_ns), move |sim| {
@@ -290,53 +297,63 @@ fn watchdog_tick(
     }
 }
 
-/// Moves every RSS bucket of thread `hung`'s queue to the healthy active
-/// queues (round-robin), resets the wedged ring(s), and migrates the
-/// hung shard's connections to their new owners.
-fn resteer_hung_queue(
+/// Moves every RSS bucket of every `hung` thread's queues to the
+/// healthy active queues (round-robin), resets the wedged ring(s), and
+/// migrates the hung shards' connections to their new owners.
+///
+/// All simultaneously hung queues are handled in one pass so the
+/// `healthy` set excludes *every* wedged thread: re-steering them one
+/// at a time could round-robin a bucket from hung queue A onto
+/// still-hung queue B, stranding roughly `1/healthy` of A's traffic in
+/// a second black hole.
+fn resteer_hung_queues(
     sim: &mut Simulator,
     threads: &[ThreadRef],
-    hung: usize,
+    hung: &[usize],
     stats: &WatchdogRef,
 ) {
     let now_ns = sim.now().as_nanos();
     let healthy: Vec<usize> = threads
         .iter()
         .enumerate()
-        .filter(|(i, t)| *i != hung && !t.borrow().parked)
+        .filter(|(i, t)| !hung.contains(i) && !t.borrow().parked)
         .map(|(i, _)| i)
         .collect();
     if healthy.is_empty() {
         return; // Nowhere to move traffic: degraded until the hang ends.
     }
-    let queues = threads[hung].borrow().queues().to_vec();
     // 1. Reprogram every port identically (multi-port hosts hash a flow
     //    the same way on each member, so the tables must agree) and
-    //    reset the wedged rings.
+    //    reset the wedged rings. Each NIC's table is walked once per
+    //    hung thread, but the first walk already moves every bucket
+    //    pointing at *any* hung queue, so later walks move nothing.
     let mut moved = 0u64;
     let mut discarded = 0u64;
-    for (nic, q) in &queues {
-        let mut map = nic.borrow().redirection().to_vec();
-        let mut rr = 0usize;
-        for e in map.iter_mut() {
-            if *e == hung {
-                *e = healthy[rr % healthy.len()];
-                rr += 1;
-                moved += 1;
+    for &h in hung {
+        let queues = threads[h].borrow().queues().to_vec();
+        for (nic, q) in &queues {
+            let mut map = nic.borrow().redirection().to_vec();
+            let mut rr = 0usize;
+            for e in map.iter_mut() {
+                if hung.contains(e) {
+                    *e = healthy[rr % healthy.len()];
+                    rr += 1;
+                    moved += 1;
+                }
             }
+            let mut n = nic.borrow_mut();
+            n.set_redirection(map);
+            // 2. Discard frames wedged behind the stuck DMA consumer:
+            //    they cannot be polled during the hang, and replaying
+            //    them after migration would resurrect stale segments on
+            //    the wrong shard. TCP retransmission recovers the loss.
+            let ring = n.rx_ring(*q);
+            while ring.poll().is_some() {
+                discarded += 1;
+            }
+            let un = ring.unreplenished();
+            ring.replenish(un);
         }
-        let mut n = nic.borrow_mut();
-        n.set_redirection(map);
-        // 2. Discard frames wedged behind the stuck DMA consumer: they
-        //    cannot be polled during the hang, and replaying them after
-        //    migration would resurrect stale segments on the wrong
-        //    shard. TCP retransmission recovers the loss.
-        let ring = n.rx_ring(*q);
-        while ring.poll().is_some() {
-            discarded += 1;
-        }
-        let un = ring.unreplenished();
-        ring.replenish(un);
     }
     if moved == 0 {
         return; // Already re-steered by an earlier detection.
@@ -346,26 +363,28 @@ fn resteer_hung_queue(
         s.buckets_resteered += moved;
         s.frames_discarded += discarded;
     }
-    // 3. Migrate the hung shard's connections to the shards their
+    // 3. Migrate each hung shard's connections to the shards their
     //    buckets now map to (same mechanism as elastic revocation).
-    let steer_nic = queues[0].0.clone();
-    let local_ip = threads[hung].borrow().shard.local_ip;
-    let extracted = {
-        let nic = steer_nic.clone();
-        threads[hung].borrow_mut().shard.extract_flows(|tcb| {
-            nic.borrow().queue_for_flow(tcb.remote_ip, local_ip, tcb.remote_port, tcb.local_port)
-                != hung
-        })
-    };
-    for tcb in extracted {
-        let q = steer_nic.borrow().queue_for_flow(
-            tcb.remote_ip,
-            local_ip,
-            tcb.remote_port,
-            tcb.local_port,
-        );
-        stats.borrow_mut().flows_migrated += 1;
-        threads[q].borrow_mut().shard.absorb_flows(now_ns, vec![tcb]);
+    for &h in hung {
+        let queues = threads[h].borrow().queues().to_vec();
+        let steer_nic = queues[0].0.clone();
+        let local_ip = threads[h].borrow().shard.local_ip;
+        let extracted = {
+            let nic = steer_nic.clone();
+            threads[h].borrow_mut().shard.extract_flows(|remote_ip, remote_port, local_port| {
+                nic.borrow().queue_for_flow(remote_ip, local_ip, remote_port, local_port) != h
+            })
+        };
+        for tcb in extracted {
+            let q = steer_nic.borrow().queue_for_flow(
+                tcb.remote_ip,
+                local_ip,
+                tcb.remote_port,
+                tcb.local_port,
+            );
+            stats.borrow_mut().flows_migrated += 1;
+            threads[q].borrow_mut().shard.absorb_flows(now_ns, vec![tcb]);
+        }
     }
     // 4. Wake the healthy threads so adopted flows make progress.
     for th in threads.iter() {

@@ -1,0 +1,560 @@
+//! Connection-scale flow demux: an open-addressing flow table plus a
+//! slab of flow state, replacing `HashMap<u64, Tcb>` on the per-packet
+//! hot path.
+//!
+//! Every received segment demuxes through exactly one table lookup, so
+//! at 250k connections the demux structure — not protocol logic —
+//! decides throughput (the *User Space Network Drivers* and *NFV
+//! dataplane benchmarking* observation). Three properties matter:
+//!
+//! * **No SipHash.** The key is the already-packed [`FlowId`] word
+//!   (remote ip/port, local port — the same bits RSS hashed on the
+//!   NIC), so the table finishes it with one splitmix64-style mix
+//!   instead of re-hashing through `std`'s DoS-resistant SipHash.
+//!   Collision resistance against adversarial peers is the NIC RSS
+//!   layer's problem, not the per-shard table's: a shard only ever
+//!   holds flows RSS already steered to it.
+//! * **Open addressing, tombstone-free.** Linear probing with
+//!   backward-shift deletion keeps probe chains short forever (no
+//!   tombstone accumulation across connection churn) and scans
+//!   contiguous memory. Capacity is a power of two, grown at 7/8
+//!   load, so footprint stays linear in *live* flows.
+//! * **Indices, not values.** The table stores `u32` slots into a
+//!   [`FlowMap`] slab, so 250k TCBs are contiguous and flow-group
+//!   migration (`extract_flows`/`absorb_flows`, paper §4.4) moves
+//!   indices and re-probes small keys — it never memmoves TCBs during
+//!   rehash.
+//!
+//! [`FlowId`]: crate::event::FlowId
+
+/// Slot index sentinel for an empty table slot. Keys are *not* used to
+/// mark emptiness, so a key of 0 is a perfectly valid flow.
+const EMPTY: u32 = u32::MAX;
+
+/// One probe slot: the full key (for verification) and the slab index.
+#[derive(Clone, Copy)]
+struct Slot {
+    key: u64,
+    idx: u32,
+}
+
+const VACANT: Slot = Slot { key: 0, idx: EMPTY };
+
+/// Finish an already-structured key into a table distribution.
+///
+/// The splitmix64 finisher: two multiply-xorshift rounds, full 64-bit
+/// avalanche. One multiplication per lookup vs SipHash's four rounds
+/// per 8-byte block plus finalization.
+#[inline]
+fn mix(key: u64) -> u64 {
+    let mut x = key;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// Open-addressing `u64 → u32` map: linear probing, backward-shift
+/// deletion, power-of-two capacity grown at 7/8 load.
+pub struct FlowTable {
+    slots: Vec<Slot>,
+    /// `slots.len() - 1`; probing is `(home + k) & mask`.
+    mask: usize,
+    len: usize,
+}
+
+impl FlowTable {
+    /// An empty table. The first insert allocates the initial slots.
+    pub fn new() -> Self {
+        FlowTable { slots: Vec::new(), mask: 0, len: 0 }
+    }
+
+    /// A table pre-sized so `n` entries fit without growing.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut t = FlowTable::new();
+        if n > 0 {
+            t.rebuild(Self::slots_for(n));
+        }
+        t
+    }
+
+    /// Smallest power-of-two slot count that holds `n` at 7/8 load.
+    fn slots_for(n: usize) -> usize {
+        let min = n.saturating_mul(8).div_ceil(7).max(8);
+        min.next_power_of_two()
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current slot count (a power of two, or 0 before first insert).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Resident bytes of the probe array.
+    pub fn mem_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot>()
+    }
+
+    /// Probe for `key`. Returns `Ok(slot_position)` if present,
+    /// `Err(first_free_position)` if absent.
+    #[inline]
+    fn probe(&self, key: u64) -> Result<usize, usize> {
+        debug_assert!(!self.slots.is_empty());
+        let mut i = (mix(key) as usize) & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s.idx == EMPTY {
+                return Err(i);
+            }
+            if s.key == key {
+                return Ok(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Looks up the slab index stored for `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        self.probe(key).ok().map(|i| self.slots[i].idx)
+    }
+
+    /// True iff `key` is present.
+    #[inline]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert or replace; returns the previous index for `key` if any.
+    #[inline]
+    pub fn insert(&mut self, key: u64, idx: u32) -> Option<u32> {
+        debug_assert_ne!(idx, EMPTY, "u32::MAX is the vacancy sentinel");
+        if self.slots.is_empty() || (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.rebuild(Self::slots_for(self.len + 1));
+        }
+        match self.probe(key) {
+            Ok(i) => {
+                let old = self.slots[i].idx;
+                self.slots[i].idx = idx;
+                Some(old)
+            }
+            Err(i) => {
+                self.slots[i] = Slot { key, idx };
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// Single-probe upsert: returns the index already stored for `key`,
+    /// or inserts (and returns) the one produced by `make`. This is the
+    /// hot-path primitive [`FlowMap`] builds on — a separate
+    /// `get`-then-`insert` would probe the chain twice.
+    #[inline]
+    pub fn get_or_insert_with(&mut self, key: u64, make: impl FnOnce() -> u32) -> u32 {
+        if self.slots.is_empty() || (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.rebuild(Self::slots_for(self.len + 1));
+        }
+        match self.probe(key) {
+            Ok(i) => self.slots[i].idx,
+            Err(i) => {
+                let idx = make();
+                debug_assert_ne!(idx, EMPTY, "u32::MAX is the vacancy sentinel");
+                self.slots[i] = Slot { key, idx };
+                self.len += 1;
+                idx
+            }
+        }
+    }
+
+    /// Remove `key`, backward-shifting the probe chain so no tombstone
+    /// is ever left behind.
+    #[inline]
+    pub fn remove(&mut self, key: u64) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut hole = self.probe(key).ok()?;
+        let removed = self.slots[hole].idx;
+        // Backward shift: walk the chain after the hole; any entry whose
+        // home position means it may only be found *through* the hole
+        // slides back into it.
+        let mut j = (hole + 1) & self.mask;
+        loop {
+            let s = self.slots[j];
+            if s.idx == EMPTY {
+                break;
+            }
+            let home = (mix(s.key) as usize) & self.mask;
+            // Movable iff the hole lies cyclically between home and j.
+            if (j.wrapping_sub(home) & self.mask) >= (j.wrapping_sub(hole) & self.mask) {
+                self.slots[hole] = s;
+                hole = j;
+            }
+            j = (j + 1) & self.mask;
+        }
+        self.slots[hole] = VACANT;
+        self.len -= 1;
+        Some(removed)
+    }
+
+    /// Iterate `(key, idx)` pairs in slot order. Deterministic for a
+    /// given insertion/removal history (the hash has no per-process
+    /// randomness), but *not* insertion order — callers that need a
+    /// canonical order sort, exactly as they did over `HashMap`.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.slots.iter().filter(|s| s.idx != EMPTY).map(|s| (s.key, s.idx))
+    }
+
+    /// Collect every live key into a fresh vector, in slot order.
+    ///
+    /// Branchless occupancy scan: every slot's key is written and the
+    /// cursor advance is predicated, so the ~60/40 occupied/vacant
+    /// pattern (hash-random, hence unpredictable) costs no branch
+    /// mispredicts — about 3x faster than `iter()` over a loaded
+    /// table. The migration scan is built on this.
+    pub fn collect_keys(&self) -> Vec<u64> {
+        if self.len == 0 {
+            return Vec::new();
+        }
+        // One guard slot: the predicated write lands at `buf[len]` for
+        // vacant slots scanned after the last live key is recorded.
+        let mut buf = vec![0u64; self.len + 1];
+        let mut n = 0usize;
+        for s in &self.slots {
+            buf[n] = s.key;
+            n += usize::from(s.idx != EMPTY);
+        }
+        debug_assert_eq!(n, self.len);
+        buf.truncate(n);
+        buf
+    }
+
+    /// Re-probe every live entry into a fresh power-of-two array.
+    fn rebuild(&mut self, new_slots: usize) {
+        debug_assert!(new_slots.is_power_of_two());
+        let old = std::mem::replace(&mut self.slots, vec![VACANT; new_slots]);
+        self.mask = new_slots - 1;
+        for s in old.into_iter().filter(|s| s.idx != EMPTY) {
+            let mut i = (mix(s.key) as usize) & self.mask;
+            while self.slots[i].idx != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = s;
+        }
+    }
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        FlowTable::new()
+    }
+}
+
+/// `u64 → T` map backed by a [`FlowTable`] of slab indices: the drop-in
+/// replacement for `HashMap<u64, Tcb>` in [`TcpShard`], generic so the
+/// microbenches and differential tests exercise it with small payloads.
+///
+/// Values live in a contiguous slab (`Vec<Option<T>>`) with a LIFO free
+/// list; the table maps keys to `u32` slots. Removing a value never
+/// moves any other value, and growing the table re-probes 16-byte
+/// entries — the slab itself only grows, amortized, at the tail.
+///
+/// [`TcpShard`]: crate::stack::TcpShard
+pub struct FlowMap<T> {
+    table: FlowTable,
+    slab: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> FlowMap<T> {
+    /// An empty map; the first insert allocates.
+    pub fn new() -> Self {
+        FlowMap { table: FlowTable::new(), slab: Vec::new(), free: Vec::new() }
+    }
+
+    /// A map pre-sized for `n` entries.
+    pub fn with_capacity(n: usize) -> Self {
+        FlowMap {
+            table: FlowTable::with_capacity(n),
+            slab: Vec::with_capacity(n),
+            free: Vec::new(),
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True iff no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// True iff `key` is present.
+    #[inline]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.table.contains_key(key)
+    }
+
+    /// Borrows the value stored for `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&T> {
+        let idx = self.table.get(key)?;
+        self.slab[idx as usize].as_ref()
+    }
+
+    /// Mutably borrows the value stored for `key`.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        let idx = self.table.get(key)?;
+        self.slab[idx as usize].as_mut()
+    }
+
+    /// Insert or replace; returns the displaced value if any. Probes
+    /// the chain exactly once either way.
+    pub fn insert(&mut self, key: u64, value: T) -> Option<T> {
+        let mut pending = Some(value);
+        let (slab, free) = (&mut self.slab, &mut self.free);
+        let idx = self.table.get_or_insert_with(key, || {
+            alloc_slot(slab, free, pending.take().expect("make called once"))
+        });
+        // If the closure never ran, `key` already had a slab slot.
+        match pending.take() {
+            Some(v) => self.slab[idx as usize].replace(v),
+            None => None,
+        }
+    }
+
+    /// Mutably borrows `key`'s value, inserting `T::default()` first
+    /// if absent (the `entry(..).or_default()` idiom). Single probe.
+    pub fn get_or_insert_default(&mut self, key: u64) -> &mut T
+    where
+        T: Default,
+    {
+        let (slab, free) = (&mut self.slab, &mut self.free);
+        let idx = self.table.get_or_insert_with(key, || alloc_slot(slab, free, T::default()));
+        self.slab[idx as usize].as_mut().expect("live table entry")
+    }
+
+    /// Removes `key`, returning its value and free-listing the slot.
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        let idx = self.table.remove(key)?;
+        let v = self.slab[idx as usize].take();
+        debug_assert!(v.is_some(), "table index pointed at a free slab slot");
+        self.free.push(idx);
+        v
+    }
+
+    /// Iterate `(key, &value)` in table slot order (see
+    /// [`FlowTable::iter`] for the ordering contract).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> + '_ {
+        self.table.iter().map(|(k, idx)| {
+            (k, self.slab[idx as usize].as_ref().expect("live table entry"))
+        })
+    }
+
+    /// Iterate values in table slot order.
+    pub fn values(&self) -> impl Iterator<Item = &T> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Iterate keys in table slot order without touching the value
+    /// slab.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.table.iter().map(|(k, _)| k)
+    }
+
+    /// Collect every live key in slot order via the branchless probe
+    /// array scan (see [`FlowTable::collect_keys`]) — the migration
+    /// scan (`extract_flows`) wants exactly this: a predicated pass
+    /// over 16-byte slots, not 250k TCB cache lines.
+    pub fn collect_keys(&self) -> Vec<u64> {
+        self.table.collect_keys()
+    }
+
+    /// Live entries (== `len()`), high-water slab slots, and resident
+    /// bytes of slab + table + free list — the peak-RSS-style numbers
+    /// the Fig 4 sweep reports per point.
+    pub fn mem_stats(&self) -> FlowMapMem {
+        FlowMapMem {
+            live: self.table.len(),
+            slab_slots: self.slab.len(),
+            bytes: self.slab.capacity() * std::mem::size_of::<Option<T>>()
+                + self.table.mem_bytes()
+                + self.free.capacity() * std::mem::size_of::<u32>(),
+        }
+    }
+}
+
+impl<T> Default for FlowMap<T> {
+    fn default() -> Self {
+        FlowMap::new()
+    }
+}
+
+/// Place `value` in a free slab slot (LIFO reuse, else grow the tail)
+/// and return its index. Free function so [`FlowMap`] methods can call
+/// it while the table is mutably borrowed.
+fn alloc_slot<T>(slab: &mut Vec<Option<T>>, free: &mut Vec<u32>, value: T) -> u32 {
+    match free.pop() {
+        Some(i) => {
+            slab[i as usize] = Some(value);
+            i
+        }
+        None => {
+            assert!(slab.len() < EMPTY as usize, "flow slab exceeds u32 indexing");
+            slab.push(Some(value));
+            (slab.len() - 1) as u32
+        }
+    }
+}
+
+/// Memory accounting snapshot from [`FlowMap::mem_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowMapMem {
+    /// Live entries.
+    pub live: usize,
+    /// High-water slab slots ever allocated (free-listed slots included).
+    pub slab_slots: usize,
+    /// Resident bytes across slab, probe table, and free list.
+    pub bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_answers_without_allocating() {
+        let t = FlowTable::new();
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.capacity(), 0);
+        assert!(!t.contains_key(42));
+    }
+
+    #[test]
+    fn key_zero_is_a_valid_key() {
+        let mut t = FlowTable::new();
+        assert_eq!(t.insert(0, 7), None);
+        assert_eq!(t.get(0), Some(7));
+        assert_eq!(t.remove(0), Some(7));
+        assert_eq!(t.get(0), None);
+    }
+
+    #[test]
+    fn insert_replace_remove_roundtrip() {
+        let mut t = FlowTable::new();
+        for k in 0..1000u64 {
+            assert_eq!(t.insert(k * 3, k as u32), None);
+        }
+        assert_eq!(t.len(), 1000);
+        assert!(t.capacity().is_power_of_two());
+        // Replacement returns the old index and does not change len.
+        assert_eq!(t.insert(30, 9999), Some(10));
+        assert_eq!(t.len(), 1000);
+        for k in 0..1000u64 {
+            let want = if k == 10 { 9999 } else { k as u32 };
+            assert_eq!(t.get(k * 3), Some(want), "key {}", k * 3);
+            assert_eq!(t.get(k * 3 + 1), None);
+        }
+        for k in 0..1000u64 {
+            assert!(t.remove(k * 3).is_some());
+            assert_eq!(t.get(k * 3), None, "removed key still found");
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn load_factor_stays_at_or_below_seven_eighths() {
+        let mut t = FlowTable::new();
+        for k in 0..100_000u64 {
+            t.insert(k, 0);
+            assert!(t.len() * 8 <= t.capacity() * 7, "overfull at {} / {}", t.len(), t.capacity());
+        }
+    }
+
+    /// Backshift deletion under forced collisions: craft keys that all
+    /// land in one home bucket and delete from the middle of the chain.
+    #[test]
+    fn backshift_deletion_preserves_colliding_chains() {
+        let mut t = FlowTable::with_capacity(64);
+        let cap = t.capacity();
+        // Find keys whose mixed hash lands in bucket 3 of the current
+        // capacity (capacity is held fixed: 20 keys fit in 64 slots).
+        let colliders: Vec<u64> =
+            (0..2_000_000u64).filter(|&k| (mix(k) as usize) & (cap - 1) == 3).take(20).collect();
+        assert_eq!(colliders.len(), 20, "not enough colliding keys found");
+        for (i, &k) in colliders.iter().enumerate() {
+            t.insert(k, i as u32);
+        }
+        assert_eq!(t.capacity(), cap, "test assumes no growth");
+        // Remove every other one, middle-out, checking the rest after
+        // each backshift.
+        for (i, &k) in colliders.iter().enumerate().filter(|(i, _)| i % 2 == 1) {
+            assert_eq!(t.remove(k), Some(i as u32));
+            for (j, &kk) in colliders.iter().enumerate() {
+                let want = if j % 2 == 1 && j <= i { None } else { Some(j as u32) };
+                assert_eq!(t.get(kk), want, "after removing #{i}: key #{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn flowmap_reuses_slab_slots_lifo() {
+        let mut m: FlowMap<String> = FlowMap::new();
+        m.insert(1, "a".into());
+        m.insert(2, "b".into());
+        m.insert(3, "c".into());
+        assert_eq!(m.mem_stats().slab_slots, 3);
+        assert_eq!(m.remove(2), Some("b".into()));
+        // The freed slot is reused: no slab growth.
+        m.insert(4, "d".into());
+        assert_eq!(m.mem_stats().slab_slots, 3);
+        assert_eq!(m.get(4), Some(&"d".into()));
+        assert_eq!(m.get(2), None);
+        let mut keys: Vec<u64> = m.iter().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, [1, 3, 4]);
+    }
+
+    #[test]
+    fn flowmap_memory_is_linear_in_live_flows() {
+        let mut m: FlowMap<[u64; 16]> = FlowMap::new();
+        for k in 0..250_000u64 {
+            m.insert(k, [k; 16]);
+        }
+        let at_peak = m.mem_stats();
+        assert_eq!(at_peak.live, 250_000);
+        // ~136 B/flow payload+index; linear bound with pow2 slack.
+        let per_flow = std::mem::size_of::<Option<[u64; 16]>>() + 16;
+        assert!(
+            at_peak.bytes <= 250_000 * per_flow * 3,
+            "footprint superlinear: {} bytes for 250k flows",
+            at_peak.bytes
+        );
+        // Churn does not grow the high-water mark.
+        for k in 0..250_000u64 {
+            m.remove(k);
+            m.insert(k + 1_000_000, [k; 16]);
+        }
+        assert_eq!(m.mem_stats().slab_slots, at_peak.slab_slots);
+    }
+}

@@ -35,11 +35,13 @@
 pub mod arp_table;
 pub mod config;
 pub mod event;
+pub mod flow_table;
 pub mod stack;
 pub mod tcb;
 
 pub use arp_table::ArpTable;
 pub use config::{AckPolicy, StackConfig};
 pub use event::{DeadReason, FlowId, TcpEvent};
+pub use flow_table::{FlowMap, FlowMapMem, FlowTable};
 pub use stack::{StackError, StackStats, TcpShard, UdpDatagram};
 pub use tcb::{Tcb, TcpState};

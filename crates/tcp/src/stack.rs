@@ -1,7 +1,7 @@
 //! The sharded TCP/IP stack: segment processing, connection management,
 //! ARP/ICMP/UDP, timers, and output generation.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::rc::Rc;
 
 use ix_mempool::{Mbuf, MbufPool};
@@ -17,6 +17,7 @@ use ix_timerwheel::TimerWheel;
 use crate::arp_table::ArpTable;
 use crate::config::{AckPolicy, StackConfig};
 use crate::event::{DeadReason, FlowId, TcpEvent};
+use crate::flow_table::{FlowMap, FlowMapMem};
 use crate::tcb::{Tcb, TcpState, TimerKind, TxSeg};
 
 /// Errors surfaced to the API layer (and mapped to syscall return codes
@@ -163,7 +164,9 @@ pub struct TcpShard {
     pub local_ip: Ipv4Addr,
     /// Local MAC address.
     pub local_mac: MacAddr,
-    flows: HashMap<u64, Tcb>,
+    /// Per-packet demux: open-addressing table over the packed
+    /// [`FlowId`] word into a contiguous TCB slab (DESIGN.md §5d).
+    flows: FlowMap<Tcb>,
     listeners: HashSet<u16>,
     arp: ArpTable,
     wheel: TimerWheel<TimerEntry>,
@@ -196,7 +199,7 @@ impl TcpShard {
             cfg,
             local_ip,
             local_mac,
-            flows: HashMap::new(),
+            flows: FlowMap::new(),
             listeners: HashSet::new(),
             arp: ArpTable::new(),
             wheel: TimerWheel::new(),
@@ -232,6 +235,12 @@ impl TcpShard {
     /// Number of live flows.
     pub fn flow_count(&self) -> usize {
         self.flows.len()
+    }
+
+    /// TCB-slab occupancy and resident bytes (live flows, high-water
+    /// slab slots, slab+table footprint) for peak-RSS-style accounting.
+    pub fn flow_mem_stats(&self) -> FlowMapMem {
+        self.flows.mem_stats()
     }
 
     /// Snapshot of the shard's mbuf-pool statistics (alloc/free churn,
@@ -312,18 +321,22 @@ impl TcpShard {
     /// Extracts the flows for which `belongs_elsewhere` returns true,
     /// cancelling their timers on this shard. The control plane hands
     /// them to [`TcpShard::absorb_flows`] on their new shard.
-    pub fn extract_flows(&mut self, mut belongs_elsewhere: impl FnMut(&Tcb) -> bool) -> Vec<Tcb> {
-        let mut keys: Vec<u64> = self
-            .flows
-            .iter()
-            .filter(|(_, t)| belongs_elsewhere(t))
-            .map(|(k, _)| *k)
-            .collect();
-        // Deterministic migration order regardless of hash-map layout.
+    ///
+    /// The predicate receives the flow tuple `(remote_ip, remote_port,
+    /// local_port)` unpacked from the table key, so the selection scan
+    /// walks only the 16-byte probe array — it never touches the TCB
+    /// slab until a flow is actually extracted.
+    pub fn extract_flows(
+        &mut self,
+        mut belongs_elsewhere: impl FnMut(Ipv4Addr, u16, u16) -> bool,
+    ) -> Vec<Tcb> {
+        let mut keys = self.flows.collect_keys();
+        keys.retain(|&k| belongs_elsewhere(Ipv4Addr((k >> 32) as u32), (k >> 16) as u16, k as u16));
+        // Deterministic migration order regardless of table layout.
         keys.sort_unstable();
         let mut out = Vec::with_capacity(keys.len());
         for k in keys {
-            let mut tcb = self.flows.remove(&k).expect("present");
+            let mut tcb = self.flows.remove(k).expect("present");
             for t in [
                 tcb.rto_timer.take(),
                 tcb.persist_timer.take(),
@@ -364,13 +377,13 @@ impl TcpShard {
                 let t = self
                     .wheel
                     .schedule(rto, TimerEntry { key, gen, kind: TimerKind::Rto });
-                self.flows.get_mut(&key).expect("inserted").rto_timer = Some(t);
+                self.flows.get_mut(key).expect("inserted").rto_timer = Some(t);
             }
             if need_tw {
                 let t = self
                     .wheel
                     .schedule(tw, TimerEntry { key, gen, kind: TimerKind::TimeWait });
-                self.flows.get_mut(&key).expect("inserted").timewait_timer = Some(t);
+                self.flows.get_mut(key).expect("inserted").timewait_timer = Some(t);
             }
         }
     }
@@ -450,7 +463,7 @@ impl TcpShard {
         let key = flow.key;
         let mut specs: Vec<(u32, usize, usize)> = Vec::new(); // (seq, off, len)
         {
-            let tcb = self.flows.get_mut(&key).expect("validated");
+            let tcb = self.flows.get_mut(key).expect("validated");
             let mut off = 0usize;
             while off < accepted {
                 let len = mss.min(accepted - off);
@@ -468,7 +481,7 @@ impl TcpShard {
             }
         }
         for (seq, off, len) in specs {
-            let tcb = self.flows.get(&key).expect("validated");
+            let tcb = self.flows.get(key).expect("validated");
             let spec = SegmentSpec {
                 flags: TcpFlags { psh: off + len == accepted, ..TcpFlags::ACK },
                 seq,
@@ -483,7 +496,7 @@ impl TcpShard {
         }
         if accepted > 0 {
             self.stats.bytes_tx += accepted as u64;
-            let tcb = self.flows.get_mut(&key).expect("validated");
+            let tcb = self.flows.get_mut(key).expect("validated");
             tcb.need_ack = false;
             let delack = tcb.delack_timer.take();
             if let Some(t) = delack {
@@ -495,14 +508,14 @@ impl TcpShard {
         } else {
             // Zero usable window: arm the persist probe so a lost window
             // update cannot deadlock the connection.
-            let tcb = self.flows.get(&key).expect("validated");
+            let tcb = self.flows.get(key).expect("validated");
             if tcb.snd_wnd == 0 && tcb.persist_timer.is_none() {
                 let gen = tcb.id.gen;
                 let t = self.wheel.schedule(
                     self.cfg.persist_ns,
                     TimerEntry { key, gen, kind: TimerKind::Persist },
                 );
-                self.flows.get_mut(&key).expect("validated").persist_timer = Some(t);
+                self.flows.get_mut(key).expect("validated").persist_timer = Some(t);
             }
         }
         Ok(accepted)
@@ -531,7 +544,7 @@ impl TcpShard {
                 // at least two segments since the last advertisement —
                 // the rule that keeps bulk senders from stalling against
                 // a delayed ACK on an odd final segment.
-                let tcb = self.flows.get(&key).expect("validated");
+                let tcb = self.flows.get(key).expect("validated");
                 let last = tcb.adv_wnd_last;
                 if (before < mss && after >= mss) || after >= last.saturating_add(2 * mss) {
                     self.emit_bare_ack(key);
@@ -550,11 +563,11 @@ impl TcpShard {
         match tcb.state {
             TcpState::Established => {
                 self.queue_fin(flow.key);
-                self.flows.get_mut(&flow.key).expect("live").state = TcpState::FinWait1;
+                self.flows.get_mut(flow.key).expect("live").state = TcpState::FinWait1;
             }
             TcpState::CloseWait => {
                 self.queue_fin(flow.key);
-                self.flows.get_mut(&flow.key).expect("live").state = TcpState::LastAck;
+                self.flows.get_mut(flow.key).expect("live").state = TcpState::LastAck;
             }
             TcpState::SynRcvd => {
                 // Reject a knocked connection.
@@ -582,7 +595,7 @@ impl TcpShard {
     }
 
     fn get_mut(&mut self, flow: FlowId) -> Result<&mut Tcb, StackError> {
-        match self.flows.get_mut(&flow.key) {
+        match self.flows.get_mut(flow.key) {
             Some(t) if t.id.gen == flow.gen => Ok(t),
             _ => Err(StackError::BadHandle),
         }
@@ -595,7 +608,7 @@ impl TcpShard {
         for _ in 0..limit {
             let port = self.eph_cursor;
             self.eph_cursor = if self.eph_cursor == u16::MAX { EPH_LO } else { self.eph_cursor + 1 };
-            if self.flows.contains_key(&FlowId::pack(dst_ip, dst_port, port)) {
+            if self.flows.contains_key(FlowId::pack(dst_ip, dst_port, port)) {
                 continue;
             }
             match &self.steer {
@@ -752,7 +765,7 @@ impl TcpShard {
         frame.pull(hlen);
         self.stats.rx_segments += 1;
         let key = FlowId::pack(ip.src, hdr.src_port, hdr.dst_port);
-        if self.flows.contains_key(&key) {
+        if self.flows.contains_key(key) {
             self.segment_for_flow(key, hdr, frame);
         } else {
             self.segment_no_flow(ip, hdr, frame);
@@ -826,7 +839,7 @@ impl TcpShard {
 
     /// Full state machine for a segment on an existing flow.
     fn segment_for_flow(&mut self, key: u64, hdr: TcpHeader, payload: Mbuf) {
-        let state = self.flows.get(&key).expect("checked").state;
+        let state = self.flows.get(key).expect("checked").state;
         if hdr.flags.rst {
             self.stats.rst_rx += 1;
             // Accept the RST if it is plausibly in-window (simplified).
@@ -840,7 +853,7 @@ impl TcpShard {
                     | TcpState::LastAck
                     | TcpState::SynRcvd
             );
-            let tcb = self.flows.get(&key).expect("checked");
+            let tcb = self.flows.get(key).expect("checked");
             let (id, cookie) = (tcb.id, tcb.cookie);
             if notify {
                 self.events.push(TcpEvent::Dead {
@@ -867,7 +880,7 @@ impl TcpShard {
     }
 
     fn on_syn_sent(&mut self, key: u64, hdr: TcpHeader) {
-        let tcb = self.flows.get_mut(&key).expect("checked");
+        let tcb = self.flows.get_mut(key).expect("checked");
         if !(hdr.flags.syn && hdr.flags.ack) {
             return; // Simultaneous open unsupported; ignore bare SYN.
         }
@@ -910,7 +923,7 @@ impl TcpShard {
 
     fn on_syn_rcvd(&mut self, key: u64, hdr: TcpHeader, payload: Mbuf) {
         let mss = self.cfg.mss as u16;
-        let tcb = self.flows.get_mut(&key).expect("checked");
+        let tcb = self.flows.get_mut(key).expect("checked");
         if hdr.flags.syn {
             // SYN retransmission from the peer: re-send SYN-ACK.
             let (seq, ack) = (tcb.snd_una, tcb.rcv_nxt);
@@ -958,7 +971,7 @@ impl TcpShard {
         let plen = payload.len() as u32;
         if hdr.flags.ack {
             self.process_ack(key, hdr.ack, hdr.window);
-            if !self.flows.contains_key(&key) {
+            if !self.flows.contains_key(key) {
                 return; // ACK processing may finish LAST_ACK teardown.
             }
         }
@@ -974,7 +987,7 @@ impl TcpShard {
             // zero-window probe at snd_nxt-1) elicits an ACK restating
             // our current state — this is what resynchronizes a peer
             // whose window-update ACK was lost.
-            if let Some(tcb) = self.flows.get(&key) {
+            if let Some(tcb) = self.flows.get(key) {
                 if hdr.seq != tcb.rcv_nxt {
                     self.mark_ack(key);
                 }
@@ -982,7 +995,7 @@ impl TcpShard {
         }
         // An out-of-order drain (or this segment) may have advanced
         // rcv_nxt up to a previously parked FIN.
-        if let Some(tcb) = self.flows.get(&key) {
+        if let Some(tcb) = self.flows.get(key) {
             if tcb.peer_fin == Some(tcb.rcv_nxt) {
                 self.consume_fin(key);
             }
@@ -992,7 +1005,7 @@ impl TcpShard {
     fn process_ack(&mut self, key: u64, ack: u32, window: u16) {
         let now = self.now_ns;
         let cfg = self.cfg.clone();
-        let tcb = self.flows.get_mut(&key).expect("checked");
+        let tcb = self.flows.get_mut(key).expect("checked");
         let old_wnd = tcb.snd_wnd;
         let old_usable = tcb.usable_window();
         if tcb.ack_is_new(ack) {
@@ -1014,7 +1027,7 @@ impl TcpShard {
                     self.stats.max_recovery_ns = self.stats.max_recovery_ns.max(dur);
                 }
             }
-            let tcb = self.flows.get_mut(&key).expect("checked");
+            let tcb = self.flows.get_mut(key).expect("checked");
             tcb.cwnd_on_ack(bytes);
             tcb.dup_acks = 0;
             tcb.retries = 0;
@@ -1041,7 +1054,7 @@ impl TcpShard {
             if fin_acked {
                 match state {
                     TcpState::FinWait1 => {
-                        self.flows.get_mut(&key).expect("live").state = TcpState::FinWait2;
+                        self.flows.get_mut(key).expect("live").state = TcpState::FinWait2;
                     }
                     TcpState::Closing => self.enter_time_wait(key),
                     TcpState::LastAck => self.destroy(key),
@@ -1063,7 +1076,7 @@ impl TcpShard {
                 }
             } else if (window as u32) << tcb.snd_wscale > old_wnd {
                 // Pure window update.
-                let tcb = self.flows.get(&key).expect("live");
+                let tcb = self.flows.get(key).expect("live");
                 let (id, cookie, usable) = (tcb.id, tcb.cookie, tcb.usable_window());
                 if usable > old_usable {
                     self.events.push(TcpEvent::Sent {
@@ -1073,7 +1086,7 @@ impl TcpShard {
                         window: usable,
                     });
                 }
-                let persist = self.flows.get_mut(&key).expect("live").persist_timer.take();
+                let persist = self.flows.get_mut(key).expect("live").persist_timer.take();
                 if let Some(t) = persist {
                     self.wheel.cancel(t);
                 }
@@ -1082,7 +1095,7 @@ impl TcpShard {
     }
 
     fn process_payload(&mut self, key: u64, seq: u32, mut payload: Mbuf) {
-        let tcb = self.flows.get_mut(&key).expect("checked");
+        let tcb = self.flows.get_mut(key).expect("checked");
         let len = payload.len() as u32;
         let rcv_nxt = tcb.rcv_nxt;
         let wnd = tcb.advertised_window();
@@ -1090,7 +1103,7 @@ impl TcpShard {
         let win_end = rcv_nxt.wrapping_add(wnd);
         tcb.need_ack = true;
         self.mark_ack(key);
-        let tcb = self.flows.get_mut(&key).expect("checked");
+        let tcb = self.flows.get_mut(key).expect("checked");
         if seq_le(end, rcv_nxt) {
             // Entirely old: pure duplicate, just the ACK.
             return;
@@ -1139,7 +1152,7 @@ impl TcpShard {
 
     fn drain_ooo(&mut self, key: u64) {
         loop {
-            let tcb = self.flows.get_mut(&key).expect("checked");
+            let tcb = self.flows.get_mut(key).expect("checked");
             let rcv_nxt = tcb.rcv_nxt;
             // Find a buffered segment that starts at or before rcv_nxt.
             let Some((&seg_seq, _)) = tcb
@@ -1166,7 +1179,7 @@ impl TcpShard {
             self.events.push(TcpEvent::Recv { flow: id, cookie, mbuf: m });
         }
         // Clean any now-stale buffered segments.
-        let tcb = self.flows.get_mut(&key).expect("checked");
+        let tcb = self.flows.get_mut(key).expect("checked");
         let rcv_nxt = tcb.rcv_nxt;
         let stale: Vec<u32> = tcb
             .ooo
@@ -1181,7 +1194,7 @@ impl TcpShard {
     }
 
     fn process_fin(&mut self, key: u64, fin_seq: u32) {
-        let tcb = self.flows.get_mut(&key).expect("checked");
+        let tcb = self.flows.get_mut(key).expect("checked");
         if fin_seq != tcb.rcv_nxt {
             // Data still missing before the FIN; remember it.
             tcb.peer_fin = Some(fin_seq);
@@ -1191,7 +1204,7 @@ impl TcpShard {
     }
 
     fn consume_fin(&mut self, key: u64) {
-        let tcb = self.flows.get_mut(&key).expect("checked");
+        let tcb = self.flows.get_mut(key).expect("checked");
         tcb.rcv_nxt = tcb.rcv_nxt.wrapping_add(1);
         tcb.peer_fin = None;
         tcb.need_ack = true;
@@ -1199,12 +1212,12 @@ impl TcpShard {
         self.mark_ack(key);
         match state {
             TcpState::Established => {
-                self.flows.get_mut(&key).expect("live").state = TcpState::CloseWait;
+                self.flows.get_mut(key).expect("live").state = TcpState::CloseWait;
                 self.events.push(TcpEvent::Dead { flow: id, cookie, reason: DeadReason::PeerFin });
             }
             TcpState::FinWait1 => {
                 // Our FIN not yet acked: simultaneous close.
-                self.flows.get_mut(&key).expect("live").state = TcpState::Closing;
+                self.flows.get_mut(key).expect("live").state = TcpState::Closing;
                 self.events.push(TcpEvent::Dead { flow: id, cookie, reason: DeadReason::PeerFin });
             }
             TcpState::FinWait2 => {
@@ -1216,10 +1229,10 @@ impl TcpShard {
     }
 
     fn enter_time_wait(&mut self, key: u64) {
-        let gen = self.flows.get(&key).expect("live").id.gen;
+        let gen = self.flows.get(key).expect("live").id.gen;
         // Cancel data timers; start the quarantine clock.
         let (rto, persist) = {
-            let tcb = self.flows.get_mut(&key).expect("live");
+            let tcb = self.flows.get_mut(key).expect("live");
             tcb.state = TcpState::TimeWait;
             (tcb.rto_timer.take(), tcb.persist_timer.take())
         };
@@ -1233,12 +1246,12 @@ impl TcpShard {
             self.cfg.time_wait_ns,
             TimerEntry { key, gen, kind: TimerKind::TimeWait },
         );
-        self.flows.get_mut(&key).expect("live").timewait_timer = Some(t);
+        self.flows.get_mut(key).expect("live").timewait_timer = Some(t);
     }
 
     /// Removes a flow and cancels its timers.
     fn destroy(&mut self, key: u64) {
-        if let Some(tcb) = self.flows.remove(&key) {
+        if let Some(tcb) = self.flows.remove(key) {
             for t in [
                 tcb.rto_timer,
                 tcb.persist_timer,
@@ -1264,25 +1277,25 @@ impl TcpShard {
         let mut fired = Vec::new();
         self.wheel.advance(now_ns, |e| fired.push(e));
         for e in fired {
-            let Some(tcb) = self.flows.get_mut(&e.key) else { continue };
+            let Some(tcb) = self.flows.get_mut(e.key) else { continue };
             if tcb.id.gen != e.gen {
                 continue;
             }
             match e.kind {
                 TimerKind::TimeWait => {
-                    self.flows.get_mut(&e.key).expect("live").timewait_timer = None;
+                    self.flows.get_mut(e.key).expect("live").timewait_timer = None;
                     self.destroy(e.key);
                 }
                 TimerKind::Persist => {
-                    self.flows.get_mut(&e.key).expect("live").persist_timer = None;
+                    self.flows.get_mut(e.key).expect("live").persist_timer = None;
                     self.persist_fire(e.key);
                 }
                 TimerKind::Rto => {
-                    self.flows.get_mut(&e.key).expect("live").rto_timer = None;
+                    self.flows.get_mut(e.key).expect("live").rto_timer = None;
                     self.rto_fire(e.key);
                 }
                 TimerKind::DelAck => {
-                    self.flows.get_mut(&e.key).expect("live").delack_timer = None;
+                    self.flows.get_mut(e.key).expect("live").delack_timer = None;
                     self.emit_bare_ack(e.key);
                 }
             }
@@ -1290,7 +1303,7 @@ impl TcpShard {
     }
 
     fn persist_fire(&mut self, key: u64) {
-        let tcb = self.flows.get(&key).expect("live");
+        let tcb = self.flows.get(key).expect("live");
         if tcb.snd_wnd > 0 {
             return; // Window reopened; probe no longer needed.
         }
@@ -1312,14 +1325,14 @@ impl TcpShard {
             self.cfg.persist_ns,
             TimerEntry { key, gen, kind: TimerKind::Persist },
         );
-        self.flows.get_mut(&key).expect("live").persist_timer = Some(t);
+        self.flows.get_mut(key).expect("live").persist_timer = Some(t);
     }
 
     fn rto_fire(&mut self, key: u64) {
         let cfg = self.cfg.clone();
         let now = self.now_ns;
         self.stats.rto_fires += 1;
-        let tcb = self.flows.get_mut(&key).expect("live");
+        let tcb = self.flows.get_mut(key).expect("live");
         tcb.retries += 1;
         if tcb.recovery_episode.is_none() {
             tcb.recovery_episode = Some((now, tcb.snd_nxt));
@@ -1356,7 +1369,7 @@ impl TcpShard {
                     cfg.syn_rto_ns << retries.min(6),
                     TimerEntry { key, gen, kind: TimerKind::Rto },
                 );
-                self.flows.get_mut(&key).expect("live").rto_timer = Some(t);
+                self.flows.get_mut(key).expect("live").rto_timer = Some(t);
             }
             _ => {
                 tcb.cwnd_on_rto();
@@ -1371,7 +1384,7 @@ impl TcpShard {
     /// Retransmits the oldest unacknowledged segment.
     fn retransmit_front(&mut self, key: u64) {
         let now = self.now_ns;
-        let tcb = self.flows.get_mut(&key).expect("live");
+        let tcb = self.flows.get_mut(key).expect("live");
         tcb.last_retx_ns = now;
         let Some(seg) = tcb.rtq.front_mut() else { return };
         seg.retransmitted = true;
@@ -1387,7 +1400,7 @@ impl TcpShard {
     /// Cancels and reschedules the RTO timer based on outstanding data.
     fn restart_rto(&mut self, key: u64) {
         let (old, need, rto, gen) = {
-            let tcb = self.flows.get_mut(&key).expect("live");
+            let tcb = self.flows.get_mut(key).expect("live");
             (
                 tcb.rto_timer.take(),
                 !tcb.rtq.is_empty(),
@@ -1400,7 +1413,7 @@ impl TcpShard {
         }
         if need {
             let t = self.wheel.schedule(rto, TimerEntry { key, gen, kind: TimerKind::Rto });
-            self.flows.get_mut(&key).expect("live").rto_timer = Some(t);
+            self.flows.get_mut(key).expect("live").rto_timer = Some(t);
         }
     }
 
@@ -1409,7 +1422,7 @@ impl TcpShard {
     // ------------------------------------------------------------------
 
     fn mark_ack(&mut self, key: u64) {
-        if let Some(tcb) = self.flows.get_mut(&key) {
+        if let Some(tcb) = self.flows.get_mut(key) {
             if !tcb.need_ack {
                 tcb.need_ack = true;
             }
@@ -1433,7 +1446,7 @@ impl TcpShard {
     fn delayed_ack_pass(&mut self, delay_ns: u64) {
         let keys = std::mem::take(&mut self.pending_acks);
         for key in keys {
-            let Some(tcb) = self.flows.get_mut(&key) else { continue };
+            let Some(tcb) = self.flows.get_mut(key) else { continue };
             if !tcb.need_ack {
                 continue;
             }
@@ -1448,7 +1461,7 @@ impl TcpShard {
                     delay_ns,
                     TimerEntry { key, gen, kind: TimerKind::DelAck },
                 );
-                self.flows.get_mut(&key).expect("live").delack_timer = Some(t);
+                self.flows.get_mut(key).expect("live").delack_timer = Some(t);
             }
         }
     }
@@ -1456,7 +1469,7 @@ impl TcpShard {
     fn flush_acks(&mut self) {
         let keys = std::mem::take(&mut self.pending_acks);
         for key in keys {
-            let needs = self.flows.get(&key).map(|t| t.need_ack).unwrap_or(false);
+            let needs = self.flows.get(key).map(|t| t.need_ack).unwrap_or(false);
             if needs {
                 self.emit_bare_ack(key);
             }
@@ -1468,7 +1481,7 @@ impl TcpShard {
     // ------------------------------------------------------------------
 
     fn emit_bare_ack(&mut self, key: u64) {
-        let Some(tcb) = self.flows.get_mut(&key) else { return };
+        let Some(tcb) = self.flows.get_mut(key) else { return };
         tcb.need_ack = false;
         if let Some(t) = tcb.delack_timer.take() {
             self.wheel.cancel(t);
@@ -1489,7 +1502,7 @@ impl TcpShard {
 
     fn queue_fin(&mut self, key: u64) {
         let now = self.now_ns;
-        let tcb = self.flows.get_mut(&key).expect("live");
+        let tcb = self.flows.get_mut(key).expect("live");
         debug_assert!(!tcb.fin_queued);
         tcb.fin_queued = true;
         let seq = tcb.snd_nxt;
@@ -1516,7 +1529,7 @@ impl TcpShard {
     }
 
     fn send_rst(&mut self, key: u64, seq: u32, ack: u32) {
-        let tcb = self.flows.get(&key).expect("live");
+        let tcb = self.flows.get(key).expect("live");
         let remote = tcb.remote_ip;
         let (sp, dp) = (tcb.local_port, tcb.remote_port);
         self.raw_rst(self.now_ns, sp, dp, seq, ack, false, remote);
@@ -1560,7 +1573,7 @@ impl TcpShard {
     /// the map borrow ends before serialization).
     fn emit_segment_for_key(&mut self, key: u64, spec: SegmentSpec<'_>) {
         let (remote, sp, dp) = {
-            let tcb = self.flows.get(&key).expect("live");
+            let tcb = self.flows.get(key).expect("live");
             (tcb.remote_ip, tcb.local_port, tcb.remote_port)
         };
         self.build_and_queue_tcp(remote, sp, dp, spec);

@@ -7,7 +7,8 @@
 //! is actually wired through, not silently ignored.
 
 use ix_apps::harness::{
-    run_echo, run_netpipe_faulted, run_netpipe_seeded, EchoConfig, EngineTuning, System,
+    run_connscale, run_echo, run_netpipe_faulted, run_netpipe_seeded, ConnScaleConfig, EchoConfig,
+    EngineTuning, System,
 };
 use ix_faults::{FaultPlan, GilbertElliott, LinkFaults};
 use ix_sim::Nanos;
@@ -101,6 +102,42 @@ fn faulted_netpipe_replays_byte_identically() {
     assert_eq!(a.server_tcp, b.server_tcp, "server TCP counters diverged");
     assert_eq!(a.client_tcp, b.client_tcp, "client TCP counters diverged");
     assert_eq!(a.faults, b.faults, "fault counters diverged");
+}
+
+/// A small Fig 4 point (the §5.4 rotating-RPC experiment) at a fixed
+/// seed. The expected values below were captured before the
+/// open-addressing flow-table / TCB-slab / ready-ring rewrite, so this
+/// test is the byte-identity contract for that swap: the fast path may
+/// only change *how fast* the experiment runs, never *what* it measures.
+#[test]
+fn fig4_point_replays_byte_identically_across_flow_table_swap() {
+    let cfg = ConnScaleConfig {
+        system: System::Ix,
+        total_conns: 400,
+        n_clients: 2,
+        client_threads: 2,
+        measure: Nanos::from_millis(4),
+        ..ConnScaleConfig::default()
+    };
+    let a = run_connscale(&cfg);
+    let b = run_connscale(&cfg);
+    // Replay determinism: the same (config, seed) twice in one binary.
+    assert_eq!(a.msgs_per_sec.to_bits(), b.msgs_per_sec.to_bits());
+    assert_eq!(a.rtt_avg_ns, b.rtt_avg_ns);
+    assert_eq!(a.server_conns, b.server_conns);
+    // Pinned pre-swap baseline (HashMap flow table, O(conns) client
+    // scan): the measured numbers must not move.
+    assert_eq!(
+        (a.msgs_per_sec.to_bits(), a.rtt_avg_ns, a.misses_per_msg.to_bits(), a.server_conns),
+        (0x411397a000000000u64, 37_400u64, 0x3ff6666666666666u64, 400u64),
+        "fig4 point diverged from the pinned pre-swap baseline: \
+         msgs_per_sec={} ({:#x}) rtt_avg_ns={} misses={:#x} server_conns={}",
+        a.msgs_per_sec,
+        a.msgs_per_sec.to_bits(),
+        a.rtt_avg_ns,
+        a.misses_per_msg.to_bits(),
+        a.server_conns
+    );
 }
 
 #[test]

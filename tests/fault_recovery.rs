@@ -265,6 +265,48 @@ fn watchdog_resteers_hung_queue_and_traffic_recovers() {
     );
 }
 
+/// Two server RX queues (0 and 1) wedge at the same instant and never
+/// recover on their own.
+fn double_hang_plan(server_port: u16) -> FaultPlan {
+    let mut nic = NicFaults::default();
+    nic.rx_hangs.insert(0, vec![(10_000_000, u64::MAX)]);
+    nic.rx_hangs.insert(1, vec![(10_000_000, u64::MAX)]);
+    FaultPlan::new(1).with_nic(server_port, nic)
+}
+
+/// Two queues hang in the same watchdog period. The single-pass
+/// re-steer must exclude BOTH from the healthy set: re-steering them
+/// one detection at a time used to rotate part of queue 0's buckets
+/// onto still-hung queue 1 (and vice versa), leaving those flow groups
+/// in a second black hole and the run permanently below the recovery
+/// threshold.
+#[test]
+fn watchdog_resteers_two_simultaneously_hung_queues_in_one_pass() {
+    let cfg = FaultRecoveryConfig {
+        // Six cores: with two wedged, four healthy threads remain to
+        // absorb the re-steered flow groups with CPU headroom.
+        server_cores: 6,
+        watchdog_period: Some(Nanos::from_millis(1)),
+        tuning: tuning(),
+        ..FaultRecoveryConfig::default()
+    };
+    let r = run_fault_recovery(&cfg, double_hang_plan);
+    let w: WatchdogStats = r.watchdog.expect("watchdog ran");
+    // Exactly one detection per hung queue: the single pass must fully
+    // resolve both. Re-detections on later ticks are the signature of
+    // the old bug — buckets parked on a queue the same scan already
+    // knew was wedged (the per-detection code reported 6 here, plus
+    // extra bucket moves and discarded frames for every bounce).
+    assert_eq!(w.hangs_detected, 2, "each hang detected once, resolved in one pass: {w:?}");
+    assert!(w.buckets_resteered > 0, "no RSS buckets re-steered: {w:?}");
+    assert!(w.flows_migrated > 0, "no flows migrated off the hung queues: {w:?}");
+    assert!(
+        !r.stalled,
+        "traffic never recovered from the double hang; dip {:.2}, windows {:?}",
+        r.dip_frac, r.per_window_rx_bytes
+    );
+}
+
 #[test]
 fn without_watchdog_the_hung_queue_stays_dead() {
     let cfg = FaultRecoveryConfig {
