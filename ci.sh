@@ -11,10 +11,21 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Zero-copy TX regression gate: run the alloc/copy-count suite by name
+# (it is also part of the workspace run above) so a counter drift — a
+# reintroduced staging buffer or payload copy — fails with an explicit,
+# greppable test name rather than somewhere in the workspace wall.
+cargo test -q --offline -p ix-tcp --test zerocopy
+
 # Microbench smoke: quick mode trims iteration counts so this is a
 # does-it-still-run check (plus BENCH_sim.json regeneration), not a
-# statistically meaningful measurement.
-IX_BENCH_QUICK=1 cargo bench -q -p ix-bench --offline
+# statistically meaningful measurement. The grep asserts the TX-path
+# comparison actually ran and produced its speedup section.
+IX_BENCH_QUICK=1 cargo bench -q -p ix-bench --offline | tee /tmp/ci_bench.out
+if ! grep -q "^\[txpath\] retransmit_front:" /tmp/ci_bench.out; then
+    echo "ci: FAIL — txpath microbench comparison did not run" >&2
+    exit 1
+fi
 
 # Wall-clock budget: the quick fig5 sweep must stay interactive. The
 # ceiling is generous (slow shared CI hosts), but a scheduler or pool
@@ -40,6 +51,20 @@ elapsed_s=$(( SECONDS - start_s ))
 echo "ci: quick fig4 sweep took ${elapsed_s}s (budget ${fig4_budget_s}s)"
 if [ "$elapsed_s" -gt "$fig4_budget_s" ]; then
     echo "ci: FAIL — quick fig4 exceeded its wall-clock budget" >&2
+    exit 1
+fi
+
+# Batch-bound smoke: the quick fig6 point set drives the adaptive-batch
+# sweep through the zero-copy TX path end to end. The budget catches a
+# per-segment allocation creeping back into the hot loop (the seed's
+# Vec-chain pipeline put this sweep well past the ceiling).
+fig6_budget_s=120
+start_s=$SECONDS
+IX_SWEEP_QUICK=1 ./target/release/fig6_batchbound > /dev/null
+elapsed_s=$(( SECONDS - start_s ))
+echo "ci: quick fig6 sweep took ${elapsed_s}s (budget ${fig6_budget_s}s)"
+if [ "$elapsed_s" -gt "$fig6_budget_s" ]; then
+    echo "ci: FAIL — quick fig6 exceeded its wall-clock budget" >&2
     exit 1
 fi
 

@@ -30,6 +30,11 @@ pub struct EchoServer {
     /// open-addressed — this is touched on every delivered segment, so
     /// at 250k connections it is hot-path state like the flow table).
     partial: FlowMap<usize>,
+    /// The zero-filled response, allocated once and cloned per echo
+    /// (O(1) refcount bump). Downstream, `sendv` slices this same block
+    /// into the retransmit queue, so steady-state echo traffic allocates
+    /// no payload storage at all.
+    template: Bytes,
 }
 
 impl EchoServer {
@@ -39,8 +44,19 @@ impl EchoServer {
             msg_size,
             service_ns,
             partial: FlowMap::new(),
+            template: Bytes::new(),
         }
     }
+}
+
+/// Returns a shared clone of `template`, (re)building it if `msg_size`
+/// changed since the last call — the handlers expose `msg_size` as a
+/// public field, so the cache revalidates rather than trusting it.
+fn response(template: &mut Bytes, msg_size: usize) -> Bytes {
+    if template.len() != msg_size {
+        *template = Bytes::from(vec![0u8; msg_size]);
+    }
+    template.clone()
 }
 
 impl LibixHandler for EchoServer {
@@ -50,7 +66,8 @@ impl LibixHandler for EchoServer {
         while *got >= self.msg_size {
             *got -= self.msg_size;
             ctx.charge(self.service_ns);
-            ctx.write(Bytes::from(vec![0u8; self.msg_size]));
+            let rsp = response(&mut self.template, self.msg_size);
+            ctx.write(rsp);
         }
     }
 
@@ -132,6 +149,8 @@ pub struct EchoClient {
     next_user: u64,
     /// Stop issuing new work after this instant (lets the run drain).
     pub stop_at_ns: u64,
+    /// Shared zero-filled request block (see [`EchoServer::template`]).
+    template: Bytes,
 }
 
 impl EchoClient {
@@ -159,6 +178,7 @@ impl EchoClient {
             live: 0,
             next_user: 0,
             stop_at_ns: u64::MAX,
+            template: Bytes::new(),
         }
     }
 
@@ -166,7 +186,8 @@ impl EchoClient {
         let st = self.states.get_mut(&ctx.conn.user).expect("tracked");
         st.sent_at = ctx.now_ns;
         ctx.charge(self.think_ns);
-        ctx.write(Bytes::from(vec![0u8; self.msg_size]));
+        let req = response(&mut self.template, self.msg_size);
+        ctx.write(req);
     }
 }
 
@@ -370,6 +391,8 @@ pub struct RotatingEchoClient {
     pub start_at_ns: u64,
     /// Stop issuing new RPCs after this instant.
     pub stop_at_ns: u64,
+    /// Shared zero-filled request block (see [`EchoServer::template`]).
+    template: Bytes,
 }
 
 impl RotatingEchoClient {
@@ -398,6 +421,7 @@ impl RotatingEchoClient {
             rotating: false,
             start_at_ns: 0,
             stop_at_ns: u64::MAX,
+            template: Bytes::new(),
         }
     }
 
@@ -419,7 +443,8 @@ impl RotatingEchoClient {
             self.ring.clear(user);
         }
         let c = slot.cookie;
-        write(c, Bytes::from(vec![0u8; self.msg_size]));
+        let req = response(&mut self.template, self.msg_size);
+        write(c, req);
         self.inflight += 1;
     }
 

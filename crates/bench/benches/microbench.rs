@@ -288,6 +288,118 @@ fn bench_tcp_codec(r: &mut BenchRunner) {
     });
 }
 
+/// TX segment build, run through the in-place zero-copy pipeline and
+/// through the Vec-chain model it replaced (retransmit-queue `Box` copy
+/// → TCP-segment `Vec` → L3 `Vec` → mbuf copy). Identical wire frames
+/// out of both; the difference is purely copies and allocations.
+fn bench_txpath(r: &mut BenchRunner) {
+    use ix_mempool::Mbuf;
+    use ix_net::eth::{EthHeader, EtherType, MacAddr};
+    use ix_net::ip::{IpProto, Ipv4Header};
+    use ix_testkit::Bytes;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    fn tcp_hdr() -> TcpHeader {
+        TcpHeader {
+            src_port: 40_000,
+            dst_port: 80,
+            seq: 12345,
+            ack: 67890,
+            flags: TcpFlags::ACK,
+            window: 65_535,
+            mss: None,
+            wscale: None,
+        }
+    }
+    fn ip_hdr(l4_len: usize) -> Ipv4Header {
+        Ipv4Header {
+            tos: 0,
+            total_len: (Ipv4Header::LEN + l4_len) as u16,
+            ident: 7,
+            ttl: Ipv4Header::DEFAULT_TTL,
+            proto: IpProto::Tcp,
+            src: SRC,
+            dst: DST,
+        }
+    }
+    fn eth_hdr() -> EthHeader {
+        EthHeader {
+            dst: MacAddr::from_host_index(2),
+            src: MacAddr::from_host_index(1),
+            ethertype: EtherType::Ipv4,
+        }
+    }
+
+    // The zero-copy path: one pool mbuf, payload written once into the
+    // tail, headers prepended in place (checksums fed the payload slice).
+    fn build_inplace(pool: &mut MbufPool, payload: &[u8]) -> Mbuf {
+        let tcp = tcp_hdr();
+        let hlen = tcp.len();
+        let mut m = pool.alloc_with_headroom(ix_net::MAX_TX_HEADER_LEN).expect("capacity");
+        m.extend_from_slice(payload);
+        tcp.encode(m.prepend(hlen), SRC, DST, payload);
+        ip_hdr(hlen + payload.len()).encode(m.prepend(Ipv4Header::LEN));
+        eth_hdr().encode(m.prepend(EthHeader::LEN));
+        m
+    }
+
+    // The replaced pipeline: copy into an owned rtq block, serialize the
+    // TCP segment into a Vec, wrap in an L3 Vec, copy into the mbuf.
+    fn build_vecchain(pool: &mut MbufPool, payload: &[u8]) -> (Mbuf, Box<[u8]>) {
+        let rtq: Box<[u8]> = payload.into();
+        let tcp = tcp_hdr();
+        let hlen = tcp.len();
+        let mut seg = vec![0u8; hlen + rtq.len()];
+        seg[hlen..].copy_from_slice(&rtq);
+        let (h, t) = seg.split_at_mut(hlen);
+        tcp.encode(h, SRC, DST, t);
+        let mut l3 = vec![0u8; Ipv4Header::LEN + seg.len()];
+        ip_hdr(seg.len()).encode(&mut l3[..Ipv4Header::LEN]);
+        l3[Ipv4Header::LEN..].copy_from_slice(&seg);
+        let mut m = pool.alloc().expect("capacity");
+        m.extend_from_slice(&l3);
+        eth_hdr().encode(m.prepend(EthHeader::LEN));
+        (m, rtq)
+    }
+
+    for (label, size) in [("build_64b", 64usize), ("build_1460b", 1460)] {
+        let payload = vec![0xA5u8; size];
+        r.bench(&format!("txpath/{label}"), |b| {
+            let mut pool = MbufPool::new(1024);
+            b.iter(|| black_box(build_inplace(&mut pool, &payload).len()))
+        });
+        r.bench(&format!("txpath_vecchain/{label}"), |b| {
+            let mut pool = MbufPool::new(1024);
+            b.iter(|| {
+                let (m, rtq) = build_vecchain(&mut pool, &payload);
+                black_box(m.len() + rtq.len())
+            })
+        });
+    }
+
+    // Retransmission: the new path bumps a refcount on the shared block
+    // and rebuilds in place; the old path deep-cloned the rtq `Box` and
+    // re-ran the whole chain.
+    let block = Bytes::from(vec![0xA5u8; 1460]);
+    r.bench("txpath/retransmit_front", |b| {
+        let mut pool = MbufPool::new(1024);
+        b.iter(|| {
+            let data: Bytes = block.clone();
+            black_box(build_inplace(&mut pool, &data).len())
+        })
+    });
+    let boxed: Box<[u8]> = vec![0xA5u8; 1460].into();
+    r.bench("txpath_vecchain/retransmit_front", |b| {
+        let mut pool = MbufPool::new(1024);
+        b.iter(|| {
+            let data: Box<[u8]> = boxed.clone();
+            let (m, rtq) = build_vecchain(&mut pool, &data);
+            black_box(m.len() + rtq.len())
+        })
+    });
+}
+
 /// Flow-table workloads, run identically against the open-addressing
 /// [`ix_tcp::FlowMap`] and the `HashMap<u64, _>` it replaced in the
 /// TCP shard. Payloads are 64 B (a TCB-shaped cache-line) and keys are
@@ -519,6 +631,36 @@ fn write_report(r: &BenchRunner) {
     if cmp.len() > 2 {
         ix_bench::report::update_section(&format!("flowtable_speedup{suffix}"), &cmp);
     }
+
+    // And for the TX build path: the in-place zero-copy pipeline against
+    // the Vec-chain model it replaced.
+    let mut cmp = String::from("{");
+    let mut first = true;
+    for wl in ["build_64b", "build_1460b", "retransmit_front"] {
+        if let (Some(new), Some(base)) =
+            (find(&format!("txpath/{wl}")), find(&format!("txpath_vecchain/{wl}")))
+        {
+            if !first {
+                cmp.push_str(", ");
+            }
+            first = false;
+            cmp += &format!(
+                "\"{wl}\": {{\"inplace_ns\": {new:.2}, \"vecchain_ns\": {base:.2}, \
+                 \"speedup\": {:.2}}}",
+                base / new
+            );
+            println!(
+                "[txpath] {wl}: {:.1} ns/seg vs vec-chain {:.1} ns/seg ({:.2}x)",
+                new,
+                base,
+                base / new
+            );
+        }
+    }
+    cmp.push('}');
+    if cmp.len() > 2 {
+        ix_bench::report::update_section(&format!("txpath_speedup{suffix}"), &cmp);
+    }
 }
 
 fn main() {
@@ -528,6 +670,7 @@ fn main() {
     bench_scheduler(&mut r);
     bench_mempool(&mut r);
     bench_tcp_codec(&mut r);
+    bench_txpath(&mut r);
     bench_flowtable(&mut r);
     bench_histogram(&mut r);
     bench_end_to_end(&mut r);

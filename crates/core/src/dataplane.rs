@@ -430,7 +430,10 @@ impl ElasticThread {
             Syscall::Sendv { handle, sg } => {
                 let mut total: u32 = 0;
                 for chunk in &sg {
-                    match t.shard.send(now_ns, handle, chunk) {
+                    // Zero-copy: the stack's retransmit queue slices the
+                    // app's own refcounted block (`sendv` semantics, §3 —
+                    // the buffer stays shared and immutable until acked).
+                    match t.shard.send_bytes(now_ns, handle, chunk) {
                         Ok(n) => {
                             total += n as u32;
                             if n < chunk.len() {

@@ -90,6 +90,21 @@ impl Mbuf {
         self.len = 0;
     }
 
+    /// Repositions the start of the (empty) data region so `n` bytes of
+    /// headroom are available for header prepends. The transmit path uses
+    /// this to reserve exactly Eth+IP+L4 worth of room before writing the
+    /// payload into the tail, so every header prepend lands in-place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mbuf already holds data or `n` exceeds the storage
+    /// size.
+    pub fn set_headroom(&mut self, n: usize) {
+        assert!(self.len == 0, "set_headroom on non-empty mbuf");
+        assert!(n <= self.buf.len(), "headroom {n} > storage {}", self.buf.len());
+        self.offset = n;
+    }
+
     /// Grows the data region forward by `n` bytes (into the headroom) and
     /// returns the newly exposed prefix for a header encoder to fill.
     ///
@@ -217,6 +232,26 @@ mod tests {
         assert_eq!(initial, MBUF_DATA_SIZE - MBUF_DEFAULT_HEADROOM);
         m.extend_from_slice(&[0u8; 100]);
         assert_eq!(m.tailroom(), initial - 100);
+    }
+
+    #[test]
+    fn set_headroom_repositions_empty_buffer() {
+        let mut m = Mbuf::standalone();
+        m.set_headroom(94);
+        assert_eq!(m.headroom(), 94);
+        assert_eq!(m.tailroom(), MBUF_DATA_SIZE - 94);
+        m.extend_from_slice(b"payload");
+        let hdr = m.prepend(94);
+        assert_eq!(hdr.len(), 94);
+        assert_eq!(m.headroom(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_headroom on non-empty mbuf")]
+    fn set_headroom_with_data_panics() {
+        let mut m = Mbuf::standalone();
+        m.extend_from_slice(b"x");
+        m.set_headroom(10);
     }
 
     #[test]

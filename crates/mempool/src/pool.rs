@@ -130,6 +130,16 @@ impl MbufPool {
         Some(m)
     }
 
+    /// Allocates an empty mbuf with exactly `headroom` bytes reserved in
+    /// front of the data region. The zero-copy transmit path sizes this
+    /// to Eth+IP+L4 so the payload lands once in the tail and every
+    /// header prepend fits without moving it.
+    pub fn alloc_with_headroom(&mut self, headroom: usize) -> Option<Mbuf> {
+        let mut m = self.alloc()?;
+        m.set_headroom(headroom);
+        Some(m)
+    }
+
     /// The configured capacity in buffers.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -280,6 +290,17 @@ mod tests {
         let mut pool = MbufPool::new(1);
         let m = pool.alloc_with(b"abc").unwrap();
         assert_eq!(m.data(), b"abc");
+    }
+
+    #[test]
+    fn alloc_with_headroom_reserves_front() {
+        let mut pool = MbufPool::new(1);
+        let mut m = pool.alloc_with_headroom(94).unwrap();
+        assert_eq!(m.headroom(), 94);
+        assert!(m.is_empty());
+        m.extend_from_slice(b"data");
+        m.prepend(94);
+        assert_eq!(m.len(), 98);
     }
 
     #[test]

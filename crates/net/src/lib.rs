@@ -30,6 +30,13 @@ pub use tcp::{TcpFlags, TcpHeader};
 pub use udp::UdpHeader;
 pub use wire::{frame_wire_bytes, FlowTuple, ETH_MTU, MAX_FRAME, MIN_FRAME};
 
+/// Worst-case transmit-side header stack: Ethernet (14) + option-less
+/// IPv4 (20) + the protocol-maximum TCP header (60). The zero-copy TX
+/// path reserves exactly this much mbuf headroom before writing a payload
+/// into the tail, so prepending any L4/L3/L2 header combination the stack
+/// emits is guaranteed to fit without moving the payload.
+pub const MAX_TX_HEADER_LEN: usize = EthHeader::LEN + Ipv4Header::LEN + TcpHeader::MAX_LEN;
+
 /// Errors produced when decoding malformed packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetError {

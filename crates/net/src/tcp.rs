@@ -104,6 +104,11 @@ impl TcpHeader {
     /// Length of the fixed header with no options.
     pub const BASE_LEN: usize = 20;
 
+    /// Protocol maximum header length: the 4-bit data offset tops out at
+    /// 15 words. Transmit-side headroom reservations use this bound so
+    /// any option set fits in front of an in-place payload.
+    pub const MAX_LEN: usize = 60;
+
     /// Serialized length of this header, including options and padding.
     pub fn len(&self) -> usize {
         let mut opts = 0;

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 
 use ix_net::eth::MacAddr;
 use ix_net::ip::Ipv4Addr;
+use ix_testkit::Bytes;
 
 /// A packet parked while its next hop resolves. Kept small: just the
 /// serialized bytes and the target.
@@ -18,7 +19,9 @@ pub struct PendingPacket {
     /// Destination IP being resolved.
     pub ip: Ipv4Addr,
     /// The full frame minus the Ethernet header (filled in on release).
-    pub l3_bytes: Vec<u8>,
+    /// A refcounted view, so parking an unresolved TCP segment shares the
+    /// sender's storage block instead of copying it.
+    pub l3_bytes: Bytes,
 }
 
 /// IPv4 → MAC mapping with a bounded pending queue.
@@ -57,7 +60,7 @@ impl ArpTable {
 
     /// Parks a packet until `ip` resolves. Returns `false` (dropping the
     /// packet) when the queue is full.
-    pub fn park(&mut self, ip: Ipv4Addr, l3_bytes: Vec<u8>) -> bool {
+    pub fn park(&mut self, ip: Ipv4Addr, l3_bytes: Bytes) -> bool {
         if self.pending.len() >= MAX_PENDING {
             return false;
         }
@@ -102,8 +105,8 @@ mod tests {
         let mut t = ArpTable::new();
         let ip = Ipv4Addr::new(10, 0, 0, 5);
         let other = Ipv4Addr::new(10, 0, 0, 6);
-        assert!(t.park(ip, vec![1, 2, 3]));
-        assert!(t.park(other, vec![4]));
+        assert!(t.park(ip, vec![1, 2, 3].into()));
+        assert!(t.park(other, vec![4].into()));
         assert_eq!(t.pending(), 2);
         let ready = t.insert(ip, MacAddr::from_host_index(5));
         assert_eq!(ready.len(), 1);
@@ -116,9 +119,9 @@ mod tests {
         let mut t = ArpTable::new();
         let ip = Ipv4Addr::new(10, 0, 0, 9);
         for _ in 0..MAX_PENDING {
-            assert!(t.park(ip, vec![]));
+            assert!(t.park(ip, Bytes::new()));
         }
-        assert!(!t.park(ip, vec![]));
+        assert!(!t.park(ip, Bytes::new()));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use ix_net::ip::{IpProto, Ipv4Addr, Ipv4Header};
 use ix_net::tcp::{seq_le, seq_lt, TcpFlags, TcpHeader};
 use ix_net::udp::UdpHeader;
 use ix_net::NetError;
+use ix_testkit::Bytes;
 use ix_timerwheel::TimerWheel;
 
 use crate::arp_table::ArpTable;
@@ -19,6 +20,11 @@ use crate::config::{AckPolicy, StackConfig};
 use crate::event::{DeadReason, FlowId, TcpEvent};
 use crate::flow_table::{FlowMap, FlowMapMem};
 use crate::tcb::{Tcb, TcpState, TimerKind, TxSeg};
+
+/// Headroom reserved when allocating a TX mbuf: enough for the worst-case
+/// Eth + IPv4 + TCP header stack, so the payload is written once into the
+/// tail and every header is prepended in place (the mbuf layout of §4.2).
+const TX_HEADROOM: usize = ix_net::MAX_TX_HEADER_LEN;
 
 /// Errors surfaced to the API layer (and mapped to syscall return codes
 /// by the dataplane).
@@ -112,6 +118,19 @@ pub struct StackStats {
     pub udp_tx: u64,
     /// Outbound packets dropped because the mbuf pool was empty.
     pub pool_drops: u64,
+    /// Payload byte-copies performed on the transmit path. The zero-copy
+    /// fast path writes each data segment's payload exactly once — into
+    /// the tail of its pool mbuf; the ARP-cold park path adds one write
+    /// at serialization and one more when the parked frame is released.
+    pub tx_payload_writes: u64,
+    /// Transient heap buffers allocated while emitting (staging Vecs).
+    /// Zero on the fast path; the ARP-cold park path allocates one to
+    /// hold the serialized L3 frame while the next hop resolves.
+    pub tx_transient_allocs: u64,
+    /// Owned retransmit-storage blocks materialized by the slice-based
+    /// `send` entry point (one per call; segments slice it O(1)).
+    /// `send_bytes` callers share their own block and never count here.
+    pub tx_rtq_blocks: u64,
 }
 
 impl StackStats {
@@ -140,6 +159,9 @@ impl StackStats {
         self.udp_rx += other.udp_rx;
         self.udp_tx += other.udp_tx;
         self.pool_drops += other.pool_drops;
+        self.tx_payload_writes += other.tx_payload_writes;
+        self.tx_transient_allocs += other.tx_transient_allocs;
+        self.tx_rtq_blocks += other.tx_rtq_blocks;
     }
 }
 
@@ -247,6 +269,19 @@ impl TcpShard {
     /// outstanding and peak occupancy) for engine instrumentation.
     pub fn pool_stats(&self) -> ix_mempool::PoolStats {
         self.pool.stats()
+    }
+
+    /// Diagnostic view of a flow's retransmit-queue payloads (O(1)
+    /// refcounted clones). Tests use `Bytes::ptr_eq` on these to prove
+    /// that queuing, retransmission, and reaping share — and release —
+    /// one storage block instead of copying payload.
+    pub fn rtq_payloads(&self, flow: FlowId) -> Vec<Bytes> {
+        match self.flows.get(flow.key) {
+            Some(tcb) if tcb.id.gen == flow.gen => {
+                tcb.rtq.iter().map(|seg| seg.data.clone()).collect()
+            }
+            _ => Vec::new(),
+        }
     }
 
     /// Starts listening on `port`.
@@ -445,7 +480,32 @@ impl TcpShard {
     /// returns the number of bytes accepted (Table 1 `sendv` semantics:
     /// "the number of bytes that were accepted and sent by the TCP stack,
     /// as constrained by correct TCP sliding window operation").
+    ///
+    /// The accepted prefix is copied once into a fresh refcounted storage
+    /// block; the retransmit queue holds O(1) slices of that block. When
+    /// the caller already owns the payload as a [`Bytes`], use
+    /// [`TcpShard::send_bytes`] to skip even that copy.
     pub fn send(&mut self, now_ns: u64, flow: FlowId, data: &[u8]) -> Result<usize, StackError> {
+        self.send_impl(now_ns, flow, data, None)
+    }
+
+    /// Zero-copy variant of [`TcpShard::send`]: the retransmit queue
+    /// slices the caller's own storage block, so no payload byte is
+    /// copied until each segment is serialized into its pool mbuf — the
+    /// paper's `sendv` contract end-to-end. `Bytes` is immutable by
+    /// construction, which is exactly the §3 requirement that the
+    /// application not touch transmitted buffers until acknowledged.
+    pub fn send_bytes(&mut self, now_ns: u64, flow: FlowId, data: &Bytes) -> Result<usize, StackError> {
+        self.send_impl(now_ns, flow, data.as_slice(), Some(data))
+    }
+
+    fn send_impl(
+        &mut self,
+        now_ns: u64,
+        flow: FlowId,
+        data: &[u8],
+        shared: Option<&Bytes>,
+    ) -> Result<usize, StackError> {
         self.now_ns = now_ns;
         let cfg_mss = self.cfg.mss as usize;
         let tcb = self.get_mut(flow)?;
@@ -462,7 +522,18 @@ impl TcpShard {
         let had_flight = tcb.flight() > 0;
         let key = flow.key;
         let mut specs: Vec<(u32, usize, usize)> = Vec::new(); // (seq, off, len)
-        {
+        if accepted > 0 {
+            // One storage block backs every rtq entry of this call: the
+            // caller's own block (send_bytes — nothing copied) or a single
+            // copy of the accepted prefix. Segments slice it O(1), so
+            // retransmission later needs no payload copy either.
+            let block = match shared {
+                Some(b) => b.slice(..accepted),
+                None => {
+                    self.stats.tx_rtq_blocks += 1;
+                    Bytes::copy_from_slice(&data[..accepted])
+                }
+            };
             let tcb = self.flows.get_mut(key).expect("validated");
             let mut off = 0usize;
             while off < accepted {
@@ -471,7 +542,7 @@ impl TcpShard {
                 tcb.snd_nxt = tcb.snd_nxt.wrapping_add(len as u32);
                 tcb.rtq.push_back(TxSeg {
                     seq,
-                    data: data[off..off + len].into(),
+                    data: block.slice(off..off + len),
                     fin: false,
                     tx_time_ns: now_ns,
                     retransmitted: false,
@@ -703,15 +774,14 @@ impl TcpShard {
         };
         if hdr.icmp_type == IcmpType::EchoRequest {
             self.stats.icmp_echo += 1;
-            frame.pull(IcmpHeader::LEN);
-            let payload: Vec<u8> = frame.data().to_vec();
+            // Build the reply in place: overwrite the 8-byte ICMP header
+            // inside the RX mbuf and leave the echoed payload untouched,
+            // then prepend IP + Ethernet into the headroom the pulled RX
+            // headers left behind. No payload copy, no staging buffer.
             let reply = hdr.reply();
-            let total = IcmpHeader::LEN + payload.len();
-            let mut bytes = vec![0u8; total];
-            bytes[IcmpHeader::LEN..].copy_from_slice(&payload);
-            let (h, t) = bytes.split_at_mut(IcmpHeader::LEN);
+            let (h, t) = frame.data_mut().split_at_mut(IcmpHeader::LEN);
             reply.encode(h, t);
-            self.emit_ipv4(ip.src, IpProto::Icmp, &bytes);
+            self.transmit_l4_mbuf(ip.src, IpProto::Icmp, frame);
         }
     }
 
@@ -746,12 +816,55 @@ impl TcpShard {
         self.now_ns = now_ns;
         let len = (UdpHeader::LEN + payload.len()) as u16;
         let hdr = UdpHeader { src_port, dst_port, len };
-        let mut bytes = vec![0u8; len as usize];
-        bytes[UdpHeader::LEN..].copy_from_slice(payload);
-        let (h, t) = bytes.split_at_mut(UdpHeader::LEN);
-        hdr.encode(h, self.local_ip, dst_ip, t);
         self.stats.udp_tx += 1;
-        self.emit_ipv4(dst_ip, IpProto::Udp, &bytes);
+        if self.arp.lookup(dst_ip).is_some() {
+            // Resolved next hop: one pool mbuf, payload written once into
+            // the tail, UDP/IP/Eth headers prepended in place. The
+            // checksum is fed from the caller's payload slice, so the
+            // wire bytes match the old staging-Vec construction exactly.
+            let Some(mut m) = self.pool.alloc_with_headroom(TX_HEADROOM) else {
+                // The Vec-chain path consumed an IP ident before it
+                // discovered pool exhaustion; keep consuming one so wire
+                // bytes after recovery stay identical.
+                self.ip_ident = self.ip_ident.wrapping_add(1);
+                self.stats.pool_drops += 1;
+                return;
+            };
+            m.extend_from_slice(payload);
+            if !payload.is_empty() {
+                self.stats.tx_payload_writes += 1;
+            }
+            hdr.encode(m.prepend(UdpHeader::LEN), self.local_ip, dst_ip, payload);
+            self.transmit_l4_mbuf(dst_ip, IpProto::Udp, m);
+        } else {
+            // Cold ARP entry: serialize once into a transient buffer and
+            // park it until the next hop resolves (no pool mbuf needed).
+            self.ip_ident = self.ip_ident.wrapping_add(1);
+            let total = Ipv4Header::LEN + len as usize;
+            let ip = Ipv4Header {
+                tos: 0,
+                total_len: total as u16,
+                ident: self.ip_ident,
+                ttl: Ipv4Header::DEFAULT_TTL,
+                proto: IpProto::Udp,
+                src: self.local_ip,
+                dst: dst_ip,
+            };
+            self.stats.tx_transient_allocs += 1;
+            let mut l3 = vec![0u8; total];
+            l3[Ipv4Header::LEN + UdpHeader::LEN..].copy_from_slice(payload);
+            if !payload.is_empty() {
+                self.stats.tx_payload_writes += 1;
+            }
+            let (ih, rest) = l3.split_at_mut(Ipv4Header::LEN);
+            let (uh, pl) = rest.split_at_mut(UdpHeader::LEN);
+            hdr.encode(uh, self.local_ip, dst_ip, pl);
+            ip.encode(ih);
+            if self.arp.park(dst_ip, l3.into()) {
+                let req = ArpPacket::request(self.local_mac, self.local_ip, dst_ip);
+                self.emit_arp(req, MacAddr::BROADCAST);
+            }
+        }
     }
 
     fn input_tcp(&mut self, ip: Ipv4Header, mut frame: Mbuf) {
@@ -1389,7 +1502,10 @@ impl TcpShard {
         let Some(seg) = tcb.rtq.front_mut() else { return };
         seg.retransmitted = true;
         seg.tx_time_ns = now;
-        let spec_data: Box<[u8]> = seg.data.clone();
+        // O(1): a refcount bump on the shared storage block — the
+        // retransmit serializes from the same bytes `send` queued, so no
+        // payload is copied until the segment lands in its pool mbuf.
+        let spec_data: Bytes = seg.data.clone();
         let (seq, fin) = (seg.seq, seg.fin);
         let flags = TcpFlags { fin, psh: !fin, ..TcpFlags::ACK };
         let (ack, window) = (tcb.rcv_nxt, tcb.advertised_window_field());
@@ -1509,7 +1625,7 @@ impl TcpShard {
         tcb.snd_nxt = tcb.snd_nxt.wrapping_add(1);
         tcb.rtq.push_back(TxSeg {
             seq,
-            data: Box::new([]),
+            data: Bytes::new(),
             fin: true,
             tx_time_ns: now,
             retransmitted: false,
@@ -1579,7 +1695,12 @@ impl TcpShard {
         self.build_and_queue_tcp(remote, sp, dp, spec);
     }
 
-    /// Serializes a TCP segment into L3 bytes and routes it.
+    /// Serializes a TCP segment directly into a pool mbuf: the payload is
+    /// written once into the tail, then TCP, IPv4, and Ethernet headers
+    /// are prepended in place. The TCP checksum is fed from the header
+    /// slice plus the external payload slice (RFC 1071 is associative
+    /// over concatenation), so the wire bytes are identical to the old
+    /// contiguous staging-Vec construction.
     fn build_and_queue_tcp(&mut self, dst_ip: Ipv4Addr, src_port: u16, dst_port: u16, spec: SegmentSpec<'_>) {
         self.stats.tx_segments += 1;
         let hdr = TcpHeader {
@@ -1593,34 +1714,101 @@ impl TcpShard {
             wscale: spec.wscale,
         };
         let hlen = hdr.len();
-        let mut seg = vec![0u8; hlen + spec.payload.len()];
-        seg[hlen..].copy_from_slice(spec.payload);
-        let (h, t) = seg.split_at_mut(hlen);
-        hdr.encode(h, self.local_ip, dst_ip, t);
-        self.emit_ipv4(dst_ip, IpProto::Tcp, &seg);
-    }
-
-    /// Wraps an L4 segment in IPv4 and routes it via ARP.
-    fn emit_ipv4(&mut self, dst_ip: Ipv4Addr, proto: IpProto, l4: &[u8]) {
+        // One ident per emitted datagram, consumed before routing — the
+        // Vec-chain path did so even for frames later dropped on pool
+        // exhaustion, and recovery traces depend on that numbering.
         self.ip_ident = self.ip_ident.wrapping_add(1);
         let ip = Ipv4Header {
             tos: 0,
-            total_len: (Ipv4Header::LEN + l4.len()) as u16,
+            total_len: (Ipv4Header::LEN + hlen + spec.payload.len()) as u16,
+            ident: self.ip_ident,
+            ttl: Ipv4Header::DEFAULT_TTL,
+            proto: IpProto::Tcp,
+            src: self.local_ip,
+            dst: dst_ip,
+        };
+        match self.arp.lookup(dst_ip) {
+            Some(mac) => {
+                let Some(mut m) = self.pool.alloc_with_headroom(TX_HEADROOM) else {
+                    self.stats.pool_drops += 1;
+                    return;
+                };
+                m.extend_from_slice(spec.payload);
+                if !spec.payload.is_empty() {
+                    self.stats.tx_payload_writes += 1;
+                }
+                hdr.encode(m.prepend(hlen), self.local_ip, dst_ip, spec.payload);
+                ip.encode(m.prepend(Ipv4Header::LEN));
+                EthHeader {
+                    dst: mac,
+                    src: self.local_mac,
+                    ethertype: EtherType::Ipv4,
+                }
+                .encode(m.prepend(EthHeader::LEN));
+                self.tx.push(m);
+            }
+            None => {
+                // Cold ARP entry: serialize once into a transient buffer
+                // and park it until the next hop resolves.
+                self.stats.tx_transient_allocs += 1;
+                let mut l3 = vec![0u8; Ipv4Header::LEN + hlen + spec.payload.len()];
+                l3[Ipv4Header::LEN + hlen..].copy_from_slice(spec.payload);
+                if !spec.payload.is_empty() {
+                    self.stats.tx_payload_writes += 1;
+                }
+                let (ih, rest) = l3.split_at_mut(Ipv4Header::LEN);
+                let (th, pl) = rest.split_at_mut(hlen);
+                hdr.encode(th, self.local_ip, dst_ip, pl);
+                ip.encode(ih);
+                if self.arp.park(dst_ip, l3.into()) {
+                    let req = ArpPacket::request(self.local_mac, self.local_ip, dst_ip);
+                    self.emit_arp(req, MacAddr::BROADCAST);
+                }
+            }
+        }
+    }
+
+    /// Wraps an L4 payload already resident in an mbuf — headers go into
+    /// the headroom in place — in IPv4, and routes it. Used by the ICMP
+    /// echo reply (aliasing the RX mbuf) and `udp_send`.
+    fn transmit_l4_mbuf(&mut self, dst_ip: Ipv4Addr, proto: IpProto, mut m: Mbuf) {
+        self.ip_ident = self.ip_ident.wrapping_add(1);
+        let ip = Ipv4Header {
+            tos: 0,
+            total_len: (Ipv4Header::LEN + m.len()) as u16,
             ident: self.ip_ident,
             ttl: Ipv4Header::DEFAULT_TTL,
             proto,
             src: self.local_ip,
             dst: dst_ip,
         };
-        let mut l3 = vec![0u8; Ipv4Header::LEN + l4.len()];
-        ip.encode(&mut l3[..Ipv4Header::LEN]);
-        l3[Ipv4Header::LEN..].copy_from_slice(l4);
-        self.transmit_l3(dst_ip, l3);
+        ip.encode(m.prepend(Ipv4Header::LEN));
+        match self.arp.lookup(dst_ip) {
+            Some(mac) => {
+                EthHeader {
+                    dst: mac,
+                    src: self.local_mac,
+                    ethertype: EtherType::Ipv4,
+                }
+                .encode(m.prepend(EthHeader::LEN));
+                self.tx.push(m);
+            }
+            None => {
+                // Park a serialized copy; the mbuf itself goes back to
+                // its owner (pool or RX clone) when dropped here.
+                self.stats.tx_transient_allocs += 1;
+                self.stats.tx_payload_writes += 1;
+                if self.arp.park(dst_ip, Bytes::copy_from_slice(m.data())) {
+                    let req = ArpPacket::request(self.local_mac, self.local_ip, dst_ip);
+                    self.emit_arp(req, MacAddr::BROADCAST);
+                }
+            }
+        }
     }
 
-    /// Attaches the Ethernet header (resolving the next hop) and queues
-    /// the frame for the NIC. Unresolved destinations trigger ARP.
-    fn transmit_l3(&mut self, dst_ip: Ipv4Addr, l3: Vec<u8>) {
+    /// Attaches the Ethernet header to an already-serialized L3 frame
+    /// (released from the ARP park queue) and queues it for the NIC.
+    fn transmit_l3(&mut self, dst_ip: Ipv4Addr, l3: Bytes) {
         match self.arp.lookup(dst_ip) {
             Some(mac) => {
                 let Some(mut m) = self.pool.alloc() else {
@@ -1628,6 +1816,7 @@ impl TcpShard {
                     return;
                 };
                 m.extend_from_slice(&l3);
+                self.stats.tx_payload_writes += 1;
                 EthHeader {
                     dst: mac,
                     src: self.local_mac,

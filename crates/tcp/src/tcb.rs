@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 
 use ix_net::ip::Ipv4Addr;
 use ix_net::tcp::{seq_le, seq_lt};
+use ix_testkit::Bytes;
 use ix_timerwheel::TimerId;
 
 use crate::config::StackConfig;
@@ -46,8 +47,11 @@ pub enum TcpState {
 pub struct TxSeg {
     /// First sequence number.
     pub seq: u32,
-    /// Payload bytes (empty for a bare FIN).
-    pub data: Box<[u8]>,
+    /// Payload bytes (empty for a bare FIN). A refcounted view into the
+    /// storage block the application handed to `send`, so queuing and
+    /// retransmitting never copy payload — the zero-copy contract of the
+    /// paper's `sendv` (§3: buffers stay immutable until acknowledged).
+    pub data: Bytes,
     /// Whether this segment carries FIN.
     pub fin: bool,
     /// Transmit timestamp (ns), for RTT sampling.
@@ -420,14 +424,14 @@ mod tests {
         t.snd_una = 1000;
         t.rtq.push_back(TxSeg {
             seq: 1000,
-            data: vec![0; 500].into_boxed_slice(),
+            data: vec![0; 500].into(),
             fin: false,
             tx_time_ns: 100,
             retransmitted: false,
         });
         t.rtq.push_back(TxSeg {
             seq: 1500,
-            data: vec![0; 500].into_boxed_slice(),
+            data: vec![0; 500].into(),
             fin: false,
             tx_time_ns: 200,
             retransmitted: true,
@@ -453,7 +457,7 @@ mod tests {
         t.snd_nxt = base.wrapping_add(400);
         t.rtq.push_back(TxSeg {
             seq: base,
-            data: vec![0; 400].into_boxed_slice(),
+            data: vec![0; 400].into(),
             fin: false,
             tx_time_ns: 0,
             retransmitted: false,
@@ -468,7 +472,7 @@ mod tests {
     fn fin_occupies_sequence_space() {
         let seg = TxSeg {
             seq: 5,
-            data: vec![0; 10].into_boxed_slice(),
+            data: vec![0; 10].into(),
             fin: true,
             tx_time_ns: 0,
             retransmitted: false,

@@ -113,6 +113,21 @@ impl Bytes {
         self.len -= n;
         head
     }
+
+    /// True when both views share the same backing allocation, regardless
+    /// of offset/length. This is how the zero-copy tests prove that a
+    /// retransmit-queue entry aliases the sender's storage block instead
+    /// of holding a deep copy.
+    pub fn ptr_eq(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Number of live views (including this one) of the backing
+    /// allocation. Drops to 1 once every other alias has been released —
+    /// e.g. after the retransmit queue reaps an acked segment.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
 }
 
 impl Default for Bytes {
@@ -255,6 +270,18 @@ mod tests {
     fn slice_out_of_bounds_panics() {
         let a = Bytes::from(vec![0u8; 4]);
         let _ = a.slice(2..9);
+    }
+
+    #[test]
+    fn ptr_eq_tracks_shared_storage() {
+        let a = Bytes::from(vec![0u8; 64]);
+        let view = a.slice(8..24);
+        assert!(a.ptr_eq(&view));
+        assert_eq!(a.ref_count(), 2);
+        let copy = Bytes::copy_from_slice(&a);
+        assert!(!a.ptr_eq(&copy));
+        drop(view);
+        assert_eq!(a.ref_count(), 1);
     }
 
     #[test]
