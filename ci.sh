@@ -17,15 +17,28 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # greppable test name rather than somewhere in the workspace wall.
 cargo test -q --offline -p ix-tcp --test zerocopy
 
+# Zero-copy RX regression gate, same shape as the TX one: the identity
+# suite pins rx_payload_copies/rx_ooo_copies at 0 and Bytes::ptr_eq
+# ring-to-app aliasing; the reassembly suite differentially checks the
+# mbuf-holding reorder path against a naive copying oracle.
+cargo test -q --offline -p ix-tcp --test rx_zerocopy
+cargo test -q --offline -p ix-tcp --test rx_reassembly
+
 # Microbench smoke: quick mode trims iteration counts so this is a
 # does-it-still-run check (plus BENCH_sim.json regeneration), not a
-# statistically meaningful measurement. The grep asserts the TX-path
-# comparison actually ran and produced its speedup section.
+# statistically meaningful measurement. The greps assert the TX- and
+# RX-path comparisons actually ran and produced their speedup sections.
 IX_BENCH_QUICK=1 cargo bench -q -p ix-bench --offline | tee /tmp/ci_bench.out
 if ! grep -q "^\[txpath\] retransmit_front:" /tmp/ci_bench.out; then
     echo "ci: FAIL — txpath microbench comparison did not run" >&2
     exit 1
 fi
+for wl in deliver_1460b ooo_drain kv_parse_inplace; do
+    if ! grep -q "^\[rxpath\] ${wl}:" /tmp/ci_bench.out; then
+        echo "ci: FAIL — rxpath/${wl} microbench comparison did not run" >&2
+        exit 1
+    fi
+done
 
 # Wall-clock budget: the quick fig5 sweep must stay interactive. The
 # ceiling is generous (slow shared CI hosts), but a scheduler or pool
@@ -37,6 +50,20 @@ elapsed_s=$(( SECONDS - start_s ))
 echo "ci: quick fig5 sweep took ${elapsed_s}s (budget ${fig5_budget_s}s)"
 if [ "$elapsed_s" -gt "$fig5_budget_s" ]; then
     echo "ci: FAIL — quick fig5 exceeded its wall-clock budget" >&2
+    exit 1
+fi
+
+# Round-trip smoke: the quick fig3b point set runs the mutilate-style
+# closed-loop client against the echo server through the mbuf-holding
+# RX delivery path. The budget catches a payload copy (or a pool leak
+# forcing window collapse) creeping back into in-order delivery.
+fig3b_budget_s=120
+start_s=$SECONDS
+IX_SWEEP_QUICK=1 ./target/release/fig3b_roundtrips > /dev/null
+elapsed_s=$(( SECONDS - start_s ))
+echo "ci: quick fig3b sweep took ${elapsed_s}s (budget ${fig3b_budget_s}s)"
+if [ "$elapsed_s" -gt "$fig3b_budget_s" ]; then
+    echo "ci: FAIL — quick fig3b exceeded its wall-clock budget" >&2
     exit 1
 fi
 

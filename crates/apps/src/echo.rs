@@ -60,7 +60,7 @@ fn response(template: &mut Bytes, msg_size: usize) -> Bytes {
 }
 
 impl LibixHandler for EchoServer {
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
         let got = self.partial.get_or_insert_default(ctx.conn.cookie);
         *got += data.len();
         while *got >= self.msg_size {
@@ -215,7 +215,7 @@ impl LibixHandler for EchoClient {
         self.fire(ctx);
     }
 
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
         let user = ctx.conn.user;
         let now = ctx.now_ns;
         let Some(st) = self.states.get_mut(&user) else { return };
@@ -493,7 +493,7 @@ impl LibixHandler for RotatingEchoClient {
         }
     }
 
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
         let user = ctx.conn.user as usize;
         let now = ctx.now_ns;
         let full = {

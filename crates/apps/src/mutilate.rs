@@ -111,6 +111,12 @@ pub struct MutilateClient {
     started: bool,
     /// Stop issuing at this time.
     pub stop_at_ns: u64,
+    /// Deliveries parsed entirely in place from the zero-copy `Bytes`
+    /// view (no response byte was staged anywhere).
+    pub inplace_parses: u64,
+    /// Byte-copy passes into a connection's reassembly buffer, taken
+    /// only when a response straddles a delivery boundary.
+    pub spill_copies: u64,
 }
 
 impl MutilateClient {
@@ -145,6 +151,8 @@ impl MutilateClient {
             backlog_cap: 4096,
             started: false,
             stop_at_ns: u64::MAX,
+            inplace_parses: 0,
+            spill_copies: 0,
         }
     }
 
@@ -243,22 +251,33 @@ impl LibixHandler for MutilateClient {
         });
     }
 
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
         let user = ctx.conn.user;
         let now = ctx.now_ns;
         let Some(io) = self.io.get_mut(&user) else { return };
-        io.rx.extend_from_slice(data);
+        // Contiguous fast path: nothing buffered for this connection, so
+        // responses parse directly from the delivered view — in place,
+        // zero staging copies. Only a genuine straddle spills into the
+        // per-connection reassembly buffer.
+        let spilled = !io.rx.is_empty();
+        if spilled {
+            self.spill_copies += 1;
+            io.rx.extend_from_slice(data);
+        }
         let mut consumed = 0usize;
         let mut completed = 0u32;
         loop {
-            let rest = &io.rx[consumed..];
-            let Some(h) = proto::decode_response_header(rest) else { break };
-            if rest.len() < h.total_len() {
-                break;
-            }
+            let (seq, total) = {
+                let rest = if spilled { &io.rx[consumed..] } else { &data[consumed..] };
+                let Some(h) = proto::decode_response_header(rest) else { break };
+                if rest.len() < h.total_len() {
+                    break;
+                }
+                (h.seq, h.total_len())
+            };
             let out = io.fifo.pop_front().expect("response matches a request");
-            debug_assert_eq!(out.seq, h.seq, "responses must be in order");
-            consumed += h.total_len();
+            debug_assert_eq!(out.seq, seq, "responses must be in order");
+            consumed += total;
             completed += 1;
             let mut st = self.stats.borrow_mut();
             st.completed_total += 1;
@@ -271,8 +290,15 @@ impl LibixHandler for MutilateClient {
                 st.net_latency.record(ix_sim::Nanos(now - out.issued_at));
             }
         }
-        if consumed > 0 {
-            io.rx.drain(..consumed);
+        if spilled {
+            if consumed > 0 {
+                io.rx.drain(..consumed);
+            }
+        } else if consumed < data.len() {
+            self.spill_copies += 1;
+            io.rx.extend_from_slice(&data[consumed..]);
+        } else {
+            self.inplace_parses += 1;
         }
         ctx.charge(250 * completed as u64);
         // Capacity freed: pull from the backlog.
@@ -393,14 +419,33 @@ impl LibixHandler for MutilateAgent {
         ctx.write(req);
     }
 
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
-        self.rx.extend_from_slice(data);
-        let Some(h) = proto::decode_response_header(&self.rx) else { return };
-        if self.rx.len() < h.total_len() {
-            return;
-        }
-        debug_assert_eq!(Some(h.seq), self.awaiting);
-        self.rx.drain(..h.total_len());
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
+        // Contiguous fast path: the agent keeps one request in flight, so
+        // the response almost always arrives whole — parse the delivered
+        // view in place; only a genuine straddle spills into `rx`.
+        let seq = if self.rx.is_empty() {
+            match proto::decode_response_header(data) {
+                Some(h) if data.len() >= h.total_len() => {
+                    if data.len() > h.total_len() {
+                        self.rx.extend_from_slice(&data[h.total_len()..]);
+                    }
+                    h.seq
+                }
+                _ => {
+                    self.rx.extend_from_slice(data);
+                    return;
+                }
+            }
+        } else {
+            self.rx.extend_from_slice(data);
+            let Some(h) = proto::decode_response_header(&self.rx) else { return };
+            if self.rx.len() < h.total_len() {
+                return;
+            }
+            self.rx.drain(..h.total_len());
+            h.seq
+        };
+        debug_assert_eq!(Some(seq), self.awaiting);
         self.awaiting = None;
         let now = ctx.now_ns;
         {

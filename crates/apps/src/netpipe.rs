@@ -71,7 +71,7 @@ impl NetpipeServer {
 }
 
 impl LibixHandler for NetpipeServer {
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
         self.got += data.len();
         while self.got >= self.msg_size {
             self.got -= self.msg_size;
@@ -157,7 +157,7 @@ impl LibixHandler for NetpipeClient {
         self.fire(ctx);
     }
 
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
         self.got += data.len();
         if self.got < self.msg_size {
             return;

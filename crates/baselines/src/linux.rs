@@ -418,14 +418,17 @@ impl LinuxCore {
         // the user copy per byte.
         let mut read_sockets: Vec<u64> = Vec::new();
         for ev in &events {
-            if let EventCond::Recv { mbuf, flow, .. } = ev {
+            if let EventCond::Recv { payload, flow, .. } = ev {
                 if !read_sockets.contains(&flow.key) {
                     read_sockets.push(flow.key);
                     kernel += t.params.syscall_ns + t.params.read_ns;
                     t.stats.syscalls += 1;
                 }
-                kernel += (mbuf.len() as u64 * t.params.copy_byte_ns_x1000) / 1000;
-                t.stats.bytes_copied += mbuf.len() as u64;
+                // Linux copies every received byte across the kernel
+                // boundary at read() — the cost IX's zero-copy recv
+                // avoids by construction.
+                kernel += (payload.len() as u64 * t.params.copy_byte_ns_x1000) / 1000;
+                t.stats.bytes_copied += payload.len() as u64;
             }
         }
         let mut ctx = UserCtx {

@@ -1,0 +1,234 @@
+//! Golden-trace regressions for the baseline execution models: the same
+//! TCP-lifecycle scenario pinned for the IX dataplane in
+//! `ix-core/tests/golden_trace.rs` — handshake, one 16-byte echo round
+//! trip, graceful FIN teardown — run on the Linux kernel model and on
+//! the mTCP model (with a Linux client, as §5.1's testbed always uses).
+//!
+//! The `(simulated-time, event)` sequences are pinned byte for byte, so
+//! any change to interrupt coalescing, softirq batching, scheduler
+//! wake-up latency, syscall billing, or mTCP's batch cadence shows up
+//! here as a diff — exactly as the IX trace pins the dataplane's run-to-
+//! completion cycle. Comparing the three traces is Figure 2 in
+//! miniature: the same six application upcalls, at very different
+//! simulated times.
+//!
+//! If a deliberate change shifts a trace, re-pin it from the failure
+//! output and explain the shift in the commit message.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ix_baselines::linux::{LinuxHost, LinuxParams};
+use ix_baselines::mtcp::{MtcpHost, MtcpParams};
+use ix_core::api::IxApp;
+use ix_core::libix::{ConnCtx, Libix, LibixCtx, LibixHandler};
+use ix_nic::fabric::Fabric;
+use ix_nic::params::MachineParams;
+use ix_sim::{Nanos, Simulator};
+use ix_tcp::{DeadReason, StackConfig};
+use ix_testkit::Bytes;
+
+const MSG: usize = 16;
+
+type Trace = Rc<RefCell<Vec<(u64, String)>>>;
+
+fn record(trace: &Trace, now: u64, event: impl Into<String>) {
+    trace.borrow_mut().push((now, event.into()));
+}
+
+/// Server: echo the message once, record accept/data/teardown.
+struct TraceServer {
+    trace: Trace,
+}
+
+impl LibixHandler for TraceServer {
+    fn on_accept(&mut self, ctx: &mut ConnCtx<'_>) {
+        record(&self.trace, ctx.now_ns, "server: accept");
+    }
+
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
+        record(&self.trace, ctx.now_ns, format!("server: data({})", data.len()));
+        let reply = Bytes::copy_from_slice(data);
+        assert!(ctx.write(reply));
+    }
+
+    fn on_dead(&mut self, ctx: &mut ConnCtx<'_>, reason: DeadReason) {
+        record(&self.trace, ctx.now_ns, format!("server: dead({reason:?})"));
+    }
+}
+
+/// Client: connect once, send one message, close gracefully on the
+/// full echo.
+struct TraceClient {
+    server: ix_net::Ipv4Addr,
+    started: bool,
+    got: usize,
+    trace: Trace,
+}
+
+impl LibixHandler for TraceClient {
+    fn on_tick(&mut self, ctx: &mut LibixCtx<'_>) {
+        if !self.started {
+            self.started = true;
+            ctx.connect(self.server, 9000, 0);
+        }
+    }
+
+    fn on_connected(&mut self, ctx: &mut ConnCtx<'_>, ok: bool) {
+        assert!(ok, "connect failed");
+        record(&self.trace, ctx.now_ns, "client: connected");
+        assert!(ctx.write(Bytes::from(vec![0x5au8; MSG])));
+    }
+
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
+        record(&self.trace, ctx.now_ns, format!("client: data({})", data.len()));
+        self.got += data.len();
+        assert!(self.got <= MSG);
+        if self.got == MSG {
+            record(&self.trace, ctx.now_ns, "client: close");
+            ctx.close();
+        }
+    }
+
+    fn on_dead(&mut self, ctx: &mut ConnCtx<'_>, reason: DeadReason) {
+        record(&self.trace, ctx.now_ns, format!("client: dead({reason:?})"));
+    }
+
+    fn wants_tick(&self, _now: u64) -> bool {
+        !self.started
+    }
+}
+
+/// Which baseline runs the server side.
+#[derive(Clone, Copy)]
+enum ServerModel {
+    Linux,
+    Mtcp,
+}
+
+/// Runs the lifecycle scenario (client always on the Linux model, per
+/// the paper's testbed) and returns the recorded trace.
+fn run_scenario(server_model: ServerModel) -> Vec<(u64, String)> {
+    let mut sim = Simulator::new(7);
+    let mut fabric = Fabric::new(8, MachineParams::default());
+    let client = fabric.add_host(1, 2, 0);
+    let server = fabric.add_host(1, 8, 0);
+    let server_ip = fabric.host(server).ip;
+    let trace: Trace = Rc::new(RefCell::new(Vec::new()));
+
+    let t = trace.clone();
+    enum Engine {
+        Linux(LinuxHost),
+        Mtcp(MtcpHost),
+    }
+    let engine = match server_model {
+        ServerModel::Linux => Engine::Linux(LinuxHost::launch(
+            &mut sim,
+            fabric.host(server),
+            1,
+            LinuxParams::default(),
+            StackConfig::default(),
+            Some(9000),
+            move |_| Box::new(Libix::new(TraceServer { trace: t.clone() })) as Box<dyn IxApp>,
+        )),
+        ServerModel::Mtcp => Engine::Mtcp(MtcpHost::launch(
+            &mut sim,
+            fabric.host(server),
+            1,
+            MtcpParams::default(),
+            StackConfig::default(),
+            Some(9000),
+            move |_| Box::new(Libix::new(TraceServer { trace: t.clone() })) as Box<dyn IxApp>,
+        )),
+    };
+    let t = trace.clone();
+    let ch = LinuxHost::launch(
+        &mut sim,
+        fabric.host(client),
+        1,
+        LinuxParams::default(),
+        StackConfig::default(),
+        None,
+        move |_| {
+            Box::new(Libix::new(TraceClient {
+                server: server_ip,
+                started: false,
+                got: 0,
+                trace: t.clone(),
+            })) as Box<dyn IxApp>
+        },
+    );
+    let (cip, cmac) = {
+        let c = fabric.host(client);
+        (c.ip, c.mac)
+    };
+    match &engine {
+        Engine::Linux(l) => l.seed_arp(cip, cmac),
+        Engine::Mtcp(m) => m.seed_arp(cip, cmac),
+    }
+    ch.seed_arp(fabric.host(server).ip, fabric.host(server).mac);
+    sim.run_until(ix_sim::SimTime(Nanos::from_millis(50).as_nanos()));
+    let recorded = trace.borrow().clone();
+    recorded
+}
+
+fn render(trace: &[(u64, String)]) -> Vec<String> {
+    trace.iter().map(|(t, e)| format!("{t} {e}")).collect()
+}
+
+#[test]
+fn linux_lifecycle_matches_golden_trace() {
+    let rendered = render(&run_scenario(ServerModel::Linux));
+    // Pinned from a run at the current Linux-model parameters. The same
+    // six upcalls as the IX golden trace, but each separated by IRQ
+    // coalescing, softirq scheduling, a scheduler wake-up of the blocked
+    // app thread, and per-call syscall costs on both hosts: the
+    // handshake completes at ~28.5 µs (IX: ~10.8 µs), the echo round
+    // trip at ~68 µs (IX: ~23.5 µs), teardown lands at ~87 µs (IX:
+    // ~29.3 µs) — the ~3x RTT gap of Figure 2.
+    let golden = [
+        "28538 client: connected",
+        "33872 server: accept",
+        "47913 server: data(16)",
+        "67983 client: data(16)",
+        "67983 client: close",
+        "87382 server: dead(PeerFin)",
+    ];
+    assert_eq!(
+        rendered,
+        golden,
+        "\ntrace diverged from golden; actual:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn mtcp_lifecycle_matches_golden_trace() {
+    let rendered = render(&run_scenario(ServerModel::Mtcp));
+    // Pinned from a run at the current mTCP-model parameters. mTCP's
+    // batched thread handoffs quantize every server-side step to its
+    // 50 µs batch boundary (accept and the data upcall coalesce into
+    // one batch at t=50 µs; teardown waits for the next boundary at
+    // t=100 µs) — per-packet costs amortized away, latency paid in
+    // queueing: "at the expense of higher latency" (§5.2).
+    let golden = [
+        "23862 client: connected",
+        "50000 server: accept",
+        "50000 server: data(16)",
+        "65650 client: data(16)",
+        "65650 client: close",
+        "100000 server: dead(PeerFin)",
+    ];
+    assert_eq!(
+        rendered,
+        golden,
+        "\ntrace diverged from golden; actual:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn baseline_lifecycle_traces_are_reproducible() {
+    assert_eq!(run_scenario(ServerModel::Linux), run_scenario(ServerModel::Linux));
+    assert_eq!(run_scenario(ServerModel::Mtcp), run_scenario(ServerModel::Mtcp));
+}

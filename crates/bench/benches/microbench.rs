@@ -400,6 +400,158 @@ fn bench_txpath(r: &mut BenchRunner) {
     });
 }
 
+/// RX delivery, run through the zero-copy hold/credit pipeline and
+/// through the copy model it replaced (a staging copy per delivery, and
+/// a second copy when an out-of-order segment drained). The arriving
+/// frame's DMA fill is identical in both models; the difference is
+/// everything between the ring buffer and the application.
+fn bench_rxpath(r: &mut BenchRunner) {
+    use std::collections::{BTreeMap, VecDeque};
+
+    use ix_apps::workload::proto;
+    use ix_mempool::Mbuf;
+    use ix_testkit::Bytes;
+
+    // -- In-order delivery: a 1460 B payload from a just-DMA'd pool mbuf
+    // to the app and back (`recv_done`). Zero-copy: a refcounted view
+    // and a queue move; the app reads the view where it lies. Copy
+    // model: stage into an owned buffer, then append into the app's
+    // reassembly buffer — the two copies the old pipeline made. Source
+    // payloads rotate across a footprint larger than L1 so the copies
+    // pay realistic cache-miss costs, as they would at line rate.
+    const SLOTS: usize = 256;
+    let sources: Vec<Vec<u8>> = (0..SLOTS).map(|i| vec![i as u8; 1460]).collect();
+    r.bench("rxpath/deliver_1460b", |b| {
+        let mut pool = MbufPool::new(SLOTS + 8);
+        drop(pool.alloc()); // Provision the pool outside the timed loop.
+        let mut held: VecDeque<Mbuf> = VecDeque::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            let mut m = pool.alloc().expect("capacity");
+            m.extend_from_slice(&sources[i % SLOTS]); // DMA (both models).
+            i += 1;
+            let view = m.as_bytes(); // recv: a zero-copy view.
+            held.push_back(m); // Retained until credited.
+            // The app parses where the data lies.
+            let n = black_box(view[0] as usize + view.len());
+            drop(view);
+            drop(held.pop_front()); // recv_done credit.
+            n
+        })
+    });
+    r.bench("rxpath_copy/deliver_1460b", |b| {
+        let mut pool = MbufPool::new(SLOTS + 8);
+        drop(pool.alloc()); // Provision the pool outside the timed loop.
+        let mut rx: Vec<u8> = Vec::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            let mut m = pool.alloc().expect("capacity");
+            m.extend_from_slice(&sources[i % SLOTS]); // DMA (both models).
+            i += 1;
+            let staged = m.data().to_vec(); // Copy one: event staging.
+            drop(m);
+            rx.extend_from_slice(&staged); // Copy two: app reassembly.
+            let n = black_box(rx[0] as usize + rx.len());
+            rx.clear();
+            n
+        })
+    });
+
+    // -- Out-of-order: buffer a 1460 B segment, then drain it once the
+    // gap fills, trimming a 100 B stale prefix. Zero-copy: the mbuf
+    // itself is buffered and later trimmed in place with `pull`. Copy
+    // model: one copy into the reassembly map and a second on drain —
+    // the double copy the old `drain_ooo` performed.
+    r.bench("rxpath/ooo_drain", |b| {
+        let mut pool = MbufPool::new(SLOTS + 8);
+        drop(pool.alloc()); // Provision the pool outside the timed loop.
+        let mut held: VecDeque<Mbuf> = VecDeque::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            let mut ooo: BTreeMap<u32, Mbuf> = BTreeMap::new();
+            let mut m = pool.alloc().expect("capacity");
+            m.extend_from_slice(&sources[i % SLOTS]);
+            i += 1;
+            ooo.insert(1_000, m); // Buffered as it arrived.
+            let mut m = ooo.remove(&1_000).expect("present");
+            m.pull(100); // Stale-prefix trim: a window move.
+            let view = m.as_bytes();
+            held.push_back(m);
+            let n = black_box(view[0] as usize + view.len());
+            drop(view);
+            drop(held.pop_front());
+            n
+        })
+    });
+    r.bench("rxpath_copy/ooo_drain", |b| {
+        let mut pool = MbufPool::new(SLOTS + 8);
+        drop(pool.alloc()); // Provision the pool outside the timed loop.
+        let mut rx: Vec<u8> = Vec::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            let mut ooo: BTreeMap<u32, Box<[u8]>> = BTreeMap::new();
+            let mut m = pool.alloc().expect("capacity");
+            m.extend_from_slice(&sources[i % SLOTS]);
+            i += 1;
+            ooo.insert(1_000, m.data().into()); // Copy one: into the map.
+            drop(m);
+            let d = ooo.remove(&1_000).expect("present");
+            let staged = d[100..].to_vec(); // Copy two: trim on drain.
+            rx.extend_from_slice(&staged); // Copy three: app reassembly.
+            let n = black_box(rx[0] as usize + rx.len());
+            rx.clear();
+            n
+        })
+    });
+
+    // -- Application parse: one delivery carrying eight pipelined GET
+    // requests. In place: decode straight from the delivered view (the
+    // KV server's contiguous fast path). Copy model: append to the
+    // per-connection reassembly buffer first (the old unconditional
+    // spill), then decode and drain.
+    let mut batch = Vec::new();
+    for seq in 0..8u64 {
+        batch.extend_from_slice(&proto::encode_request(
+            proto::OP_GET,
+            seq,
+            b"key:0123456789",
+            &[0u8; 64],
+        ));
+    }
+    let delivery = Bytes::from(batch);
+    r.bench("rxpath/kv_parse_inplace", |b| {
+        b.iter(|| {
+            let mut consumed = 0usize;
+            let mut served = 0u32;
+            while let Some(h) = proto::decode_request_header(&delivery[consumed..]) {
+                if delivery.len() - consumed < h.total_len() {
+                    break;
+                }
+                consumed += h.total_len();
+                served += 1;
+            }
+            black_box(served)
+        })
+    });
+    r.bench("rxpath_copy/kv_parse_inplace", |b| {
+        let mut rx: Vec<u8> = Vec::new();
+        b.iter(|| {
+            rx.extend_from_slice(&delivery); // The old unconditional append.
+            let mut consumed = 0usize;
+            let mut served = 0u32;
+            while let Some(h) = proto::decode_request_header(&rx[consumed..]) {
+                if rx.len() - consumed < h.total_len() {
+                    break;
+                }
+                consumed += h.total_len();
+                served += 1;
+            }
+            rx.drain(..consumed);
+            black_box(served)
+        })
+    });
+}
+
 /// Flow-table workloads, run identically against the open-addressing
 /// [`ix_tcp::FlowMap`] and the `HashMap<u64, _>` it replaced in the
 /// TCP shard. Payloads are 64 B (a TCB-shaped cache-line) and keys are
@@ -661,6 +813,36 @@ fn write_report(r: &BenchRunner) {
     if cmp.len() > 2 {
         ix_bench::report::update_section(&format!("txpath_speedup{suffix}"), &cmp);
     }
+
+    // And for the RX delivery path: the zero-copy hold/credit pipeline
+    // against the staging-copy model it replaced.
+    let mut cmp = String::from("{");
+    let mut first = true;
+    for wl in ["deliver_1460b", "ooo_drain", "kv_parse_inplace"] {
+        if let (Some(new), Some(base)) =
+            (find(&format!("rxpath/{wl}")), find(&format!("rxpath_copy/{wl}")))
+        {
+            if !first {
+                cmp.push_str(", ");
+            }
+            first = false;
+            cmp += &format!(
+                "\"{wl}\": {{\"zerocopy_ns\": {new:.2}, \"copy_ns\": {base:.2}, \
+                 \"speedup\": {:.2}}}",
+                base / new
+            );
+            println!(
+                "[rxpath] {wl}: {:.1} ns/op vs copy model {:.1} ns/op ({:.2}x)",
+                new,
+                base,
+                base / new
+            );
+        }
+    }
+    cmp.push('}');
+    if cmp.len() > 2 {
+        ix_bench::report::update_section(&format!("rxpath_speedup{suffix}"), &cmp);
+    }
 }
 
 fn main() {
@@ -671,6 +853,7 @@ fn main() {
     bench_mempool(&mut r);
     bench_tcp_codec(&mut r);
     bench_txpath(&mut r);
+    bench_rxpath(&mut r);
     bench_flowtable(&mut r);
     bench_histogram(&mut r);
     bench_end_to_end(&mut r);

@@ -157,10 +157,12 @@ pub trait LibixHandler {
     fn on_accept(&mut self, _ctx: &mut ConnCtx<'_>) {}
     /// A local `connect` completed (`ok`) or failed.
     fn on_connected(&mut self, _ctx: &mut ConnCtx<'_>, _ok: bool) {}
-    /// Data arrived (zero-copy view of the mbuf; libix issues
-    /// `recv_done` when the callback returns, matching the libevent
-    /// compatibility layer's copy-free common case).
-    fn on_data(&mut self, _ctx: &mut ConnCtx<'_>, _data: &[u8]) {}
+    /// Data arrived: a refcounted view aliasing the receive mbuf's own
+    /// storage, so the handler parses in place — and may retain O(1)
+    /// sub-slices — without a copy. libix issues `recv_done` when the
+    /// callback returns, matching the libevent compatibility layer's
+    /// copy-free common case.
+    fn on_data(&mut self, _ctx: &mut ConnCtx<'_>, _data: &Bytes) {}
     /// Previously written bytes were acknowledged / window opened.
     fn on_sent(&mut self, _ctx: &mut ConnCtx<'_>) {}
     /// The connection died (peer close, reset, or timeout). libix
@@ -411,8 +413,8 @@ impl<H: LibixHandler + 'static> IxApp for Libix<H> {
                         }
                     }
                 }
-                EventCond::Recv { cookie, flow, mbuf } => {
-                    let n = mbuf.len() as u32;
+                EventCond::Recv { cookie, flow, payload } => {
+                    let n = payload.len() as u32;
                     let resolved = self.resolve(cookie, flow);
                     let cookie = if let Some(c) = resolved {
                         c
@@ -461,15 +463,16 @@ impl<H: LibixHandler + 'static> IxApp for Libix<H> {
                             now_ns: ctx.now_ns,
                             charge_ns: &mut ctx.user_ns,
                         };
-                        self.handler.on_data(&mut cctx, mbuf.data());
+                        self.handler.on_data(&mut cctx, &payload);
                         self.dirty.insert(cookie);
                         Some(conn.handle)
                     } else {
                         None
                     };
                     // The libevent-compatible layer consumes the buffer
-                    // when the callback returns: credit the window.
-                    drop(mbuf);
+                    // when the callback returns: credit the window (the
+                    // stack frees the mbuf when the credit covers it).
+                    drop(payload);
                     if let Some(handle) = handle {
                         ctx.syscalls.push(Syscall::RecvDone { handle, bytes: n });
                         self.submitted.push(SubmitRecord::Other);

@@ -21,7 +21,7 @@ struct EchoServer {
 }
 
 impl LibixHandler for EchoServer {
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
         ctx.charge(self.service_ns);
         let reply = Bytes::copy_from_slice(data);
         assert!(ctx.write(reply));
@@ -76,7 +76,7 @@ impl LibixHandler for PingClient {
         self.fire(ctx);
     }
 
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
         let user = ctx.conn.user;
         let now = ctx.now_ns;
         let msg = self.msg;

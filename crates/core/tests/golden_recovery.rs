@@ -45,7 +45,7 @@ impl LibixHandler for TraceServer {
         record(&self.trace, ctx.now_ns, "server: accept");
     }
 
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
         let reply = Bytes::copy_from_slice(data);
         assert!(ctx.write(reply));
     }
@@ -79,7 +79,7 @@ impl LibixHandler for TraceClient {
         assert!(ctx.write(Bytes::from(vec![0x5au8; MSG])));
     }
 
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
         let before = self.got;
         self.got += data.len();
         assert!(self.got <= MSG + BURST, "over-delivery at {}", self.got);

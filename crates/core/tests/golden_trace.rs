@@ -38,7 +38,7 @@ impl LibixHandler for TraceServer {
         record(&self.trace, ctx.now_ns, "server: accept");
     }
 
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
         record(&self.trace, ctx.now_ns, format!("server: data({})", data.len()));
         let reply = Bytes::copy_from_slice(data);
         assert!(ctx.write(reply));
@@ -72,7 +72,7 @@ impl LibixHandler for TraceClient {
         assert!(ctx.write(Bytes::from(vec![0x5au8; MSG])));
     }
 
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
         record(&self.trace, ctx.now_ns, format!("client: data({})", data.len()));
         self.got += data.len();
         assert!(self.got <= MSG);

@@ -2,6 +2,9 @@
 
 use std::cell::RefCell;
 use std::rc::Weak;
+use std::sync::Arc;
+
+use ix_testkit::Bytes;
 
 use crate::pool::FreeList;
 
@@ -14,6 +17,16 @@ pub const MBUF_DATA_SIZE: usize = 2048;
 /// can be prepended to a payload without moving it.
 pub const MBUF_DEFAULT_HEADROOM: usize = 128;
 
+thread_local! {
+    /// Shared zero-length storage swapped in on drop so returning the
+    /// real storage to the pool doesn't allocate a replacement.
+    static EMPTY_STORAGE: Arc<[u8]> = Arc::from(&[][..]);
+}
+
+fn empty_storage() -> Arc<[u8]> {
+    EMPTY_STORAGE.with(Arc::clone)
+}
+
 /// A network packet buffer drawn from an [`crate::MbufPool`].
 ///
 /// Layout: `[ headroom | data (offset..offset+len) | tailroom ]`.
@@ -21,11 +34,19 @@ pub const MBUF_DEFAULT_HEADROOM: usize = 128;
 /// *append* payload by growing into the tailroom; neither moves bytes
 /// already written, which is what makes the transmit path zero-copy.
 ///
+/// Storage is an `Arc<[u8]>` so a received payload can be handed to the
+/// application as a refcounted [`Bytes`] view ([`Mbuf::as_bytes`]) while
+/// the stack retains the mbuf until `recv_done` credits it — the RX half
+/// of the paper's zero-copy API. Mutators require unique storage (they
+/// panic if a view is still alive), preserving the shared-immutability
+/// contract; `pull`/`truncate`/`clear` only move the view window and
+/// stay legal on aliased storage.
+///
 /// Dropping an mbuf returns its storage to the owning pool's free list
 /// (if the pool is still alive), modeling the `recv_done` recycle path.
 #[derive(Debug)]
 pub struct Mbuf {
-    buf: Box<[u8]>,
+    buf: Arc<[u8]>,
     offset: usize,
     len: usize,
     owner: Weak<RefCell<FreeList>>,
@@ -33,7 +54,7 @@ pub struct Mbuf {
 
 impl Mbuf {
     /// Creates an mbuf from raw storage; used by the pool only.
-    pub(crate) fn from_storage(buf: Box<[u8]>, owner: Weak<RefCell<FreeList>>) -> Mbuf {
+    pub(crate) fn from_storage(buf: Arc<[u8]>, owner: Weak<RefCell<FreeList>>) -> Mbuf {
         Mbuf {
             buf,
             offset: MBUF_DEFAULT_HEADROOM,
@@ -47,11 +68,22 @@ impl Mbuf {
     /// pressure.
     pub fn standalone() -> Mbuf {
         Mbuf {
-            buf: vec![0u8; MBUF_DATA_SIZE].into_boxed_slice(),
+            buf: Arc::from(vec![0u8; MBUF_DATA_SIZE]),
             offset: MBUF_DEFAULT_HEADROOM,
             len: 0,
             owner: Weak::new(),
         }
+    }
+
+    /// Unique access to the backing storage, for the mutating builders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Bytes`] view of this storage is still alive: the
+    /// zero-copy contract makes delivered payload immutable until the
+    /// consumer releases it.
+    fn storage_mut(&mut self) -> &mut [u8] {
+        Arc::get_mut(&mut self.buf).expect("mbuf storage aliased by a live Bytes view")
     }
 
     /// Current data length.
@@ -80,8 +112,28 @@ impl Mbuf {
     }
 
     /// Mutable access to the packet data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Bytes`] view of this storage is still alive.
     pub fn data_mut(&mut self) -> &mut [u8] {
-        &mut self.buf[self.offset..self.offset + self.len]
+        let (offset, len) = (self.offset, self.len);
+        &mut self.storage_mut()[offset..offset + len]
+    }
+
+    /// A refcounted view of the current data region, sharing this mbuf's
+    /// storage (no copy). This is the `recv{cookie, mbuf ptr, mbuf len}`
+    /// pointer of Table 1: the consumer parses in place and the storage
+    /// returns to the pool only after both the view and the mbuf are
+    /// released.
+    pub fn as_bytes(&self) -> Bytes {
+        Bytes::from_shared(Arc::clone(&self.buf), self.offset, self.len)
+    }
+
+    /// Number of live aliases of this storage (the mbuf itself counts as
+    /// one); used by the zero-copy tests to pin view lifetimes.
+    pub fn storage_refs(&self) -> usize {
+        Arc::strong_count(&self.buf)
     }
 
     /// Resets to an empty buffer with the default headroom.
@@ -115,7 +167,8 @@ impl Mbuf {
         assert!(n <= self.offset, "insufficient headroom: {} < {n}", self.offset);
         self.offset -= n;
         self.len += n;
-        &mut self.buf[self.offset..self.offset + n]
+        let start = self.offset;
+        &mut self.storage_mut()[start..start + n]
     }
 
     /// Drops `n` bytes from the front of the data (e.g. a parsed header),
@@ -143,7 +196,7 @@ impl Mbuf {
             bytes.len()
         );
         let start = self.offset + self.len;
-        self.buf[start..start + bytes.len()].copy_from_slice(bytes);
+        self.storage_mut()[start..start + bytes.len()].copy_from_slice(bytes);
         self.len += bytes.len();
     }
 
@@ -157,7 +210,7 @@ impl Mbuf {
         assert!(n <= self.tailroom(), "insufficient tailroom");
         let start = self.offset + self.len;
         self.len += n;
-        let region = &mut self.buf[start..start + n];
+        let region = &mut self.storage_mut()[start..start + n];
         region.fill(0);
         region
     }
@@ -176,8 +229,10 @@ impl Mbuf {
 impl Drop for Mbuf {
     fn drop(&mut self) {
         if let Some(list) = self.owner.upgrade() {
-            // Hand the storage back to the pool's free list.
-            let storage = std::mem::take(&mut self.buf);
+            // Hand the storage back to the pool's free list. A still-live
+            // Bytes view defers the actual reuse (the free list parks
+            // aliased storage until the last view drops).
+            let storage = std::mem::replace(&mut self.buf, empty_storage());
             list.borrow_mut().recycle(storage);
         }
     }
@@ -191,7 +246,8 @@ impl Clone for Mbuf {
         let mut m = Mbuf::standalone();
         m.offset = self.offset;
         m.len = self.len;
-        m.buf[self.offset..self.offset + self.len].copy_from_slice(self.data());
+        let (offset, len) = (self.offset, self.len);
+        m.storage_mut()[offset..offset + len].copy_from_slice(self.data());
         m
     }
 }
@@ -275,5 +331,30 @@ mod tests {
         let b = a.clone();
         a.data_mut()[0] = b'X';
         assert_eq!(b.data(), b"original");
+    }
+
+    #[test]
+    fn as_bytes_shares_storage_and_tracks_window() {
+        let mut m = Mbuf::standalone();
+        m.extend_from_slice(b"headerpayload");
+        m.pull(6);
+        let view = m.as_bytes();
+        assert_eq!(&view[..], b"payload");
+        assert_eq!(m.storage_refs(), 2, "mbuf + view alias one storage");
+        // Window-only ops stay legal while the view is alive.
+        m.pull(3);
+        assert_eq!(m.data(), b"load");
+        assert_eq!(&view[..], b"payload", "view is immutable under pull");
+        drop(view);
+        assert_eq!(m.storage_refs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "aliased by a live Bytes view")]
+    fn mutation_under_live_view_panics() {
+        let mut m = Mbuf::standalone();
+        m.extend_from_slice(b"data");
+        let _view = m.as_bytes();
+        m.extend_from_slice(b"more");
     }
 }

@@ -2,6 +2,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::mbuf::{Mbuf, MBUF_DATA_SIZE};
 
@@ -29,9 +30,19 @@ pub struct PoolStats {
 ///
 /// The list owns the outstanding/peak accounting so the pool's alloc hot
 /// path is a single `RefCell` borrow: one pop, one counter bump.
+///
+/// Storage is `Arc<[u8]>` because delivered payloads are handed to the
+/// application as refcounted `Bytes` views (`Mbuf::as_bytes`). An mbuf
+/// dropped while a view is still alive parks its storage on `deferred`;
+/// the buffer rejoins `free` once the last view releases it (checked
+/// when the free list runs dry), so a view can never observe the pool
+/// scribbling over bytes it is still reading.
 #[derive(Debug, Default)]
 pub struct FreeList {
-    free: Vec<Box<[u8]>>,
+    free: Vec<Arc<[u8]>>,
+    /// Recycled storage still aliased by a live `Bytes` view; swept back
+    /// into `free` once unique.
+    deferred: Vec<Arc<[u8]>>,
     /// Buffers materialized so far; grows in large-page blocks up to
     /// `capacity`.
     provisioned: usize,
@@ -47,12 +58,15 @@ impl FreeList {
     /// at a time (§4.2: the dataplane grows its mbuf region in large
     /// pages), so a testbed of many shards only pays — in allocation and
     /// page-fault cost — for the buffers its workload actually touches.
-    fn take(&mut self) -> Option<Box<[u8]>> {
+    fn take(&mut self) -> Option<Arc<[u8]>> {
+        if self.free.is_empty() {
+            self.sweep_deferred();
+        }
         if self.free.is_empty() && self.provisioned < self.capacity {
             let block = (self.capacity - self.provisioned).min(LARGE_PAGE / MBUF_DATA_SIZE);
             self.free.reserve(block);
             for _ in 0..block {
-                self.free.push(vec![0u8; MBUF_DATA_SIZE].into_boxed_slice());
+                self.free.push(Arc::from(vec![0u8; MBUF_DATA_SIZE]));
             }
             self.provisioned += block;
         }
@@ -64,10 +78,27 @@ impl FreeList {
         Some(storage)
     }
 
-    pub(crate) fn recycle(&mut self, storage: Box<[u8]>) {
+    /// Moves parked storage whose last view has dropped back to `free`.
+    fn sweep_deferred(&mut self) {
+        let mut i = 0;
+        while i < self.deferred.len() {
+            if Arc::strong_count(&self.deferred[i]) == 1 {
+                let storage = self.deferred.swap_remove(i);
+                self.free.push(storage);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    pub(crate) fn recycle(&mut self, storage: Arc<[u8]>) {
         debug_assert!(self.outstanding > 0, "free without matching alloc");
         self.outstanding -= 1;
-        self.free.push(storage);
+        if Arc::strong_count(&storage) == 1 {
+            self.free.push(storage);
+        } else {
+            self.deferred.push(storage);
+        }
     }
 }
 
@@ -93,6 +124,7 @@ impl MbufPool {
         MbufPool {
             list: Rc::new(RefCell::new(FreeList {
                 free: Vec::new(),
+                deferred: Vec::new(),
                 provisioned: 0,
                 capacity,
                 outstanding: 0,
@@ -275,6 +307,21 @@ mod tests {
         // what the previous user wrote.
         assert!(m2.is_empty());
         assert_eq!(m2.headroom(), crate::MBUF_DEFAULT_HEADROOM);
+    }
+
+    #[test]
+    fn aliased_recycle_defers_until_view_drops() {
+        let mut pool = MbufPool::new(1);
+        let m = pool.alloc().unwrap();
+        let view = m.as_bytes();
+        drop(m);
+        // The buffer is back from the pool's perspective...
+        assert_eq!(pool.stats().outstanding, 0);
+        assert_eq!(pool.available(), 1);
+        // ...but cannot be handed out while the view still reads it.
+        assert!(pool.alloc().is_none(), "aliased storage must not be reissued");
+        drop(view);
+        assert!(pool.alloc().is_some(), "storage reusable once the view drops");
     }
 
     #[test]

@@ -81,7 +81,9 @@ impl Nic {
             switch_port: u16::MAX,
             rss_key: TOEPLITZ_DEFAULT_KEY,
             redirection: (0..128).map(|i| i % queues).collect(),
-            rx: (0..queues).map(|_| RxRing::new(ring)).collect(),
+            rx: (0..queues)
+                .map(|_| RxRing::with_pool(ring, ring + params.rx_extra_bufs))
+                .collect(),
             tx: (0..queues).map(|_| TxRing::new(ring)).collect(),
             notify: (0..queues).map(|_| None).collect(),
             tx_cursor: 0,

@@ -31,6 +31,11 @@ pub struct MachineParams {
     pub nic_rx_latency_ns: u64,
     /// Descriptor-ring capacity per queue (ixgbe default: 512).
     pub ring_entries: usize,
+    /// Extra receive-pool buffers per RX queue beyond the posted ring,
+    /// covering frames the application still holds between delivery and
+    /// `recv_done` (plus out-of-order reassembly). Memory is provisioned
+    /// lazily, so generous slack costs nothing until used.
+    pub rx_extra_bufs: usize,
     /// Number of hardware queue pairs per port (82599: up to 128; the
     /// experiments use one per hardware thread).
     pub queues_per_port: usize,
@@ -60,6 +65,7 @@ impl Default for MachineParams {
             nic_tx_latency_ns: 1_500,
             nic_rx_latency_ns: 2_000,
             ring_entries: 512,
+            rx_extra_bufs: 2048,
             queues_per_port: 16,
             l3_cache_bytes: 20 * 1024 * 1024,
             l3_miss_ns: 70,

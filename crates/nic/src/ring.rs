@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 
-use ix_mempool::Mbuf;
+use ix_mempool::{Mbuf, MbufPool, PoolStats, MBUF_DATA_SIZE};
 
 /// A receive descriptor ring for one hardware queue.
 ///
@@ -16,25 +16,49 @@ use ix_mempool::Mbuf;
 /// each arriving frame consumes one. Frames wait in FIFO order until the
 /// dataplane polls them out. When no descriptor is posted the frame is
 /// dropped (tail drop), which is what 82599 hardware does.
+///
+/// Each ring owns a receive-buffer pool: an accepted frame is DMA'd —
+/// the one copy of the paper's one-copy-from-wire RX path — into a
+/// pool-backed, headroom-carrying mbuf, and the sender's transmit buffer
+/// is released immediately (a TX completion, as in hardware). The pool
+/// mbuf then travels *uncopied* through the stack to the application and
+/// returns here only when `recv_done` credits it, so receive-buffer
+/// occupancy reflects real consumer backlog.
 #[derive(Debug)]
 pub struct RxRing {
     capacity: usize,
     posted: usize,
     frames: VecDeque<Mbuf>,
-    /// Tail-drop counter.
+    pool: MbufPool,
+    /// Tail-drop counter (no posted descriptor, or no receive buffer).
     pub drops: u64,
+    /// The subset of `drops` caused by receive-pool exhaustion: the
+    /// consumer is sitting on too many uncredited buffers.
+    pub pool_drops: u64,
     /// Total frames accepted.
     pub received: u64,
 }
 
 impl RxRing {
-    /// Creates a ring with `capacity` descriptors, fully posted.
+    /// Creates a ring with `capacity` descriptors, fully posted, backed
+    /// by a receive pool of twice that many buffers (the default slack
+    /// for consumer-held frames; [`RxRing::with_pool`] tunes it).
     pub fn new(capacity: usize) -> RxRing {
+        RxRing::with_pool(capacity, capacity * 2)
+    }
+
+    /// Creates a ring with `capacity` descriptors and `pool_bufs`
+    /// receive buffers (floored at `capacity` so a fully posted ring can
+    /// always land). Buffer memory is provisioned lazily in large-page
+    /// blocks by the pool.
+    pub fn with_pool(capacity: usize, pool_bufs: usize) -> RxRing {
         RxRing {
             capacity,
             posted: capacity,
             frames: VecDeque::with_capacity(capacity),
+            pool: MbufPool::new(pool_bufs.max(capacity)),
             drops: 0,
+            pool_drops: 0,
             received: 0,
         }
     }
@@ -54,15 +78,35 @@ impl RxRing {
         self.frames.len()
     }
 
+    /// Receive-buffer pool accounting (outstanding counts frames held
+    /// anywhere between this ring and the application's `recv_done`).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     /// Hardware side: deposit an arriving frame. Returns `false` (and
-    /// counts a drop) when no descriptor is posted.
+    /// counts a drop) when no descriptor is posted or no receive buffer
+    /// is free. On success the frame is copied once into a pool mbuf
+    /// (the DMA write) and the sender's buffer is released.
     pub fn push(&mut self, frame: Mbuf) -> bool {
         if self.posted == 0 {
             self.drops += 1;
             return false;
         }
+        let Some(mut buf) = self.pool.alloc() else {
+            self.drops += 1;
+            self.pool_drops += 1;
+            return false;
+        };
+        // Default headroom leaves room for in-place reply prepends after
+        // header pulls; an outsized frame forfeits headroom instead of
+        // overflowing the tail.
+        if frame.len() > buf.tailroom() {
+            buf.set_headroom(MBUF_DATA_SIZE - frame.len());
+        }
+        buf.extend_from_slice(frame.data());
         self.posted -= 1;
-        self.frames.push_back(frame);
+        self.frames.push_back(buf);
         self.received += 1;
         true
     }
@@ -204,6 +248,35 @@ mod tests {
             assert_eq!(r.poll().unwrap().data(), &[i]);
         }
         assert!(r.poll().is_none());
+    }
+
+    #[test]
+    fn rx_push_dmas_into_pool_buffer_and_frees_sender_frame() {
+        let mut r = RxRing::with_pool(4, 4);
+        assert!(r.push(frame()));
+        assert_eq!(r.pool_stats().outstanding, 1);
+        let m = r.poll().unwrap();
+        assert_eq!(m.data(), b"frame");
+        // The polled mbuf carries fresh headroom (for in-place reply
+        // prepends after header pulls), not the sender's layout.
+        assert!(m.headroom() > 0);
+        drop(m);
+        assert_eq!(r.pool_stats().outstanding, 0, "dropping the mbuf recycles it");
+    }
+
+    #[test]
+    fn rx_pool_exhaustion_counts_pool_drop() {
+        let mut r = RxRing::with_pool(2, 2);
+        r.push(frame());
+        r.push(frame());
+        let _a = r.poll().unwrap();
+        let _b = r.poll().unwrap();
+        r.replenish(2);
+        // Descriptors are posted, but both receive buffers are still
+        // held by the consumer.
+        assert!(!r.push(frame()));
+        assert_eq!(r.pool_drops, 1);
+        assert_eq!(r.drops, 1);
     }
 
     #[test]

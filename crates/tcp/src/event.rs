@@ -6,8 +6,8 @@
 //! into socket readiness (epoll) instead. Keeping the enum here lets both
 //! execution models share the protocol code.
 
-use ix_mempool::Mbuf;
 use ix_net::ip::Ipv4Addr;
+use ix_testkit::Bytes;
 
 /// Identifies a flow within one shard, with a generation tag so stale
 /// handles (to closed-and-reused tuples) are rejected rather than
@@ -84,16 +84,19 @@ pub enum TcpEvent {
         ok: bool,
     },
     /// Payload arrived in order (Table 1: `recv{cookie, mbuf ptr, mbuf
-    /// len}`). The mbuf is handed to the consumer zero-copy; the consumer
-    /// must eventually credit the window via `recv_done`.
+    /// len}`). The payload is a refcounted view into the receive mbuf's
+    /// own storage — nothing is copied between the ring and the
+    /// application. The stack holds the mbuf until the consumer credits
+    /// the bytes back via `recv_done`, which advances the window and
+    /// frees the buffer (the paper's cooperative flow control, §3).
     Recv {
         /// The flow.
         flow: FlowId,
         /// User cookie.
         cookie: u64,
-        /// The payload (mbuf trimmed to exactly the newly delivered
-        /// bytes).
-        mbuf: Mbuf,
+        /// View of exactly the newly delivered bytes, aliasing the
+        /// receive buffer the stack retains until `recv_done`.
+        payload: Bytes,
     },
     /// Previously sent bytes were acknowledged and/or the send window
     /// changed (Table 1: `sent{cookie, bytes sent, window size}`).

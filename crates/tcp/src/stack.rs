@@ -131,6 +131,21 @@ pub struct StackStats {
     /// `send` entry point (one per call; segments slice it O(1)).
     /// `send_bytes` callers share their own block and never count here.
     pub tx_rtq_blocks: u64,
+    /// Payload byte-copies performed on the receive path between the
+    /// ring's DMA buffer and the application's view. The zero-copy RX
+    /// path delivers refcounted `Bytes` views of the mbuf itself, so
+    /// this is a tripwire mirroring `tx_payload_writes`: the
+    /// `rx_zerocopy` suite pins it at 0 per in-order delivery.
+    pub rx_payload_copies: u64,
+    /// Staging copies taken while buffering or draining out-of-order
+    /// segments. Reassembly holds the received mbufs themselves and
+    /// trims them in place on drain, so this too stays 0.
+    pub rx_ooo_copies: u64,
+    /// Receive buffers currently held between in-order delivery and the
+    /// application's `recv_done` credit, plus out-of-order buffers
+    /// awaiting reassembly. A gauge, not a rate: this is the real pool
+    /// pressure behind the `rcv_outstanding` window arithmetic.
+    pub rx_pool_outstanding: u64,
 }
 
 impl StackStats {
@@ -162,6 +177,9 @@ impl StackStats {
         self.tx_payload_writes += other.tx_payload_writes;
         self.tx_transient_allocs += other.tx_transient_allocs;
         self.tx_rtq_blocks += other.tx_rtq_blocks;
+        self.rx_payload_copies += other.rx_payload_copies;
+        self.rx_ooo_copies += other.rx_ooo_copies;
+        self.rx_pool_outstanding += other.rx_pool_outstanding;
     }
 }
 
@@ -284,6 +302,20 @@ impl TcpShard {
         }
     }
 
+    /// Diagnostic view of a flow's held receive buffers (delivered but
+    /// not yet credited via `recv_done`), as O(1) refcounted views.
+    /// Tests use `Bytes::ptr_eq` on these to prove the application's
+    /// `Recv` payloads alias the buffers the stack retains — and that
+    /// `recv_done` actually releases them.
+    pub fn rx_held_payloads(&self, flow: FlowId) -> Vec<Bytes> {
+        match self.flows.get(flow.key) {
+            Some(tcb) if tcb.id.gen == flow.gen => {
+                tcb.rx_held.iter().map(|m| m.as_bytes()).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
     /// Starts listening on `port`.
     pub fn listen(&mut self, port: u16) {
         self.listeners.insert(port);
@@ -372,6 +404,9 @@ impl TcpShard {
         let mut out = Vec::with_capacity(keys.len());
         for k in keys {
             let mut tcb = self.flows.remove(k).expect("present");
+            // Held receive buffers migrate with the flow; the gauge
+            // follows them to the absorbing shard.
+            self.stats.rx_pool_outstanding -= (tcb.rx_held.len() + tcb.ooo.len()) as u64;
             for t in [
                 tcb.rto_timer.take(),
                 tcb.persist_timer.take(),
@@ -407,6 +442,7 @@ impl TcpShard {
             if tcb.need_ack {
                 self.pending_acks.push(key);
             }
+            self.stats.rx_pool_outstanding += (tcb.rx_held.len() + tcb.ooo.len()) as u64;
             self.flows.insert(key, tcb);
             if need_rto {
                 let t = self
@@ -606,6 +642,23 @@ impl TcpShard {
         let before = tcb.advertised_window();
         tcb.rcv_outstanding -= bytes;
         let after = tcb.advertised_window();
+        // Free the receive buffers the credit covers (Table 1: recv_done
+        // "advances the receive window and frees memory buffers").
+        // Credit accumulates against the oldest held mbuf — deliveries
+        // and credits need not align — and each fully credited buffer
+        // drops back to its owning pool here.
+        tcb.rx_front_credit += bytes;
+        let mut released = 0u64;
+        while let Some(front) = tcb.rx_held.front() {
+            let flen = front.len() as u32;
+            if tcb.rx_front_credit < flen {
+                break;
+            }
+            tcb.rx_front_credit -= flen;
+            tcb.rx_held.pop_front();
+            released += 1;
+        }
+        self.stats.rx_pool_outstanding -= released;
         let key = flow.key;
         match policy {
             AckPolicy::EndOfCycle => self.mark_ack(key),
@@ -1242,23 +1295,29 @@ impl TcpShard {
             return;
         }
         if seg_seq == rcv_nxt {
-            // In-order: deliver zero-copy, then drain any contiguous
-            // out-of-order segments.
+            // In-order: deliver a refcounted view of the mbuf's payload
+            // window — zero copies — hold the buffer until `recv_done`
+            // credits it, then drain any contiguous out-of-order
+            // segments.
             let n = payload.len() as u32;
             tcb.rcv_nxt = tcb.rcv_nxt.wrapping_add(n);
             tcb.rcv_outstanding += n;
             let (id, cookie) = (tcb.id, tcb.cookie);
+            let view = payload.as_bytes();
+            tcb.rx_held.push_back(payload);
             self.stats.bytes_rx += n as u64;
-            self.events.push(TcpEvent::Recv { flow: id, cookie, mbuf: payload });
+            self.stats.rx_pool_outstanding += 1;
+            self.events.push(TcpEvent::Recv { flow: id, cookie, payload: view });
             self.drain_ooo(key);
         } else {
-            // Out of order: buffer (coalescing conservatively: keep the
-            // first copy of any overlapping start).
-            let data: Box<[u8]> = payload.data().into();
-            let blen = data.len() as u32;
+            // Out of order: buffer the trimmed mbuf itself, keyed by
+            // start sequence — no staging copy, and none later on drain
+            // (coalescing conservatively: keep the first buffer seen for
+            // any given start).
             if !tcb.ooo.contains_key(&seg_seq) {
-                tcb.ooo_bytes += blen;
-                tcb.ooo.insert(seg_seq, data);
+                tcb.ooo_bytes += payload.len() as u32;
+                tcb.ooo.insert(seg_seq, payload);
+                self.stats.rx_pool_outstanding += 1;
             }
         }
     }
@@ -1275,21 +1334,29 @@ impl TcpShard {
             else {
                 break;
             };
-            let data = tcb.ooo.remove(&seg_seq).expect("present");
-            tcb.ooo_bytes -= data.len() as u32;
+            let mut m = tcb.ooo.remove(&seg_seq).expect("present");
+            tcb.ooo_bytes -= m.len() as u32;
             let skip = rcv_nxt.wrapping_sub(seg_seq) as usize;
-            if skip >= data.len() {
-                continue; // Entirely stale.
+            if skip >= m.len() {
+                // Entirely stale: the buffer goes straight back to its
+                // owning pool.
+                self.stats.rx_pool_outstanding -= 1;
+                continue;
             }
-            let useful = &data[skip..];
-            let n = useful.len() as u32;
+            // Trim the already-received prefix in place (a window move,
+            // not a copy) and deliver the rest as a view of the buffered
+            // mbuf itself — the drain path copies nothing.
+            m.pull(skip);
+            let n = m.len() as u32;
             tcb.rcv_nxt = tcb.rcv_nxt.wrapping_add(n);
             tcb.rcv_outstanding += n;
             let (id, cookie) = (tcb.id, tcb.cookie);
+            let view = m.as_bytes();
+            // The mbuf moves from the reassembly map to the held queue:
+            // `rx_pool_outstanding` is unchanged.
+            tcb.rx_held.push_back(m);
             self.stats.bytes_rx += n as u64;
-            let mut m = Mbuf::standalone();
-            m.extend_from_slice(useful);
-            self.events.push(TcpEvent::Recv { flow: id, cookie, mbuf: m });
+            self.events.push(TcpEvent::Recv { flow: id, cookie, payload: view });
         }
         // Clean any now-stale buffered segments.
         let tcb = self.flows.get_mut(key).expect("checked");
@@ -1303,6 +1370,7 @@ impl TcpShard {
         for s in stale {
             let d = tcb.ooo.remove(&s).expect("present");
             tcb.ooo_bytes -= d.len() as u32;
+            self.stats.rx_pool_outstanding -= 1;
         }
     }
 
@@ -1362,9 +1430,12 @@ impl TcpShard {
         self.flows.get_mut(key).expect("live").timewait_timer = Some(t);
     }
 
-    /// Removes a flow and cancels its timers.
+    /// Removes a flow and cancels its timers. Dropping the TCB releases
+    /// any receive buffers it still held (uncredited deliveries and
+    /// out-of-order segments) back to their pools.
     fn destroy(&mut self, key: u64) {
         if let Some(tcb) = self.flows.remove(key) {
+            self.stats.rx_pool_outstanding -= (tcb.rx_held.len() + tcb.ooo.len()) as u64;
             for t in [
                 tcb.rto_timer,
                 tcb.persist_timer,

@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
+use ix_mempool::Mbuf;
 use ix_net::ip::Ipv4Addr;
 use ix_net::tcp::{seq_le, seq_lt};
 use ix_testkit::Bytes;
@@ -133,8 +134,19 @@ pub struct Tcb {
     /// `recv_done` — these shrink the advertised window (IX's cooperative
     /// flow control, §3).
     pub rcv_outstanding: u32,
-    /// Out-of-order segments keyed by sequence number.
-    pub ooo: BTreeMap<u32, Box<[u8]>>,
+    /// Receive buffers delivered in order whose bytes the application
+    /// has not yet credited back: the mbufs backing the `Bytes` views in
+    /// outstanding `Recv` events, oldest first. `recv_done` releases
+    /// them front-to-back as credit accumulates, returning each to its
+    /// owning pool — Table 1's "frees memory buffers".
+    pub rx_held: VecDeque<Mbuf>,
+    /// `recv_done` credit accumulated toward releasing the front of
+    /// `rx_held` (credits need not align with delivery boundaries).
+    pub rx_front_credit: u32,
+    /// Out-of-order segments keyed by start sequence: the received
+    /// mbufs themselves, trimmed in place when drained — reassembly
+    /// buffers the buffer, not a copy of it.
+    pub ooo: BTreeMap<u32, Mbuf>,
     /// Bytes held in `ooo`.
     pub ooo_bytes: u32,
     /// An ACK should be emitted for this connection.
@@ -209,6 +221,8 @@ impl Tcb {
             rcv_nxt: 0,
             rcv_buf: cfg.recv_window,
             rcv_outstanding: 0,
+            rx_held: VecDeque::new(),
+            rx_front_credit: 0,
             ooo: BTreeMap::new(),
             ooo_bytes: 0,
             need_ack: false,

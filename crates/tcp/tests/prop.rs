@@ -112,10 +112,10 @@ fn hostile_transfer(data: &[u8], seed: u64, drop_pct: u64) -> (Vec<u8>, usize) {
                     b.accept(flow, 2).unwrap();
                     sflow = Some(flow);
                 }
-                TcpEvent::Recv { mbuf, flow, .. } => {
-                    received.extend_from_slice(mbuf.data());
-                    let n = mbuf.len() as u32;
-                    drop(mbuf);
+                TcpEvent::Recv { payload, flow, .. } => {
+                    received.extend_from_slice(&payload[..]);
+                    let n = payload.len() as u32;
+                    drop(payload);
                     b.recv_done(now, flow, n).unwrap();
                 }
                 _ => {}

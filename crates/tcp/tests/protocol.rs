@@ -137,9 +137,9 @@ fn small_echo_roundtrip() {
     // Server got the data.
     let mut got = Vec::new();
     for e in p.b.take_events() {
-        if let TcpEvent::Recv { mbuf, cookie, .. } = e {
+        if let TcpEvent::Recv { payload, cookie, .. } = e {
             assert_eq!(cookie, 0xBBB);
-            got.extend_from_slice(mbuf.data());
+            got.extend_from_slice(&payload[..]);
         }
     }
     assert_eq!(got, b"hello");
@@ -151,7 +151,7 @@ fn small_echo_roundtrip() {
     let mut sent_seen = false;
     for e in p.a.take_events() {
         match e {
-            TcpEvent::Recv { mbuf, .. } => back.extend_from_slice(mbuf.data()),
+            TcpEvent::Recv { payload, .. } => back.extend_from_slice(&payload[..]),
             TcpEvent::Sent { bytes_acked, .. } => {
                 sent_seen = true;
                 assert_eq!(bytes_acked, 5);
@@ -182,9 +182,9 @@ fn large_transfer_is_segmented_and_exact() {
         }
         p.pump(1_000, 4);
         for e in p.b.take_events() {
-            if let TcpEvent::Recv { mbuf, .. } = e {
-                received.extend_from_slice(mbuf.data());
-                p.b.recv_done(p.now, s, mbuf.len() as u32).unwrap();
+            if let TcpEvent::Recv { payload, .. } = e {
+                received.extend_from_slice(&payload[..]);
+                p.b.recv_done(p.now, s, payload.len() as u32).unwrap();
             }
         }
         // Drain client events (Sent notifications).
@@ -210,8 +210,8 @@ fn send_respects_window_and_recv_done_opens_it() {
     // Server consumes; window reopens; client is notified via Sent.
     let mut held = 0;
     for e in p.b.take_events() {
-        if let TcpEvent::Recv { mbuf, .. } = e {
-            held += mbuf.len() as u32;
+        if let TcpEvent::Recv { payload, .. } = e {
+            held += payload.len() as u32;
         }
     }
     assert_eq!(held, 4_000);
@@ -241,8 +241,8 @@ fn retransmission_recovers_from_loss() {
     p.run_for(100_000, 20_000_000);
     let mut got = Vec::new();
     for e in p.b.take_events() {
-        if let TcpEvent::Recv { mbuf, .. } = e {
-            got.extend_from_slice(mbuf.data());
+        if let TcpEvent::Recv { payload, .. } = e {
+            got.extend_from_slice(&payload[..]);
         }
     }
     assert_eq!(got, b"must arrive");
@@ -269,9 +269,9 @@ fn out_of_order_segments_reassemble() {
     p.pump(1_000, 8);
     let mut got = 0usize;
     for e in p.b.take_events() {
-        if let TcpEvent::Recv { mbuf, .. } = e {
-            got += mbuf.len();
-            p.b.recv_done(p.now, s, mbuf.len() as u32).unwrap();
+        if let TcpEvent::Recv { payload, .. } = e {
+            got += payload.len();
+            p.b.recv_done(p.now, s, payload.len() as u32).unwrap();
         }
     }
     assert_eq!(got, 2_920, "both segments delivered after reassembly");
@@ -526,7 +526,7 @@ fn churn_many_short_connections() {
             .take_events()
             .iter()
             .map(|e| match e {
-                TcpEvent::Recv { mbuf, .. } => mbuf.len(),
+                TcpEvent::Recv { payload, .. } => payload.len(),
                 _ => 0,
             })
             .sum();
@@ -565,9 +565,9 @@ fn window_scaling_negotiated_and_applied() {
     p.pump(1_000, 64);
     let mut got = 0;
     for e in p.b.take_events() {
-        if let TcpEvent::Recv { mbuf, .. } = e {
-            got += mbuf.len();
-            p.b.recv_done(p.now, s, mbuf.len() as u32).unwrap();
+        if let TcpEvent::Recv { payload, .. } = e {
+            got += payload.len();
+            p.b.recv_done(p.now, s, payload.len() as u32).unwrap();
         }
     }
     assert_eq!(got, n1);
@@ -580,9 +580,9 @@ fn window_scaling_negotiated_and_applied() {
     p.pump(1_000, 64);
     let mut got2 = 0;
     for e in p.b.take_events() {
-        if let TcpEvent::Recv { mbuf, .. } = e {
-            got2 += mbuf.len();
-            p.b.recv_done(p.now, s, mbuf.len() as u32).unwrap();
+        if let TcpEvent::Recv { payload, .. } = e {
+            got2 += payload.len();
+            p.b.recv_done(p.now, s, payload.len() as u32).unwrap();
         }
     }
     assert_eq!(got2, n2, "all in-flight bytes delivered");
@@ -637,8 +637,8 @@ fn corrupted_frame_is_dropped_counted_and_recovered() {
     p.run_for(100_000, 20_000_000);
     let mut got = Vec::new();
     for e in p.b.take_events() {
-        if let TcpEvent::Recv { mbuf, .. } = e {
-            got.extend_from_slice(mbuf.data());
+        if let TcpEvent::Recv { payload, .. } = e {
+            got.extend_from_slice(&payload[..]);
         }
     }
     assert_eq!(got, b"integrity matters", "payload must arrive intact via retransmit");
@@ -669,9 +669,9 @@ fn fast_retransmit_fires_on_mid_burst_loss() {
     p.run_for(50_000, 40_000_000);
     let mut got = 0usize;
     for e in p.b.take_events() {
-        if let TcpEvent::Recv { mbuf, .. } = e {
-            got += mbuf.len();
-            p.b.recv_done(p.now, s, mbuf.len() as u32).unwrap();
+        if let TcpEvent::Recv { payload, .. } = e {
+            got += payload.len();
+            p.b.recv_done(p.now, s, payload.len() as u32).unwrap();
         }
     }
     assert_eq!(got, data.len(), "full burst delivered after recovery");
@@ -706,8 +706,8 @@ fn persist_probe_counter_increments() {
     // Server consumes; transfer resumes.
     let mut held = 0;
     for e in p.b.take_events() {
-        if let TcpEvent::Recv { mbuf, .. } = e {
-            held += mbuf.len() as u32;
+        if let TcpEvent::Recv { payload, .. } = e {
+            held += payload.len() as u32;
         }
     }
     p.b.recv_done(p.now, s, held).unwrap();

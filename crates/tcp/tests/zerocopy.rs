@@ -147,7 +147,7 @@ fn data_segment_costs_one_write_one_alloc() {
         .take_events()
         .into_iter()
         .filter_map(|e| match e {
-            TcpEvent::Recv { mbuf, .. } => Some(mbuf.len()),
+            TcpEvent::Recv { payload, .. } => Some(payload.len()),
             _ => None,
         })
         .sum();

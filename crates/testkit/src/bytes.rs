@@ -62,6 +62,23 @@ impl Bytes {
         }
     }
 
+    /// Wraps an existing shared allocation as a view of
+    /// `[off, off + len)` — no copy, refcount bump only. This is how an
+    /// mbuf exposes its payload to the application on the zero-copy RX
+    /// path while the stack retains the buffer until `recv_done`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the allocation.
+    pub fn from_shared(data: Arc<[u8]>, off: usize, len: usize) -> Bytes {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= data.len()),
+            "view [{off}, {off}+{len}) out of bounds for {} B storage",
+            data.len()
+        );
+        Bytes { data, off, len }
+    }
+
     /// Length of this view in bytes.
     pub fn len(&self) -> usize {
         self.len

@@ -41,7 +41,9 @@ pub trait Strategy {
     fn shrink(&self, v: &Self::Value) -> Vec<Self::Value>;
 
     /// Maps generated values through `f` (shrinking stops at the map
-    /// boundary, since `f` is not invertible).
+    /// boundary, since `f` is not invertible). When an inverse exists,
+    /// use [`Strategy::prop_map_inv`] so shrinking continues through the
+    /// map.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -49,6 +51,23 @@ pub trait Strategy {
         F: Fn(Self::Value) -> U,
     {
         Map { inner: self, f }
+    }
+
+    /// Maps generated values through `f`, with an inverse hint `inv` that
+    /// recovers the pre-map value so shrinking can continue *through* the
+    /// map: candidates are `inv(v)` shrunk by the inner strategy and
+    /// re-mapped by `f`. `inv` returning `None` (a value this arm cannot
+    /// have produced, e.g. a different enum variant arriving through a
+    /// `prop_oneof!` union) stops shrinking at this arm, exactly like
+    /// plain `prop_map`.
+    fn prop_map_inv<U, F, Inv>(self, f: F, inv: Inv) -> MapInv<Self, F, Inv>
+    where
+        Self: Sized,
+        U: Clone + std::fmt::Debug,
+        F: Fn(Self::Value) -> U,
+        Inv: Fn(&U) -> Option<Self::Value>,
+    {
+        MapInv { inner: self, f, inv }
     }
 
     /// Rejects generated values failing `pred`, redrawing from `rng`
@@ -234,6 +253,35 @@ where
     }
     fn shrink(&self, _v: &U) -> Vec<U> {
         Vec::new() // `f` is not invertible; shrinking stops here.
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map_inv`]: a map whose
+/// shrink round-trips through the caller's inverse hint instead of
+/// stopping at the map boundary.
+#[derive(Debug, Clone)]
+pub struct MapInv<S, F, Inv> {
+    inner: S,
+    f: F,
+    inv: Inv,
+}
+
+impl<S, U, F, Inv> Strategy for MapInv<S, F, Inv>
+where
+    S: Strategy,
+    U: Clone + std::fmt::Debug,
+    F: Fn(S::Value) -> U,
+    Inv: Fn(&U) -> Option<S::Value>,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut SimRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+    fn shrink(&self, v: &U) -> Vec<U> {
+        match (self.inv)(v) {
+            Some(pre) => self.inner.shrink(&pre).into_iter().map(|c| (self.f)(c)).collect(),
+            None => Vec::new(),
+        }
     }
 }
 
@@ -605,6 +653,78 @@ mod tests {
             Ok(()) => panic!("property should have failed"),
         };
         assert!(msg.contains("minimal input: (57,)"), "got: {msg}");
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Delay(u64);
+
+    #[test]
+    fn map_inv_shrinks_through_the_map_to_minimum() {
+        // The same "v < 57" property as above, but the value arrives
+        // wrapped in a newtype via prop_map_inv: the inverse hint lets
+        // the shrinker keep minimizing past the map boundary, landing on
+        // the known-minimal counterexample Delay(57).
+        let strat = ((0u64..200).prop_map_inv(Delay, |d: &Delay| Some(d.0)),);
+        let got = catch_unwind(AssertUnwindSafe(|| {
+            run_prop("shrink_through_map", 256, strat, |(d,)| assert!(d.0 < 57));
+        }));
+        let msg = match got {
+            Err(e) => *e.downcast::<String>().expect("string payload"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("minimal input: (Delay(57),)"), "got: {msg}");
+    }
+
+    #[test]
+    fn plain_map_stalls_where_map_inv_descends() {
+        // Direct comparison on one failing value: prop_map has no
+        // candidates (f is not invertible), prop_map_inv proposes the
+        // inner strategy's shrinks re-mapped through f.
+        let mapped = (0u64..200).prop_map(Delay);
+        assert!(mapped.shrink(&Delay(100)).is_empty());
+        let inv = (0u64..200).prop_map_inv(Delay, |d: &Delay| Some(d.0));
+        let cands = inv.shrink(&Delay(100));
+        assert!(!cands.is_empty());
+        assert!(cands.contains(&Delay(0)) && cands.contains(&Delay(99)), "got: {cands:?}");
+    }
+
+    #[test]
+    fn map_inv_none_stops_shrinking() {
+        // An inverse that disowns the value (the prop_oneof! foreign-
+        // variant case) must stop cleanly instead of proposing bogus
+        // candidates.
+        let inv = (0u64..200).prop_map_inv(Delay, |_| None);
+        assert!(inv.shrink(&Delay(100)).is_empty());
+    }
+
+    #[test]
+    fn map_inv_composes_with_oneof_arms() {
+        // Enum strategies via a union of prop_map_inv arms: each arm's
+        // inverse disowns the other variant, so union shrinking descends
+        // through exactly the arm that produced the value.
+        #[derive(Debug, Clone, PartialEq)]
+        enum Op {
+            Send(u64),
+            Wait(u64),
+        }
+        let strat: Union<Op> = crate::prop_oneof![
+            (0u64..100).prop_map_inv(Op::Send, |o: &Op| match o {
+                Op::Send(n) => Some(*n),
+                _ => None,
+            }),
+            (10u64..20).prop_map_inv(Op::Wait, |o: &Op| match o {
+                Op::Wait(n) => Some(*n),
+                _ => None,
+            }),
+        ];
+        let cands = strat.shrink(&Op::Send(50));
+        assert!(!cands.is_empty());
+        assert!(
+            cands.iter().all(|c| matches!(c, Op::Send(n) if *n < 50)),
+            "only the producing arm may shrink, toward its floor: {cands:?}"
+        );
+        let cands = strat.shrink(&Op::Wait(15));
+        assert!(cands.iter().all(|c| matches!(c, Op::Wait(n) if (10..15).contains(n))));
     }
 
     #[test]

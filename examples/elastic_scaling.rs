@@ -20,7 +20,7 @@ use ix::tcp::StackConfig;
 
 struct Echo;
 impl LibixHandler for Echo {
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
         ctx.write(Bytes::copy_from_slice(data));
     }
 }
@@ -44,7 +44,7 @@ impl LibixHandler for Pinger {
         assert!(ok);
         ctx.write(Bytes::from_static(b"0123456789abcdef"));
     }
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, _d: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, _d: &Bytes) {
         *self.count.borrow_mut() += 1;
         ctx.write(Bytes::from_static(b"0123456789abcdef"));
     }

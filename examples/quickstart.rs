@@ -20,7 +20,7 @@ use ix::tcp::StackConfig;
 struct Echo;
 
 impl LibixHandler for Echo {
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
         ctx.charge(150); // Simulated application CPU.
         ctx.write(Bytes::copy_from_slice(data));
     }
@@ -49,7 +49,7 @@ impl LibixHandler for Ping {
         ctx.write(Bytes::from_static(b"ping ping ping!!")); // 16 bytes.
     }
 
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, _data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, _data: &Bytes) {
         self.rtts.borrow_mut().push(ctx.now_ns - self.sent_at);
         if self.rtts.borrow().len() < self.reps {
             self.sent_at = ctx.now_ns;

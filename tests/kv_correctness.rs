@@ -54,7 +54,7 @@ impl LibixHandler for SetGetClient {
         }
     }
 
-    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &[u8]) {
+    fn on_data(&mut self, ctx: &mut ConnCtx<'_>, data: &Bytes) {
         self.rx.extend_from_slice(data);
         let Some(h) = proto::decode_response_header(&self.rx) else { return };
         if self.rx.len() < h.total_len() {
