@@ -24,6 +24,13 @@ cargo test -q --offline -p ix-tcp --test zerocopy
 cargo test -q --offline -p ix-tcp --test rx_zerocopy
 cargo test -q --offline -p ix-tcp --test rx_reassembly
 
+# Pre-stack filter / SYN-cookie regression gates: the listener-hardening
+# suite pins the RFC 793 §3.4 no-listener RST fields and the half-open
+# backlog bound; the cookie suite pins the stateless handshake — zero
+# TCB-slab growth and zero held buffers under a 64k-SYN blast.
+cargo test -q --offline -p ix-tcp --test syn_filter
+cargo test -q --offline -p ix-tcp --test syn_cookies
+
 # Microbench smoke: quick mode trims iteration counts so this is a
 # does-it-still-run check (plus BENCH_sim.json regeneration), not a
 # statistically meaningful measurement. The greps assert the TX- and
@@ -36,6 +43,12 @@ fi
 for wl in deliver_1460b ooo_drain kv_parse_inplace; do
     if ! grep -q "^\[rxpath\] ${wl}:" /tmp/ci_bench.out; then
         echo "ci: FAIL — rxpath/${wl} microbench comparison did not run" >&2
+        exit 1
+    fi
+done
+for wl in classify_hit classify_miss syn_cookie_roundtrip; do
+    if ! grep -q "^\[filter\] ${wl}:" /tmp/ci_bench.out; then
+        echo "ci: FAIL — filter/${wl} microbench did not run" >&2
         exit 1
     fi
 done
@@ -111,6 +124,21 @@ if [ "$elapsed_s" -gt "$fig7_budget_s" ]; then
 fi
 if ! grep -q "no permanently stalled connections" /tmp/ci_fig7.out; then
     echo "ci: FAIL — quick fig7 reported a stalled scenario" >&2
+    exit 1
+fi
+
+# Adversarial-sweep smoke: the quick fig8 point set (no-attack baseline
+# plus a 4x SYN flood with and without the pre-stack filter) runs the
+# attack generator, the NIC filter stage, and the cookie handshake end
+# to end; the binary itself asserts the dropped-frames-allocate-nothing
+# invariant, so the gate here is budget-only (mirroring fig4/fig6).
+fig8_budget_s=120
+start_s=$SECONDS
+IX_SWEEP_QUICK=1 ./target/release/fig8_adversarial > /dev/null
+elapsed_s=$(( SECONDS - start_s ))
+echo "ci: quick fig8 sweep took ${elapsed_s}s (budget ${fig8_budget_s}s)"
+if [ "$elapsed_s" -gt "$fig8_budget_s" ]; then
+    echo "ci: FAIL — quick fig8 exceeded its wall-clock budget" >&2
     exit 1
 fi
 

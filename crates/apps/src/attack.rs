@@ -1,0 +1,250 @@
+//! Adversarial traffic generators (fig8).
+//!
+//! A real flood does not speak the victim's protocol: it is a firehose of
+//! raw frames with spoofed sources. So these generators bypass the
+//! client-side TCP stack entirely — they craft wire frames directly and
+//! inject them through a dedicated attacker host's NIC TX rings, sharing
+//! the switch fabric (and therefore link serialization, port contention,
+//! and RSS spreading) with the legitimate load.
+//!
+//! Source addresses are drawn from a dedicated spoofed /16
+//! ([`ATTACK_NET`]) that no real host occupies: replies the victim
+//! generates (SYN-ACKs, RSTs) park in its ARP table and die there, like
+//! replies to spoofed addresses on a real network — and the range gives
+//! the pre-stack filter a realistic subnet rule to drop on.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ix_mempool::Mbuf;
+use ix_net::eth::{EthHeader, EtherType, MacAddr};
+use ix_net::ip::{IpProto, Ipv4Addr, Ipv4Header};
+use ix_net::tcp::{TcpFlags, TcpHeader};
+use ix_net::udp::UdpHeader;
+use ix_nic::nic::{Nic, NicRef};
+use ix_sim::{Nanos, SimRng, SimTime, Simulator};
+
+/// The spoofed source range every generator draws from: 10.9.0.0/16.
+/// [`attack_net_probe`] gives an address inside it for building filter
+/// rules.
+pub const ATTACK_NET: u32 = 0x0a09_0000;
+
+/// An address inside [`ATTACK_NET`], for `FilterPolicy::rule_net16`.
+pub fn attack_net_probe() -> Ipv4Addr {
+    Ipv4Addr(ATTACK_NET | 1)
+}
+
+/// Attack traffic shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Connection-opening SYNs to the service port from random spoofed
+    /// tuples: each one costs an unprotected stack a TCB, a timer, and a
+    /// SYN-ACK.
+    SynFlood,
+    /// Bare ACKs to the service port for tuples with no flow: each one
+    /// costs a flow-table miss plus an RFC 793 RST reply.
+    AckStorm,
+    /// RSTs to random tuples: pure per-packet parse/demux cost (the
+    /// stack never replies to RST).
+    RstStorm,
+    /// UDP datagrams to random ports from random spoofed tuples.
+    UdpBlast,
+}
+
+impl AttackKind {
+    /// Display name used in figure rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::SynFlood => "synflood",
+            AttackKind::AckStorm => "ackstorm",
+            AttackKind::RstStorm => "rststorm",
+            AttackKind::UdpBlast => "udpblast",
+        }
+    }
+}
+
+/// Counters kept by a running generator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttackStats {
+    /// Frames pushed into the attacker NIC's TX rings.
+    pub sent: u64,
+    /// Frames the attacker could not inject because its own TX ring was
+    /// full (the generator outran its own 10GbE port).
+    pub tx_ring_full: u64,
+}
+
+/// Shared handle to a generator's counters.
+pub type AttackStatsRef = Rc<RefCell<AttackStats>>;
+
+/// Configuration of one attack stream.
+#[derive(Debug, Clone)]
+pub struct AttackConfig {
+    /// Traffic shape.
+    pub kind: AttackKind,
+    /// Aggregate attack rate, packets per second.
+    pub pps: f64,
+    /// Victim address (frames are MAC-addressed straight to it, as a
+    /// same-L2 attacker would).
+    pub target_ip: Ipv4Addr,
+    /// Victim MAC.
+    pub target_mac: MacAddr,
+    /// Service port SYN/ACK storms aim at.
+    pub target_port: u16,
+    /// First frame injected at this instant.
+    pub start_ns: u64,
+    /// No frames injected at or after this instant.
+    pub stop_ns: u64,
+    /// Generator RNG seed (tuple choice is deterministic per seed).
+    pub seed: u64,
+}
+
+/// Injection batching: one scheduler event per tick injects
+/// `pps * TICK_NS / 1e9` frames, so a multi-Mpps flood does not need an
+/// event per packet.
+const TICK_NS: u64 = 10_000;
+
+/// Starts an attack stream injecting through `nic` (the attacker host's
+/// port). Returns the live counters.
+pub fn launch(sim: &mut Simulator, nic: NicRef, cfg: AttackConfig) -> AttackStatsRef {
+    let stats: AttackStatsRef = Rc::new(RefCell::new(AttackStats::default()));
+    let st = stats.clone();
+    let mut rng = SimRng::new(cfg.seed ^ 0xa77a_c4e5);
+    // Fractional frames-per-tick accumulate so the configured pps is hit
+    // exactly in the long run.
+    let per_tick = cfg.pps * TICK_NS as f64 / 1e9;
+    let mut carry = 0.0f64;
+    let start = cfg.start_ns;
+    sim.schedule_at(SimTime(start), move |sim| {
+        tick(sim, &nic, &cfg, &st, &mut rng, per_tick, &mut carry);
+    });
+    stats
+}
+
+fn tick(
+    sim: &mut Simulator,
+    nic: &NicRef,
+    cfg: &AttackConfig,
+    stats: &AttackStatsRef,
+    rng: &mut SimRng,
+    per_tick: f64,
+    carry: &mut f64,
+) {
+    let now = sim.now().as_nanos();
+    if now >= cfg.stop_ns {
+        return;
+    }
+    *carry += per_tick;
+    let n = *carry as u64;
+    *carry -= n as f64;
+    if n > 0 {
+        let mut s = stats.borrow_mut();
+        let mut injected = false;
+        {
+            let mut port = nic.borrow_mut();
+            let queues = port.queues();
+            // Act as our own driver: collect completed descriptors so
+            // the rings keep accepting frames (nothing else polls this
+            // host's NIC).
+            for q in 0..queues {
+                port.tx_ring(q).reclaim();
+            }
+            for i in 0..n {
+                let frame = build_frame(cfg, rng, port.mac);
+                // Spread injection over the attacker's TX queues the way
+                // a multi-core flooder would.
+                let q = (s.sent as usize + i as usize) % queues;
+                if port.tx_ring(q).push(frame).is_ok() {
+                    s.sent += 1;
+                    injected = true;
+                } else {
+                    s.tx_ring_full += 1;
+                }
+            }
+        }
+        if injected {
+            Nic::kick_tx(nic, sim);
+        }
+    }
+    // Chain the next tick.
+    let nic2 = nic.clone();
+    let cfg2 = cfg.clone();
+    let st2 = stats.clone();
+    let mut rng2 = rng.fork();
+    let mut carry2 = *carry;
+    sim.schedule_at(SimTime(now) + Nanos(TICK_NS), move |sim| {
+        tick(sim, &nic2, &cfg2, &st2, &mut rng2, per_tick, &mut carry2);
+    });
+}
+
+/// Crafts one attack frame with a fresh spoofed tuple.
+fn build_frame(cfg: &AttackConfig, rng: &mut SimRng, src_mac: MacAddr) -> Mbuf {
+    // Spoofed source: anywhere in the /16, never a real host.
+    let src_ip = Ipv4Addr(ATTACK_NET | (rng.next_u64() as u32 & 0xffff));
+    let src_port = 1024u16.wrapping_add((rng.next_u64() % 60_000) as u16);
+    let mut m = Mbuf::standalone();
+    match cfg.kind {
+        AttackKind::SynFlood | AttackKind::AckStorm | AttackKind::RstStorm => {
+            let flags = match cfg.kind {
+                AttackKind::SynFlood => TcpFlags::SYN,
+                AttackKind::AckStorm => TcpFlags::ACK,
+                _ => TcpFlags::RST,
+            };
+            let tcp = TcpHeader {
+                src_port,
+                dst_port: cfg.target_port,
+                seq: rng.next_u64() as u32,
+                ack: if flags.ack { rng.next_u64() as u32 } else { 0 },
+                flags,
+                window: 65_535,
+                mss: if flags.syn { Some(1460) } else { None },
+                wscale: None,
+            };
+            let tcp_len = tcp.len();
+            tcp.encode(m.append(tcp_len), src_ip, cfg.target_ip, &[]);
+            let ip = Ipv4Header {
+                tos: 0,
+                total_len: (Ipv4Header::LEN + tcp_len) as u16,
+                ident: rng.next_u64() as u16,
+                ttl: 64,
+                proto: IpProto::Tcp,
+                src: src_ip,
+                dst: cfg.target_ip,
+            };
+            ip.encode(m.prepend(Ipv4Header::LEN));
+        }
+        AttackKind::UdpBlast => {
+            // Random destination port: no enumerable port rule catches
+            // this — only a source-range rule (or rate limit) does.
+            let dst_port = (rng.next_u64() % 60_000) as u16 + 1024;
+            let payload = [0u8; 18];
+            let udp = UdpHeader {
+                src_port,
+                dst_port,
+                len: (UdpHeader::LEN + payload.len()) as u16,
+            };
+            udp.encode(
+                m.append(UdpHeader::LEN + payload.len()),
+                src_ip,
+                cfg.target_ip,
+                &payload,
+            );
+            let ip = Ipv4Header {
+                tos: 0,
+                total_len: (Ipv4Header::LEN + UdpHeader::LEN + payload.len()) as u16,
+                ident: rng.next_u64() as u16,
+                ttl: 64,
+                proto: IpProto::Udp,
+                src: src_ip,
+                dst: cfg.target_ip,
+            };
+            ip.encode(m.prepend(Ipv4Header::LEN));
+        }
+    }
+    let eth = EthHeader {
+        dst: cfg.target_mac,
+        src: src_mac,
+        ethertype: EtherType::Ipv4,
+    };
+    eth.encode(m.prepend(EthHeader::LEN));
+    m
+}

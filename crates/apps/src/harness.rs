@@ -202,8 +202,19 @@ impl Testbed {
     /// Builds the cluster: one server with `server_ports` bonded ports
     /// and `n_clients` single-port clients, all on one switch.
     pub fn new(seed: u64, server_ports: usize, n_clients: usize) -> Testbed {
+        Testbed::with_extra_ports(seed, server_ports, n_clients, 2)
+    }
+
+    /// [`Testbed::new`] with room for `extra` additional late-added
+    /// hosts on the switch (latency agents, attacker hosts, taps).
+    pub fn with_extra_ports(
+        seed: u64,
+        server_ports: usize,
+        n_clients: usize,
+        extra: usize,
+    ) -> Testbed {
         let params = MachineParams::default();
-        let mut fabric = Fabric::new(server_ports + n_clients + 2, params);
+        let mut fabric = Fabric::new(server_ports + n_clients + extra, params);
         // Server: 8 cores + 8 hyperthreads, as the Xeon E5-2665 socket.
         let server = fabric.add_host(server_ports, 8, 8);
         let clients: Vec<HostId> = (0..n_clients).map(|_| fabric.add_host(1, 8, 0)).collect();
@@ -1172,4 +1183,206 @@ pub fn run_kv_instrumented(cfg: &KvConfig) -> (KvResult, EngineInstrumentation) 
         store_lock_wait_ns,
     };
     (result, instr)
+}
+
+// ---------------------------------------------------------------------
+// Adversarial experiment (fig8): legitimate goodput under attack.
+// ---------------------------------------------------------------------
+
+/// Configuration of one goodput-under-attack measurement point: the
+/// fig5-style memcached load plus an attack stream sharing the fabric,
+/// with the pre-stack filter optionally installed.
+#[derive(Debug, Clone)]
+pub struct AdversarialConfig {
+    /// Server system.
+    pub system: System,
+    /// Install the pre-stack filter (IX only): a drop rule for the
+    /// spoofed attack /16 plus a SYN-challenge rule on the service port.
+    pub filtered: bool,
+    /// Attack stream, if any: shape and aggregate packets/second.
+    pub attack: Option<(crate::attack::AttackKind, f64)>,
+    /// Server cores.
+    pub server_cores: usize,
+    /// Aggregate legitimate target load, requests/second.
+    pub target_rps: f64,
+    /// Client machines.
+    pub n_clients: usize,
+    /// Handler threads per client machine.
+    pub client_threads: usize,
+    /// Connections per client thread.
+    pub conns_per_thread: usize,
+    /// Warmup before measurement (handshakes complete here; the attack
+    /// starts when the measurement window opens).
+    pub warmup: Nanos,
+    /// Measurement window (the attack runs for all of it).
+    pub measure: Nanos,
+    /// Engine knobs.
+    pub tuning: EngineTuning,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AdversarialConfig {
+    fn default() -> AdversarialConfig {
+        AdversarialConfig {
+            system: System::Ix,
+            filtered: false,
+            attack: None,
+            server_cores: 6,
+            target_rps: 300_000.0,
+            n_clients: 12,
+            client_threads: 4,
+            conns_per_thread: 8,
+            warmup: Nanos::from_millis(8),
+            measure: Nanos::from_millis(22),
+            tuning: EngineTuning::default(),
+            seed: 11,
+        }
+    }
+}
+
+/// Results of one goodput-under-attack point.
+#[derive(Debug, Clone)]
+pub struct AdversarialResult {
+    /// Achieved legitimate requests/second in the window.
+    pub rps: f64,
+    /// Mean legitimate-request latency, ns.
+    pub avg_ns: u64,
+    /// p99 legitimate-request latency, ns.
+    pub p99_ns: u64,
+    /// Requests shed by the generator (overload indicator).
+    pub shed: u64,
+    /// Attack frames actually injected.
+    pub attack_sent: u64,
+    /// Filter verdicts summed over the server's queues
+    /// `(drops, passes, challenges, drop_allocs)`; zeros when no filter
+    /// was installed.
+    pub filter: (u64, u64, u64, u64),
+    /// Server NIC descriptor-exhaustion drops (ring tail-drop: the
+    /// congestion signature of an unfiltered flood).
+    pub nic_ring_drops: u64,
+    /// Aggregated server TCP counters (cookie mints/accepts, backlog
+    /// overflow drops, RSTs, ...).
+    pub tcp: ix_tcp::StackStats,
+    /// TCB-slab high-water slots summed over server shards — the flood's
+    /// memory footprint.
+    pub slab_high_water: usize,
+    /// Engine diagnostics.
+    pub debug: String,
+}
+
+/// Runs one goodput-under-attack measurement point.
+pub fn run_adversarial(cfg: &AdversarialConfig) -> AdversarialResult {
+    use crate::attack::{self, AttackConfig};
+    use ix_core::ixcp::FilterControl;
+    use ix_net::filter::{FilterPolicy, RuleAction};
+    use ix_net::ip::IpProto;
+
+    // Two late hosts beyond run_kv's agent: the attacker gets its own
+    // switch port so the flood shares links exactly like a real tenant.
+    let mut tb = Testbed::with_extra_ports(cfg.seed, 1, cfg.n_clients, 3);
+    let warmup_end = cfg.warmup.as_nanos();
+    let window_end = warmup_end + cfg.measure.as_nanos();
+    let stats = LoadStats::new(warmup_end, window_end);
+    let store = SharedStore::new();
+    let st = store.clone();
+    tb.launch_server(cfg.system, cfg.server_cores, &cfg.tuning, 11211, move |_| {
+        KvServer::new(st.clone())
+    });
+    // The filter: drop the spoofed attack range outright and run SYN
+    // cookies on the service port (defense in depth for SYNs from
+    // outside the dropped /16 — legitimate handshakes complete through
+    // the cookie path during warmup, exercising it end to end).
+    let _filter_ctl = if cfg.filtered {
+        match tb.engine.as_ref().expect("launched") {
+            ServerEngine::Ix(d) => {
+                let policy = FilterPolicy::new()
+                    .rule_net16(attack::attack_net_probe(), RuleAction::Drop)
+                    .rule_port(IpProto::Tcp, 11211, RuleAction::SynChallenge);
+                Some(FilterControl::install(d, policy))
+            }
+            _ => None,
+        }
+    } else {
+        None
+    };
+    let server_ip = tb.server_ip();
+    let total_threads = (cfg.n_clients * cfg.client_threads) as f64;
+    let rate_per_thread = cfg.target_rps / total_threads;
+    let workload = Workload::new(crate::workload::WorkloadKind::Usr);
+    let mut seeder = SimRng::new(cfg.seed.wrapping_mul(0x9e37));
+    let st2 = stats.clone();
+    let wl = workload.clone();
+    let conns = cfg.conns_per_thread;
+    let stop = window_end;
+    tb.launch_linux_clients(cfg.client_threads, &cfg.tuning, move |_ci, _t| {
+        let mut c = MutilateClient::new(
+            server_ip,
+            11211,
+            conns,
+            rate_per_thread,
+            wl.clone(),
+            seeder.fork(),
+            st2.clone(),
+        );
+        c.stop_at_ns = stop;
+        c
+    });
+    // Attacker host: raw frames straight onto the fabric, starting when
+    // the measurement window opens (legitimate connections are up).
+    let attack_stats = cfg.attack.map(|(kind, pps)| {
+        let attacker = tb.fabric.add_host(1, 8, 0);
+        let (tip, tmac) = {
+            let s = tb.fabric.host(tb.server);
+            (s.ip, s.mac)
+        };
+        let nic = tb.fabric.host(attacker).nics[0].clone();
+        attack::launch(
+            &mut tb.sim,
+            nic,
+            AttackConfig {
+                kind,
+                pps,
+                target_ip: tip,
+                target_mac: tmac,
+                target_port: 11211,
+                start_ns: warmup_end,
+                stop_ns: window_end,
+                seed: cfg.seed ^ 0x5eed,
+            },
+        )
+    });
+    tb.run_until_ns(window_end + Nanos::from_millis(3).as_nanos());
+    let (filter, nic_ring_drops) = {
+        let host = tb.fabric.host(tb.server);
+        let mut f = (0u64, 0u64, 0u64, 0u64);
+        let mut drops = 0u64;
+        for nic in &host.nics {
+            let n = nic.borrow();
+            let t = n.filter_stats_total();
+            f.0 += t.drops;
+            f.1 += t.passes;
+            f.2 += t.challenges;
+            f.3 += t.drop_allocs;
+            drops += n.stats.rx_ring_drops;
+        }
+        (f, drops)
+    };
+    let engine = tb.engine.as_ref().expect("launched");
+    let tcp = engine.tcp_stats();
+    let slab_high_water = engine.flow_mem().slab_slots;
+    let s = stats.borrow();
+    let secs = cfg.measure.as_secs_f64();
+    AdversarialResult {
+        rps: s.completed as f64 / secs,
+        avg_ns: s.latency.mean().as_nanos(),
+        p99_ns: s.latency.p99().as_nanos(),
+        shed: s.shed,
+        attack_sent: attack_stats.map(|a| a.borrow().sent).unwrap_or(0),
+        filter,
+        nic_ring_drops,
+        tcp,
+        slab_high_water,
+        debug: tb.debug_line(),
+    }
 }

@@ -24,6 +24,7 @@
 //!   experiment windows; used by integration tests and every figure
 //!   bench.
 
+pub mod attack;
 pub mod echo;
 pub mod harness;
 pub mod kvstore;
@@ -31,10 +32,11 @@ pub mod mutilate;
 pub mod netpipe;
 pub mod workload;
 
+pub use attack::{AttackConfig, AttackKind, AttackStats};
 pub use echo::{EchoBenchStats, EchoClient, EchoServer};
 pub use harness::{
-    EchoConfig, EchoResult, FaultRecoveryConfig, FaultRecoveryResult, FaultedNetpipeResult,
-    System, Testbed,
+    AdversarialConfig, AdversarialResult, EchoConfig, EchoResult, FaultRecoveryConfig,
+    FaultRecoveryResult, FaultedNetpipeResult, System, Testbed,
 };
 pub use kvstore::{KvServer, SharedStore};
 pub use mutilate::{LoadStats, MutilateAgent, MutilateClient};

@@ -670,6 +670,138 @@ fn bench_flowtable(r: &mut BenchRunner) {
     });
 }
 
+/// The pre-stack RX filter: fixed-offset pre-parse plus one
+/// open-addressing policy lookup per frame, against a HashMap-ACL model
+/// (separate std maps per rule kind, probed in the same precedence
+/// order), plus the SYN-cookie encode/validate pair.
+fn bench_filter(r: &mut BenchRunner) {
+    use ix_net::filter::{pre_parse, FilterPolicy, PreParsed, RuleAction};
+    use ix_net::ip::IpProto;
+    use std::collections::HashMap;
+
+    const RULES: u64 = 2_000;
+
+    fn rule_ip(i: u64) -> Ipv4Addr {
+        Ipv4Addr(0x0a09_0000u32.wrapping_add((i * 37) as u32))
+    }
+
+    fn policy() -> FilterPolicy {
+        let mut p = FilterPolicy::new();
+        for i in 0..RULES {
+            p = p.rule_src(rule_ip(i), RuleAction::Drop);
+        }
+        p.rule_net16(Ipv4Addr(0x0af0_0001), RuleAction::Drop)
+            .rule_port(IpProto::Tcp, 11211, RuleAction::SynChallenge)
+    }
+
+    /// A 64 B TCP frame whose source is the `i`-th drop rule (hit) or
+    /// outside every rule (miss).
+    fn tcp_frame(src: Ipv4Addr) -> Vec<u8> {
+        use ix_net::eth::{EthHeader, EtherType, MacAddr};
+        use ix_net::ip::Ipv4Header;
+        let dst = Ipv4Addr::new(10, 0, 0, 1);
+        let tcp = TcpHeader {
+            src_port: 31_337,
+            dst_port: 80,
+            seq: 1,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 65_535,
+            mss: Some(1460),
+            wscale: None,
+        };
+        let tcp_len = tcp.len();
+        let mut f = vec![0u8; EthHeader::LEN + Ipv4Header::LEN + tcp_len];
+        EthHeader {
+            dst: MacAddr::from_host_index(1),
+            src: MacAddr::from_host_index(2),
+            ethertype: EtherType::Ipv4,
+        }
+        .encode(&mut f[..EthHeader::LEN]);
+        Ipv4Header {
+            tos: 0,
+            total_len: (Ipv4Header::LEN + tcp_len) as u16,
+            ident: 0,
+            ttl: 64,
+            proto: IpProto::Tcp,
+            src,
+            dst,
+        }
+        .encode(&mut f[EthHeader::LEN..EthHeader::LEN + Ipv4Header::LEN]);
+        tcp.encode(&mut f[EthHeader::LEN + Ipv4Header::LEN..], src, dst, &[]);
+        f
+    }
+
+    /// The ACL shape the open-addressing table replaces: one std
+    /// HashMap per rule kind, probed src → net16 → port.
+    struct HashAcl {
+        src: HashMap<u32, RuleAction>,
+        net16: HashMap<u32, RuleAction>,
+        port: HashMap<(IpProto, u16), RuleAction>,
+    }
+
+    impl HashAcl {
+        fn model() -> HashAcl {
+            let mut src = HashMap::new();
+            for i in 0..RULES {
+                src.insert(rule_ip(i).0, RuleAction::Drop);
+            }
+            let mut net16 = HashMap::new();
+            net16.insert(0x0af0u32, RuleAction::Drop);
+            let mut port = HashMap::new();
+            port.insert((IpProto::Tcp, 11_211u16), RuleAction::SynChallenge);
+            HashAcl { src, net16, port }
+        }
+
+        fn classify(&self, p: &PreParsed) -> u8 {
+            let rule = self
+                .src
+                .get(&p.src_ip.0)
+                .or_else(|| self.net16.get(&(p.src_ip.0 >> 16)))
+                .or_else(|| self.port.get(&(p.proto, p.dst_port)));
+            match rule {
+                Some(RuleAction::Drop) => 1,
+                Some(_) => 2,
+                None => 0,
+            }
+        }
+    }
+
+    let hit = tcp_frame(rule_ip(1_234));
+    let miss = tcp_frame(Ipv4Addr::new(172, 16, 0, 9));
+
+    for (wl, frame) in [("classify_hit", &hit), ("classify_miss", &miss)] {
+        r.bench(&format!("filter/{wl}"), |b| {
+            let p = policy();
+            b.iter(|| {
+                let pre = pre_parse(black_box(frame)).expect("parses");
+                black_box(p.classify(&pre, 0));
+            })
+        });
+        r.bench(&format!("filter_hashmap/{wl}"), |b| {
+            let acl = HashAcl::model();
+            b.iter(|| {
+                let pre = pre_parse(black_box(frame)).expect("parses");
+                black_box(acl.classify(&pre));
+            })
+        });
+    }
+
+    // Cookie mint + validate: the per-SYN cost of the stateless path.
+    r.bench("filter/syn_cookie_roundtrip", |b| {
+        use ix_tcp::syncookie;
+        let secret = 0x5eed_c0de_u64;
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            let key = black_box(i);
+            let iss = i as u32;
+            let cookie = syncookie::encode(secret, key, iss, 7, 3);
+            black_box(syncookie::validate(secret, key, iss, cookie, 7).expect("valid"));
+        })
+    });
+}
+
 fn bench_histogram(r: &mut BenchRunner) {
     r.bench("stats/histogram_record", |b| {
         let mut h = Histogram::new();
@@ -843,6 +975,44 @@ fn write_report(r: &BenchRunner) {
     if cmp.len() > 2 {
         ix_bench::report::update_section(&format!("rxpath_speedup{suffix}"), &cmp);
     }
+
+    // And for the pre-stack filter: pre-parse + one open-addressing
+    // lookup per frame against the HashMap-ACL model, plus the absolute
+    // per-SYN cookie cost (no baseline — the alternative is a TCB).
+    let mut cmp = String::from("{");
+    let mut first = true;
+    for wl in ["classify_hit", "classify_miss"] {
+        if let (Some(new), Some(base)) =
+            (find(&format!("filter/{wl}")), find(&format!("filter_hashmap/{wl}")))
+        {
+            if !first {
+                cmp.push_str(", ");
+            }
+            first = false;
+            cmp += &format!(
+                "\"{wl}\": {{\"filter_ns\": {new:.2}, \"hashmap_ns\": {base:.2}, \
+                 \"speedup\": {:.2}}}",
+                base / new
+            );
+            println!(
+                "[filter] {wl}: {:.1} ns/frame vs HashMap ACL {:.1} ns/frame ({:.2}x)",
+                new,
+                base,
+                base / new
+            );
+        }
+    }
+    if let Some(ns) = find("filter/syn_cookie_roundtrip") {
+        if !first {
+            cmp.push_str(", ");
+        }
+        cmp += &format!("\"syn_cookie_roundtrip\": {{\"filter_ns\": {ns:.2}}}");
+        println!("[filter] syn_cookie_roundtrip: {ns:.1} ns/handshake (mint + validate)");
+    }
+    cmp.push('}');
+    if cmp.len() > 2 {
+        ix_bench::report::update_section(&format!("filter_speedup{suffix}"), &cmp);
+    }
 }
 
 fn main() {
@@ -855,6 +1025,7 @@ fn main() {
     bench_txpath(&mut r);
     bench_rxpath(&mut r);
     bench_flowtable(&mut r);
+    bench_filter(&mut r);
     bench_histogram(&mut r);
     bench_end_to_end(&mut r);
     write_report(&r);

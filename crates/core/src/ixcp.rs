@@ -20,10 +20,13 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use ix_net::filter::FilterPolicy;
+use ix_nic::nic::NicRef;
 use ix_sim::{Nanos, Simulator};
 use ix_tcp::Tcb;
 
 use crate::dataplane::{Dataplane, ElasticThread, ThreadRef};
+use crate::rcu::Rcu;
 
 /// Identifies a registered dataplane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -398,6 +401,102 @@ impl std::fmt::Debug for ControlPlane {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ControlPlane")
             .field("dataplanes", &self.dataplanes.len())
+            .finish()
+    }
+}
+
+/// IXCP's handle on a dataplane's pre-stack filter: the rule table lives
+/// in an [`Rcu`] cell owned here; every elastic thread's NIC queues and
+/// TCP shard hold `Rc` snapshots of the current version. Updating rules
+/// is a pure control-plane action — build the new table, publish it,
+/// swap the snapshots — and the hot path never sees anything but an
+/// immutable object it already holds, exactly the paper's "commutative
+/// API calls + RCU for the rare shared state" recipe (§4.3).
+pub struct FilterControl {
+    rcu: Rcu<FilterPolicy>,
+    readers: Vec<crate::rcu::ReaderId>,
+    nics: Vec<NicRef>,
+    threads: Vec<ThreadRef>,
+}
+
+impl FilterControl {
+    /// Publishes `policy` to every NIC port and shard of `dp` and
+    /// returns the control handle. One RCU reader is registered per
+    /// elastic thread (the real system's per-core quiescence bookkeeping).
+    pub fn install(dp: &Dataplane, policy: FilterPolicy) -> FilterControl {
+        let rcu = Rcu::new(policy);
+        let mut nics: Vec<NicRef> = Vec::new();
+        for th in &dp.threads {
+            for (nic, _q) in th.borrow().queues() {
+                if !nics.iter().any(|n| Rc::ptr_eq(n, nic)) {
+                    nics.push(nic.clone());
+                }
+            }
+        }
+        let readers = dp.threads.iter().map(|_| rcu.register_reader()).collect();
+        let fc = FilterControl { rcu, readers, nics, threads: dp.threads.clone() };
+        fc.publish();
+        fc
+    }
+
+    /// Pushes the current snapshot into every NIC and shard.
+    fn publish(&self) {
+        let snap = self.rcu.read();
+        for nic in &self.nics {
+            nic.borrow_mut().set_filter(Some(snap.clone()));
+        }
+        for th in &self.threads {
+            th.borrow_mut().shard.set_filter_policy(Some(snap.clone()));
+        }
+    }
+
+    /// Replaces the rule table: `f` builds the successor from the
+    /// current version (add/remove rules, rebuild from scratch — the
+    /// policy is a value). The new snapshot is republished and the old
+    /// version reclaimed.
+    pub fn update(&self, f: impl FnOnce(&FilterPolicy) -> FilterPolicy) {
+        self.rcu.update(f);
+        self.publish();
+        // Control-plane actions run between run-to-completion cycles in
+        // the single-threaded simulation, so every registered reader is
+        // at a quiescent point the moment the snapshots are swapped;
+        // retired versions reclaim immediately.
+        for r in &self.readers {
+            self.rcu.quiescent(*r);
+        }
+        self.rcu.reclaim();
+    }
+
+    /// Removes the filter from every NIC and shard (the dataplane
+    /// returns to the exact unfiltered hot path).
+    pub fn uninstall(&self) {
+        for nic in &self.nics {
+            nic.borrow_mut().set_filter(None);
+        }
+        for th in &self.threads {
+            th.borrow_mut().shard.set_filter_policy(None);
+        }
+    }
+
+    /// The current policy snapshot (what the hot path is classifying
+    /// with).
+    pub fn snapshot(&self) -> Rc<FilterPolicy> {
+        self.rcu.read()
+    }
+
+    /// Retired-but-unreclaimed policy versions (tests pin this at 0
+    /// after `update`).
+    pub fn retired_len(&self) -> usize {
+        self.rcu.retired_len()
+    }
+}
+
+impl std::fmt::Debug for FilterControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FilterControl")
+            .field("rules", &self.rcu.read().rule_count())
+            .field("nics", &self.nics.len())
+            .field("threads", &self.threads.len())
             .finish()
     }
 }

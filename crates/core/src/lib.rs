@@ -41,7 +41,7 @@ pub mod rcu;
 
 pub use api::{EventCond, IxApp, Syscall, SyscallResult, UserCtx};
 pub use dataplane::{Dataplane, DataplaneStats, ElasticThread};
-pub use ixcp::{ControlPlane, DataplaneId, WatchdogRef, WatchdogStats};
+pub use ixcp::{ControlPlane, DataplaneId, FilterControl, WatchdogRef, WatchdogStats};
 pub use libix::{ConnCtx, Libix, LibixHandler};
 pub use params::CostParams;
 pub use rcu::Rcu;

@@ -1,0 +1,554 @@
+//! Pre-stack RX filtering: a fixed-offset pre-parse and an O(1)
+//! ACL/rate-policy table consulted at RX ring drain, *before* a frame is
+//! copied into a pool mbuf.
+//!
+//! The full RX path pays per-frame costs a hostile sender never earns:
+//! the DMA copy into a receive-pool mbuf, full header validation with
+//! checksums, a flow-table probe, and — for any SYN to a listened port —
+//! a TCB allocation. This module is the XDP-style "drop before you
+//! allocate" stage: [`pre_parse`] reads only the fixed-offset tuple
+//! fields (exactly what RSS hardware reads — no checksum, no option
+//! walk), and [`FilterPolicy::classify`] resolves a verdict with at most
+//! three probes of an open-addressing rule table using the same
+//! splitmix64 finisher as the per-shard flow table. Dropped frames never
+//! touch a pool; the NIC layer pins that as `filter_drop_allocs == 0`.
+//!
+//! The policy object is an immutable snapshot: the control plane builds
+//! a new [`FilterPolicy`], publishes it through `ix-core`'s RCU cell,
+//! and the hot path keeps dereferencing whatever snapshot it holds —
+//! rule updates never touch per-packet state. (Token-bucket rate rules
+//! carry interior-mutable counters; the simulation is single-threaded,
+//! so `Cell` reproduces the per-queue counter a real NIC filter keeps.)
+
+use std::cell::Cell;
+
+use crate::eth::EthHeader;
+use crate::ip::{IpProto, Ipv4Addr};
+
+/// Result of classifying one frame against the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver the frame normally.
+    Pass,
+    /// Discard the frame before any buffer is allocated.
+    Drop,
+    /// Deliver the frame, but the TCP stack must answer a SYN with a
+    /// stateless SYN-cookie SYN-ACK instead of allocating a TCB.
+    SynChallenge,
+}
+
+/// The action a matched rule applies.
+#[derive(Debug, Clone)]
+pub enum RuleAction {
+    /// Explicitly admit (overrides later, coarser matches).
+    Pass,
+    /// Discard unconditionally.
+    Drop,
+    /// SYN segments get the cookie treatment; everything else passes.
+    SynChallenge,
+    /// Admit up to the token bucket's rate; drop the excess.
+    RateLimit(RateLimit),
+}
+
+/// A deterministic token bucket: `pps` tokens per second, capacity
+/// `burst` packets. Refill is computed from virtual-time deltas, so the
+/// admit/drop sequence is a pure function of arrival times.
+#[derive(Debug, Clone)]
+pub struct RateLimit {
+    pps: u64,
+    burst: u64,
+    /// Tokens scaled by [`TOKEN_SCALE`] so sub-packet refill fractions
+    /// are never lost to integer division.
+    tokens: Cell<u64>,
+    last_ns: Cell<u64>,
+}
+
+/// One token, in scaled units (1 token = 1e9 scaled units, so refill is
+/// simply `elapsed_ns * pps`).
+const TOKEN_SCALE: u64 = 1_000_000_000;
+
+impl RateLimit {
+    /// A bucket admitting `pps` packets per second with `burst` capacity
+    /// (starts full).
+    pub fn new(pps: u64, burst: u64) -> RateLimit {
+        RateLimit {
+            pps,
+            burst: burst.max(1),
+            tokens: Cell::new(burst.max(1) * TOKEN_SCALE),
+            last_ns: Cell::new(0),
+        }
+    }
+
+    /// Charges one packet at `now_ns`; true to admit, false to drop.
+    fn admit(&self, now_ns: u64) -> bool {
+        let dt = now_ns.saturating_sub(self.last_ns.get());
+        self.last_ns.set(now_ns);
+        let refilled = self
+            .tokens
+            .get()
+            .saturating_add(dt.saturating_mul(self.pps))
+            .min(self.burst * TOKEN_SCALE);
+        if refilled >= TOKEN_SCALE {
+            self.tokens.set(refilled - TOKEN_SCALE);
+            true
+        } else {
+            self.tokens.set(refilled);
+            false
+        }
+    }
+}
+
+/// One installed rule.
+#[derive(Debug, Clone)]
+pub struct FilterRule {
+    /// What to do with matching frames.
+    pub action: RuleAction,
+}
+
+/// The minimal header view the filter reads: the RSS tuple plus the TCP
+/// flags byte, pulled from fixed offsets with no validation. Full
+/// validation still happens in the stack for frames that pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreParsed {
+    /// L4 protocol.
+    pub proto: IpProto,
+    /// Source address.
+    pub src_ip: Ipv4Addr,
+    /// Destination address.
+    pub dst_ip: Ipv4Addr,
+    /// Source port (0 for ICMP/other).
+    pub src_port: u16,
+    /// Destination port (0 for ICMP/other).
+    pub dst_port: u16,
+    /// Raw TCP flags byte (0 for non-TCP).
+    pub tcp_flags: u8,
+}
+
+impl PreParsed {
+    /// True for a connection-opening SYN (SYN set, ACK clear).
+    pub fn is_syn_only(&self) -> bool {
+        self.tcp_flags & 0x12 == 0x02
+    }
+}
+
+/// Reads the tuple fields of an Ethernet/IPv4 frame at fixed offsets.
+/// Returns `None` for non-IPv4 or truncated frames — the filter has no
+/// opinion on those (ARP must always reach the stack).
+#[inline]
+pub fn pre_parse(data: &[u8]) -> Option<PreParsed> {
+    if data.len() < EthHeader::LEN + 20 {
+        return None;
+    }
+    if u16::from_be_bytes([data[12], data[13]]) != 0x0800 {
+        return None;
+    }
+    let ip = &data[EthHeader::LEN..];
+    let ihl = (ip[0] & 0x0f) as usize * 4;
+    let proto = IpProto::from_u8(ip[9]);
+    let src_ip = Ipv4Addr(u32::from_be_bytes([ip[12], ip[13], ip[14], ip[15]]));
+    let dst_ip = Ipv4Addr(u32::from_be_bytes([ip[16], ip[17], ip[18], ip[19]]));
+    let (src_port, dst_port, tcp_flags) = match proto {
+        IpProto::Tcp if ip.len() >= ihl + 14 => {
+            let l4 = &ip[ihl..];
+            (
+                u16::from_be_bytes([l4[0], l4[1]]),
+                u16::from_be_bytes([l4[2], l4[3]]),
+                l4[13],
+            )
+        }
+        IpProto::Udp if ip.len() >= ihl + 4 => {
+            let l4 = &ip[ihl..];
+            (
+                u16::from_be_bytes([l4[0], l4[1]]),
+                u16::from_be_bytes([l4[2], l4[3]]),
+                0,
+            )
+        }
+        _ => (0, 0, 0),
+    };
+    Some(PreParsed { proto, src_ip, dst_ip, src_port, dst_port, tcp_flags })
+}
+
+/// The splitmix64 finisher (the flow table's hash): one multiply chain
+/// per probe instead of SipHash rounds.
+#[inline]
+fn mix(key: u64) -> u64 {
+    let mut x = key;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// Rule-key kind tags, kept in the top nibble so the three key spaces
+/// (exact source, /16 source prefix, protocol/destination-port) never
+/// collide.
+const KIND_SRC: u64 = 1 << 60;
+const KIND_NET16: u64 = 2 << 60;
+const KIND_PORT: u64 = 3 << 60;
+
+fn key_src(ip: Ipv4Addr) -> u64 {
+    KIND_SRC | ip.0 as u64
+}
+
+fn key_net16(ip: Ipv4Addr) -> u64 {
+    KIND_NET16 | (ip.0 >> 16) as u64
+}
+
+fn key_port(proto: IpProto, port: u16) -> u64 {
+    KIND_PORT | (proto.to_u8() as u64) << 16 | port as u64
+}
+
+/// Slot-index vacancy sentinel.
+const EMPTY: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: u64,
+    idx: u32,
+}
+
+const VACANT: Slot = Slot { key: 0, idx: EMPTY };
+
+/// An immutable ACL/rate-policy snapshot: an open-addressing table over
+/// packed rule keys (exact source IP, source /16, protocol+destination
+/// port) with a default action. Lookup precedence is most-specific
+/// first: exact source, then source prefix, then port, then default —
+/// at most three probes, each one splitmix64 mix plus a short linear
+/// chain.
+#[derive(Debug, Clone)]
+pub struct FilterPolicy {
+    slots: Vec<Slot>,
+    mask: usize,
+    rules: Vec<FilterRule>,
+    /// Applied when no rule matches.
+    pub default_action: RuleAction,
+}
+
+impl FilterPolicy {
+    /// An empty policy that passes everything.
+    pub fn new() -> FilterPolicy {
+        FilterPolicy {
+            slots: Vec::new(),
+            mask: 0,
+            rules: Vec::new(),
+            default_action: RuleAction::Pass,
+        }
+    }
+
+    /// Installed rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    fn insert(&mut self, key: u64, rule: FilterRule) {
+        let idx = self.rules.len() as u32;
+        self.rules.push(rule);
+        if self.slots.is_empty() || (self.rules.len()) * 8 > self.slots.len() * 7 {
+            let want = (self.rules.len().saturating_mul(8).div_ceil(7).max(8)).next_power_of_two();
+            self.rebuild(want);
+        }
+        let mut i = (mix(key) as usize) & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s.idx == EMPTY {
+                self.slots[i] = Slot { key, idx };
+                return;
+            }
+            if s.key == key {
+                // Last writer wins: replace the rule body in place.
+                self.slots[i].idx = idx;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn rebuild(&mut self, new_slots: usize) {
+        let old = std::mem::replace(&mut self.slots, vec![VACANT; new_slots]);
+        self.mask = new_slots - 1;
+        for s in old.into_iter().filter(|s| s.idx != EMPTY) {
+            let mut i = (mix(s.key) as usize) & self.mask;
+            while self.slots[i].idx != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = s;
+        }
+    }
+
+    #[inline]
+    fn lookup(&self, key: u64) -> Option<&FilterRule> {
+        if self.rules.is_empty() {
+            return None;
+        }
+        let mut i = (mix(key) as usize) & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s.idx == EMPTY {
+                return None;
+            }
+            if s.key == key {
+                return Some(&self.rules[s.idx as usize]);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    // --- Builder surface (control-plane side) ---
+
+    /// Adds an exact-source-IP rule.
+    pub fn rule_src(mut self, ip: Ipv4Addr, action: RuleAction) -> FilterPolicy {
+        self.insert(key_src(ip), FilterRule { action });
+        self
+    }
+
+    /// Adds a source /16 prefix rule (the coarse knob for spoofed-range
+    /// floods).
+    pub fn rule_net16(mut self, ip_in_net: Ipv4Addr, action: RuleAction) -> FilterPolicy {
+        self.insert(key_net16(ip_in_net), FilterRule { action });
+        self
+    }
+
+    /// Adds a (protocol, destination port) rule.
+    pub fn rule_port(mut self, proto: IpProto, port: u16, action: RuleAction) -> FilterPolicy {
+        self.insert(key_port(proto, port), FilterRule { action });
+        self
+    }
+
+    /// Sets the action applied when no rule matches.
+    pub fn with_default(mut self, action: RuleAction) -> FilterPolicy {
+        self.default_action = action;
+        self
+    }
+
+    // --- Hot path ---
+
+    /// Resolves the verdict for one pre-parsed frame.
+    #[inline]
+    pub fn classify(&self, p: &PreParsed, now_ns: u64) -> Verdict {
+        if let Some(r) = self.lookup(key_src(p.src_ip)) {
+            return self.apply(r, p, now_ns);
+        }
+        if let Some(r) = self.lookup(key_net16(p.src_ip)) {
+            return self.apply(r, p, now_ns);
+        }
+        if let Some(r) = self.lookup(key_port(p.proto, p.dst_port)) {
+            return self.apply(r, p, now_ns);
+        }
+        let d = self.default_action.clone();
+        self.apply(&FilterRule { action: d }, p, now_ns)
+    }
+
+    #[inline]
+    fn apply(&self, rule: &FilterRule, p: &PreParsed, now_ns: u64) -> Verdict {
+        match &rule.action {
+            RuleAction::Pass => Verdict::Pass,
+            RuleAction::Drop => Verdict::Drop,
+            RuleAction::SynChallenge => {
+                if p.proto == IpProto::Tcp && p.is_syn_only() {
+                    Verdict::SynChallenge
+                } else {
+                    Verdict::Pass
+                }
+            }
+            RuleAction::RateLimit(rl) => {
+                if rl.admit(now_ns) {
+                    Verdict::Pass
+                } else {
+                    Verdict::Drop
+                }
+            }
+        }
+    }
+
+    /// True when a SYN from `src_ip` to local `dst_port` would be
+    /// challenged — the TCP stack consults this on the passive-open path
+    /// so the NIC and stack agree on which listeners run cookies.
+    pub fn syn_challenged(&self, src_ip: Ipv4Addr, dst_port: u16) -> bool {
+        let rule = self
+            .lookup(key_src(src_ip))
+            .or_else(|| self.lookup(key_net16(src_ip)))
+            .or_else(|| self.lookup(key_port(IpProto::Tcp, dst_port)));
+        match rule {
+            Some(r) => matches!(r.action, RuleAction::SynChallenge),
+            None => matches!(self.default_action, RuleAction::SynChallenge),
+        }
+    }
+}
+
+impl Default for FilterPolicy {
+    fn default() -> FilterPolicy {
+        FilterPolicy::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eth::{EthHeader, EtherType, MacAddr};
+    use crate::ip::Ipv4Header;
+    use crate::tcp::{TcpFlags, TcpHeader};
+
+    fn frame(src: Ipv4Addr, dst: Ipv4Addr, sp: u16, dp: u16, flags: TcpFlags) -> Vec<u8> {
+        let tcp = TcpHeader {
+            src_port: sp,
+            dst_port: dp,
+            seq: 7,
+            ack: 9,
+            flags,
+            window: 1000,
+            mss: None,
+            wscale: None,
+        };
+        let tlen = tcp.len();
+        let mut buf = vec![0u8; EthHeader::LEN + Ipv4Header::LEN + tlen];
+        tcp.encode(&mut buf[EthHeader::LEN + Ipv4Header::LEN..], src, dst, &[]);
+        Ipv4Header {
+            tos: 0,
+            total_len: (Ipv4Header::LEN + tlen) as u16,
+            ident: 0,
+            ttl: 64,
+            proto: IpProto::Tcp,
+            src,
+            dst,
+        }
+        .encode(&mut buf[EthHeader::LEN..]);
+        EthHeader {
+            dst: MacAddr::from_host_index(1),
+            src: MacAddr::from_host_index(2),
+            ethertype: EtherType::Ipv4,
+        }
+        .encode(&mut buf[..EthHeader::LEN]);
+        buf
+    }
+
+    #[test]
+    fn pre_parse_reads_tuple_and_flags() {
+        let src = Ipv4Addr::new(10, 9, 1, 2);
+        let dst = Ipv4Addr::new(10, 0, 0, 1);
+        let f = frame(src, dst, 3333, 80, TcpFlags::SYN);
+        let p = pre_parse(&f).unwrap();
+        assert_eq!(p.proto, IpProto::Tcp);
+        assert_eq!(p.src_ip, src);
+        assert_eq!(p.dst_ip, dst);
+        assert_eq!(p.src_port, 3333);
+        assert_eq!(p.dst_port, 80);
+        assert!(p.is_syn_only());
+        let f2 = frame(src, dst, 3333, 80, TcpFlags::SYN_ACK);
+        assert!(!pre_parse(&f2).unwrap().is_syn_only());
+    }
+
+    #[test]
+    fn pre_parse_rejects_non_ipv4() {
+        assert!(pre_parse(&[0u8; 10]).is_none());
+        let mut arp = vec![0u8; 64];
+        arp[12] = 0x08;
+        arp[13] = 0x06; // EtherType ARP.
+        assert!(pre_parse(&arp).is_none());
+    }
+
+    #[test]
+    fn precedence_src_over_net_over_port_over_default() {
+        let good = Ipv4Addr::new(10, 9, 0, 7);
+        let bad_net = Ipv4Addr::new(10, 9, 3, 3);
+        let other = Ipv4Addr::new(10, 1, 0, 1);
+        let p = FilterPolicy::new()
+            .rule_src(good, RuleAction::Pass)
+            .rule_net16(Ipv4Addr::new(10, 9, 0, 0), RuleAction::Drop)
+            .rule_port(IpProto::Tcp, 80, RuleAction::Drop);
+        let mk = |ip, dp| PreParsed {
+            proto: IpProto::Tcp,
+            src_ip: ip,
+            dst_ip: Ipv4Addr::new(10, 0, 0, 1),
+            src_port: 5,
+            dst_port: dp,
+            tcp_flags: 0x10,
+        };
+        // Exact source wins even inside the dropped /16 and to port 80.
+        assert_eq!(p.classify(&mk(good, 80), 0), Verdict::Pass);
+        // /16 drop beats the port rule and the default.
+        assert_eq!(p.classify(&mk(bad_net, 9999), 0), Verdict::Drop);
+        // Port rule fires for hosts outside the prefix.
+        assert_eq!(p.classify(&mk(other, 80), 0), Verdict::Drop);
+        // Default is pass.
+        assert_eq!(p.classify(&mk(other, 81), 0), Verdict::Pass);
+    }
+
+    #[test]
+    fn syn_challenge_only_bites_syns() {
+        let p = FilterPolicy::new().rule_port(IpProto::Tcp, 11211, RuleAction::SynChallenge);
+        let mut pp = PreParsed {
+            proto: IpProto::Tcp,
+            src_ip: Ipv4Addr::new(10, 0, 0, 9),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 1),
+            src_port: 5,
+            dst_port: 11211,
+            tcp_flags: 0x02,
+        };
+        assert_eq!(p.classify(&pp, 0), Verdict::SynChallenge);
+        assert!(p.syn_challenged(pp.src_ip, 11211));
+        assert!(!p.syn_challenged(pp.src_ip, 80));
+        pp.tcp_flags = 0x10; // ACK: passes.
+        assert_eq!(p.classify(&pp, 0), Verdict::Pass);
+        pp.tcp_flags = 0x12; // SYN-ACK: passes.
+        assert_eq!(p.classify(&pp, 0), Verdict::Pass);
+    }
+
+    #[test]
+    fn rate_limit_is_deterministic() {
+        let p = FilterPolicy::new()
+            .rule_src(Ipv4Addr::new(10, 0, 0, 9), RuleAction::RateLimit(RateLimit::new(1000, 2)));
+        let pp = PreParsed {
+            proto: IpProto::Udp,
+            src_ip: Ipv4Addr::new(10, 0, 0, 9),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 1),
+            src_port: 5,
+            dst_port: 53,
+            tcp_flags: 0,
+        };
+        // Burst of 2 admits, then drops until refill (1000 pps = 1/ms).
+        assert_eq!(p.classify(&pp, 0), Verdict::Pass);
+        assert_eq!(p.classify(&pp, 0), Verdict::Pass);
+        assert_eq!(p.classify(&pp, 0), Verdict::Drop);
+        assert_eq!(p.classify(&pp, 500_000), Verdict::Drop);
+        assert_eq!(p.classify(&pp, 1_000_000), Verdict::Pass);
+        assert_eq!(p.classify(&pp, 1_000_001), Verdict::Drop);
+    }
+
+    #[test]
+    fn many_rules_resolve_exactly() {
+        let mut p = FilterPolicy::new();
+        for i in 0..2000u32 {
+            let ip = Ipv4Addr(0x0a09_0000 | i);
+            p = p.rule_src(
+                ip,
+                if i % 2 == 0 { RuleAction::Drop } else { RuleAction::Pass },
+            );
+        }
+        assert_eq!(p.rule_count(), 2000);
+        for i in 0..2000u32 {
+            let pp = PreParsed {
+                proto: IpProto::Tcp,
+                src_ip: Ipv4Addr(0x0a09_0000 | i),
+                dst_ip: Ipv4Addr::new(10, 0, 0, 1),
+                src_port: 1,
+                dst_port: 2,
+                tcp_flags: 0x10,
+            };
+            let want = if i % 2 == 0 { Verdict::Drop } else { Verdict::Pass };
+            assert_eq!(p.classify(&pp, 0), want, "rule {i}");
+        }
+        // A miss falls through to the default.
+        let pp = PreParsed {
+            proto: IpProto::Tcp,
+            src_ip: Ipv4Addr::new(10, 1, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 1),
+            src_port: 1,
+            dst_port: 2,
+            tcp_flags: 0x10,
+        };
+        assert_eq!(p.classify(&pp, 0), Verdict::Pass);
+    }
+}

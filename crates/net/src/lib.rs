@@ -14,6 +14,7 @@
 pub mod arp;
 pub mod checksum;
 pub mod eth;
+pub mod filter;
 pub mod icmp;
 pub mod ip;
 pub mod rss;

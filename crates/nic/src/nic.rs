@@ -6,6 +6,7 @@ use std::rc::{Rc, Weak};
 use ix_faults::FaultsRef;
 use ix_mempool::Mbuf;
 use ix_net::eth::{EthHeader, EtherType, MacAddr};
+use ix_net::filter::{self, FilterPolicy, Verdict};
 use ix_net::ip::IpProto;
 use ix_net::rss::{hash_ipv4_tuple, RssKey, TOEPLITZ_DEFAULT_KEY};
 use ix_sim::Simulator;
@@ -38,6 +39,22 @@ pub struct NicStats {
     pub rx_bytes: u64,
 }
 
+/// Per-queue counters for the pre-stack filter stage. The invariant the
+/// whole design hangs on: a dropped frame must never touch the receive
+/// pool, so `drop_allocs` — measured as the pool's allocation-counter
+/// delta across each drop — stays pinned at 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Frames discarded before any pool-mbuf allocation.
+    pub drops: u64,
+    /// Frames explicitly admitted by the policy (rule or default pass).
+    pub passes: u64,
+    /// SYN frames admitted but flagged for the stateless-cookie path.
+    pub challenges: u64,
+    /// Pool allocations observed while executing drops — pinned 0.
+    pub drop_allocs: u64,
+}
+
 /// One NIC port: RSS steering, per-queue descriptor rings, and wire-rate
 /// transmit serialization.
 pub struct Nic {
@@ -61,6 +78,13 @@ pub struct Nic {
     /// this NIC's `switch_port`). Absent by default — the fault-free
     /// path is untouched.
     faults: Option<FaultsRef>,
+    /// Installed pre-stack filter policy snapshot, if any (an RCU read
+    /// handle published by the control plane). Absent by default — the
+    /// unfiltered path is byte-identical to a build without the filter.
+    filter: Option<Rc<FilterPolicy>>,
+    /// Per-queue filter verdict counters (empty Vec until a policy is
+    /// first installed).
+    filter_stats: Vec<FilterStats>,
     /// Port counters.
     pub stats: NicStats,
     /// When true, frames whose destination MAC does not match are still
@@ -90,6 +114,8 @@ impl Nic {
             tx_draining: false,
             switch: Weak::new(),
             faults: None,
+            filter: None,
+            filter_stats: Vec::new(),
             stats: NicStats::default(),
             promiscuous: false,
             params,
@@ -116,6 +142,40 @@ impl Nic {
     /// wires the same handle into the switch).
     pub fn set_faults(&mut self, faults: FaultsRef) {
         self.faults = Some(faults);
+    }
+
+    /// Installs (or removes, with `None`) the pre-stack filter policy.
+    /// The argument is a published RCU snapshot: the control plane calls
+    /// this again after every rule update, so the hot path never takes a
+    /// lock or re-resolves the policy — it just derefs the `Rc` it holds.
+    pub fn set_filter(&mut self, policy: Option<Rc<FilterPolicy>>) {
+        if policy.is_some() && self.filter_stats.is_empty() {
+            self.filter_stats = vec![FilterStats::default(); self.queues()];
+        }
+        self.filter = policy;
+    }
+
+    /// The installed filter policy snapshot, if any.
+    pub fn filter(&self) -> Option<&Rc<FilterPolicy>> {
+        self.filter.as_ref()
+    }
+
+    /// Per-queue filter counters (empty slice if no policy was ever
+    /// installed).
+    pub fn filter_stats(&self) -> &[FilterStats] {
+        &self.filter_stats
+    }
+
+    /// Filter counters summed over all queues.
+    pub fn filter_stats_total(&self) -> FilterStats {
+        let mut t = FilterStats::default();
+        for s in &self.filter_stats {
+            t.drops += s.drops;
+            t.passes += s.passes;
+            t.challenges += s.challenges;
+            t.drop_allocs += s.drop_allocs;
+        }
+        t
     }
 
     /// True when RX queue `q` is inside a scripted hang window at
@@ -214,6 +274,28 @@ impl Nic {
                 return;
             }
             let q = n.classify(data);
+            // Pre-stack filter: classify on fixed-offset fields and, on
+            // a drop verdict, discard *here* — before `RxRing::push`
+            // allocates the pool mbuf the frame would be copied into.
+            // The pool allocation-counter delta across the drop is
+            // recorded so tests can pin it at zero rather than trust
+            // the control flow.
+            if let Some(policy) = n.filter.clone() {
+                if let Some(pre) = filter::pre_parse(data) {
+                    match policy.classify(&pre, sim.now().as_nanos()) {
+                        Verdict::Pass => n.filter_stats[q].passes += 1,
+                        Verdict::SynChallenge => n.filter_stats[q].challenges += 1,
+                        Verdict::Drop => {
+                            let allocs_before = n.rx[q].pool_stats().allocs;
+                            drop(frame);
+                            let allocs_after = n.rx[q].pool_stats().allocs;
+                            n.filter_stats[q].drops += 1;
+                            n.filter_stats[q].drop_allocs += allocs_after - allocs_before;
+                            return;
+                        }
+                    }
+                }
+            }
             let len = frame.len() as u64;
             if n.rx[q].push(frame) {
                 n.stats.rx_frames += 1;
@@ -447,6 +529,71 @@ mod tests {
         let n = nic.borrow();
         assert_eq!(n.stats.rx_frames, 2);
         assert_eq!(n.stats.rx_ring_drops, 1);
+    }
+
+    #[test]
+    fn filter_drop_happens_before_pool_alloc() {
+        use ix_net::filter::{FilterPolicy, RuleAction};
+        use ix_net::ip::Ipv4Addr;
+        let mut sim = Simulator::new(0);
+        let nic = Rc::new(RefCell::new(mk()));
+        let my_mac = nic.borrow().mac;
+        // Frames come from 10.0.0.9 (the tcp_frame builder); deny it.
+        let policy =
+            FilterPolicy::new().rule_src(Ipv4Addr::new(10, 0, 0, 9), RuleAction::Drop);
+        nic.borrow_mut().set_filter(Some(Rc::new(policy)));
+        let f = tcp_frame(my_mac, 1234, 80);
+        let q = nic.borrow().classify(f.data());
+        let allocs_before = nic.borrow_mut().rx_ring(q).pool_stats().allocs;
+        for _ in 0..100 {
+            Nic::deliver(&nic, &mut sim, tcp_frame(my_mac, 1234, 80));
+        }
+        let n = nic.borrow_mut();
+        assert_eq!(n.stats.rx_frames, 0, "dropped frames must not land");
+        let t = n.filter_stats_total();
+        assert_eq!(t.drops, 100);
+        assert_eq!(t.drop_allocs, 0, "a dropped frame allocated from the pool");
+        drop(n);
+        let allocs_after = nic.borrow_mut().rx_ring(q).pool_stats().allocs;
+        assert_eq!(allocs_before, allocs_after);
+    }
+
+    #[test]
+    fn filter_pass_and_challenge_still_deliver() {
+        use ix_net::filter::{FilterPolicy, RuleAction};
+        let mut sim = Simulator::new(0);
+        let nic = Rc::new(RefCell::new(mk()));
+        let my_mac = nic.borrow().mac;
+        // Challenge rule on port 80: the ACK frames the builder makes
+        // are not SYNs, so they pass — and still land in the ring.
+        let policy = FilterPolicy::new().rule_port(
+            ix_net::ip::IpProto::Tcp,
+            80,
+            RuleAction::SynChallenge,
+        );
+        nic.borrow_mut().set_filter(Some(Rc::new(policy)));
+        Nic::deliver(&nic, &mut sim, tcp_frame(my_mac, 1234, 80));
+        let n = nic.borrow();
+        assert_eq!(n.stats.rx_frames, 1);
+        assert_eq!(n.filter_stats_total().passes, 1);
+        assert_eq!(n.filter_stats_total().drops, 0);
+    }
+
+    #[test]
+    fn filter_uninstall_restores_plain_path() {
+        use ix_net::filter::{FilterPolicy, RuleAction};
+        use ix_net::ip::Ipv4Addr;
+        let mut sim = Simulator::new(0);
+        let nic = Rc::new(RefCell::new(mk()));
+        let my_mac = nic.borrow().mac;
+        let policy =
+            FilterPolicy::new().rule_src(Ipv4Addr::new(10, 0, 0, 9), RuleAction::Drop);
+        nic.borrow_mut().set_filter(Some(Rc::new(policy)));
+        Nic::deliver(&nic, &mut sim, tcp_frame(my_mac, 1, 80));
+        assert_eq!(nic.borrow().stats.rx_frames, 0);
+        nic.borrow_mut().set_filter(None);
+        Nic::deliver(&nic, &mut sim, tcp_frame(my_mac, 1, 80));
+        assert_eq!(nic.borrow().stats.rx_frames, 1);
     }
 
     #[test]

@@ -59,6 +59,22 @@ pub struct StackConfig {
     /// How many ephemeral ports to probe for RSS-aligned outbound
     /// connections before giving up and taking the last candidate.
     pub rss_probe_limit: u32,
+    /// When true, every passive open answers with a stateless SYN-cookie
+    /// SYN-ACK and the TCB is allocated only on a validated cookie ACK
+    /// (the filter policy's syn-challenge verdict enables the same path
+    /// per-rule without this global switch). Default off: the classic
+    /// three-way handshake with a `SynRcvd` TCB.
+    pub syn_cookies: bool,
+    /// Upper bound on simultaneously half-open (`SynRcvd`) connections
+    /// per shard when cookies are off; SYNs beyond it are silently
+    /// dropped (`synrcvd_overflow_drops`) instead of pinning TCB-slab
+    /// slots. Generous by default so connection-scale sweeps (which
+    /// legitimately burst handshakes) never see it.
+    pub syn_backlog: usize,
+    /// Width of the SYN-cookie timestamp bucket, ns: a cookie validates
+    /// in its mint bucket and the next one, so this is half the minimum
+    /// handshake-completion deadline.
+    pub syn_cookie_bucket_ns: u64,
 }
 
 impl Default for StackConfig {
@@ -77,6 +93,9 @@ impl Default for StackConfig {
             ack_policy: AckPolicy::EndOfCycle,
             mbuf_pool: 8192,
             rss_probe_limit: 512,
+            syn_cookies: false,
+            syn_backlog: 65_536,
+            syn_cookie_bucket_ns: 1_000_000_000,
         }
     }
 }

@@ -46,7 +46,7 @@ const VACANT: Slot = Slot { key: 0, idx: EMPTY };
 /// avalanche. One multiplication per lookup vs SipHash's four rounds
 /// per 8-byte block plus finalization.
 #[inline]
-fn mix(key: u64) -> u64 {
+pub(crate) fn mix(key: u64) -> u64 {
     let mut x = key;
     x ^= x >> 33;
     x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);

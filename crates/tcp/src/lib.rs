@@ -37,6 +37,7 @@ pub mod config;
 pub mod event;
 pub mod flow_table;
 pub mod stack;
+pub mod syncookie;
 pub mod tcb;
 
 pub use arp_table::ArpTable;

@@ -7,6 +7,7 @@ use std::rc::Rc;
 use ix_mempool::{Mbuf, MbufPool};
 use ix_net::arp::{ArpOp, ArpPacket};
 use ix_net::eth::{EthHeader, EtherType, MacAddr};
+use ix_net::filter::FilterPolicy;
 use ix_net::icmp::{IcmpHeader, IcmpType};
 use ix_net::ip::{IpProto, Ipv4Addr, Ipv4Header};
 use ix_net::tcp::{seq_le, seq_lt, TcpFlags, TcpHeader};
@@ -19,6 +20,7 @@ use crate::arp_table::ArpTable;
 use crate::config::{AckPolicy, StackConfig};
 use crate::event::{DeadReason, FlowId, TcpEvent};
 use crate::flow_table::{FlowMap, FlowMapMem};
+use crate::syncookie;
 use crate::tcb::{Tcb, TcpState, TimerKind, TxSeg};
 
 /// Headroom reserved when allocating a TX mbuf: enough for the worst-case
@@ -146,6 +148,18 @@ pub struct StackStats {
     /// awaiting reassembly. A gauge, not a rate: this is the real pool
     /// pressure behind the `rcv_outstanding` window arithmetic.
     pub rx_pool_outstanding: u64,
+    /// SYNs silently dropped because the half-open (`SynRcvd`) backlog
+    /// was full. A flood's TCB footprint is capped by `syn_backlog`; the
+    /// peer's SYN retransmit gets another chance once slots drain.
+    pub synrcvd_overflow_drops: u64,
+    /// Stateless SYN-cookie SYN-ACKs minted (no TCB allocated).
+    pub syn_cookies_sent: u64,
+    /// Handshakes completed by a validated cookie ACK (TCB allocated
+    /// directly in `Established`).
+    pub syn_cookies_accepted: u64,
+    /// ACKs to a listened port whose cookie failed validation (forged,
+    /// expired, or simply stray) — answered with RST per RFC 793 §3.4.
+    pub syn_cookies_rejected: u64,
 }
 
 impl StackStats {
@@ -180,6 +194,10 @@ impl StackStats {
         self.rx_payload_copies += other.rx_payload_copies;
         self.rx_ooo_copies += other.rx_ooo_copies;
         self.rx_pool_outstanding += other.rx_pool_outstanding;
+        self.synrcvd_overflow_drops += other.synrcvd_overflow_drops;
+        self.syn_cookies_sent += other.syn_cookies_sent;
+        self.syn_cookies_accepted += other.syn_cookies_accepted;
+        self.syn_cookies_rejected += other.syn_cookies_rejected;
     }
 }
 
@@ -225,6 +243,18 @@ pub struct TcpShard {
     ip_ident: u16,
     eph_cursor: u16,
     now_ns: u64,
+    /// The filter policy snapshot the control plane published to this
+    /// shard (same RCU snapshot the NIC holds). The stack consults it
+    /// only on the passive-open path, to agree with the NIC about which
+    /// SYNs get the cookie challenge.
+    filter_policy: Option<Rc<FilterPolicy>>,
+    /// Per-shard SYN-cookie secret (deterministic: derived from the
+    /// local address so goldens reproduce; a real deployment would use
+    /// boot-time entropy).
+    cookie_secret: u64,
+    /// Live `SynRcvd` TCBs — the half-open backlog gauge bounded by
+    /// `cfg.syn_backlog`.
+    synrcvd_count: usize,
     /// Counters.
     pub stats: StackStats,
 }
@@ -235,6 +265,9 @@ impl TcpShard {
     /// Creates a shard for a host with the given addresses.
     pub fn new(cfg: StackConfig, local_ip: Ipv4Addr, local_mac: MacAddr) -> TcpShard {
         let pool = MbufPool::new(cfg.mbuf_pool);
+        let cookie_secret = crate::flow_table::mix(
+            0x5359_4e43_4f4f_4b49 ^ ((local_ip.0 as u64) << 16) ^ local_mac.0[5] as u64,
+        );
         TcpShard {
             cfg,
             local_ip,
@@ -254,8 +287,23 @@ impl TcpShard {
             ip_ident: 0,
             eph_cursor: EPH_LO,
             now_ns: 0,
+            filter_policy: None,
+            cookie_secret,
+            synrcvd_count: 0,
             stats: StackStats::default(),
         }
+    }
+
+    /// Installs (or clears) the filter-policy snapshot the control plane
+    /// published. Only the passive-open path reads it — to decide which
+    /// SYNs are answered statelessly with a cookie.
+    pub fn set_filter_policy(&mut self, policy: Option<Rc<FilterPolicy>>) {
+        self.filter_policy = policy;
+    }
+
+    /// Live half-open (`SynRcvd`) connections on this shard.
+    pub fn synrcvd_len(&self) -> usize {
+        self.synrcvd_count
     }
 
     /// Installs the RSS steering oracle: this shard serves `queue`, and
@@ -407,6 +455,10 @@ impl TcpShard {
             // Held receive buffers migrate with the flow; the gauge
             // follows them to the absorbing shard.
             self.stats.rx_pool_outstanding -= (tcb.rx_held.len() + tcb.ooo.len()) as u64;
+            // The half-open gauge follows migrating handshakes too.
+            if tcb.state == TcpState::SynRcvd {
+                self.synrcvd_count -= 1;
+            }
             for t in [
                 tcb.rto_timer.take(),
                 tcb.persist_timer.take(),
@@ -443,6 +495,9 @@ impl TcpShard {
                 self.pending_acks.push(key);
             }
             self.stats.rx_pool_outstanding += (tcb.rx_held.len() + tcb.ooo.len()) as u64;
+            if tcb.state == TcpState::SynRcvd {
+                self.synrcvd_count += 1;
+            }
             self.flows.insert(key, tcb);
             if need_rto {
                 let t = self
@@ -951,6 +1006,21 @@ impl TcpShard {
             return; // Never respond to a RST.
         }
         if hdr.flags.syn && !hdr.flags.ack && self.listeners.contains(&hdr.dst_port) {
+            // Stateless path first: under a challenge (global knob or a
+            // filter-policy syn-challenge verdict for this tuple) the
+            // SYN-ACK carries a cookie ISS and *nothing* is allocated —
+            // no TCB, no timer, no retransmit state.
+            if self.cookie_mode(ip.src, hdr.dst_port) {
+                self.send_cookie_synack(&ip, &hdr);
+                return;
+            }
+            // Half-open backlog bound: past it, drop the SYN silently
+            // (the peer's SYN retransmit retries once slots drain)
+            // rather than let a flood pin unbounded TCB-slab slots.
+            if self.synrcvd_count >= self.cfg.syn_backlog {
+                self.stats.synrcvd_overflow_drops += 1;
+                return;
+            }
             // Passive open: create the PCB and answer SYN-ACK. The knock
             // event is raised when the handshake completes (the paper's
             // knock reports "a remotely initiated connection was opened").
@@ -990,17 +1060,116 @@ impl TcpShard {
                 TimerEntry { key, gen, kind: TimerKind::Rto },
             );
             tcb.rto_timer = Some(t);
+            self.synrcvd_count += 1;
             self.flows.insert(key, tcb);
             return;
         }
-        // No listener / half-open garbage: RST.
+        // A bare ACK to a listened port may be the completing leg of a
+        // stateless cookie handshake: validate it and, only then, build
+        // the TCB the SYN-ACK deliberately did not allocate.
+        if hdr.flags.ack
+            && !hdr.flags.syn
+            && self.listeners.contains(&hdr.dst_port)
+            && self.cookie_mode(ip.src, hdr.dst_port)
+        {
+            if self.try_cookie_accept(&ip, &hdr, payload) {
+                return;
+            }
+            // Forged, expired, or stray: fall through to the RST below
+            // (the ACK arm never reads the payload length).
+            self.stats.syn_cookies_rejected += 1;
+            self.stats.no_listener += 1;
+            self.raw_rst(self.now_ns, hdr.dst_port, hdr.src_port, hdr.ack, 0, true, ip.src);
+            return;
+        }
+        // No listener / half-open garbage: RST per RFC 793 §3.4 — with
+        // an ACK, our seq is the acked value; without one, seq 0 and an
+        // ack covering the segment's full sequence span (payload plus
+        // one for SYN and one for FIN).
         self.stats.no_listener += 1;
         let (seq, ack) = if hdr.flags.ack {
             (hdr.ack, 0)
         } else {
-            (0, hdr.seq.wrapping_add(payload.len() as u32 + hdr.flags.syn as u32))
+            (
+                0,
+                hdr.seq.wrapping_add(
+                    payload.len() as u32 + hdr.flags.syn as u32 + hdr.flags.fin as u32,
+                ),
+            )
         };
         self.raw_rst(self.now_ns, hdr.dst_port, hdr.src_port, seq, ack, hdr.flags.ack, ip.src);
+    }
+
+    /// True when a SYN from `src_ip` to `dst_port` must be answered
+    /// statelessly: the global `syn_cookies` knob, or a filter-policy
+    /// syn-challenge verdict for the tuple (the same policy snapshot the
+    /// NIC classifies with, so both layers agree).
+    fn cookie_mode(&self, src_ip: Ipv4Addr, dst_port: u16) -> bool {
+        self.cfg.syn_cookies
+            || self
+                .filter_policy
+                .as_ref()
+                .is_some_and(|p| p.syn_challenged(src_ip, dst_port))
+    }
+
+    /// Answers a SYN with a cookie-ISS SYN-ACK. Stateless by design: the
+    /// only thing that outlives this call is the emitted frame. The MSS
+    /// the peer offered survives as a 2-bit class inside the cookie; no
+    /// window scaling is negotiated (nowhere to remember the shift).
+    fn send_cookie_synack(&mut self, ip: &Ipv4Header, hdr: &TcpHeader) {
+        let key = FlowId::pack(ip.src, hdr.src_port, hdr.dst_port);
+        let bucket = self.now_ns / self.cfg.syn_cookie_bucket_ns;
+        let peer_mss = hdr.mss.unwrap_or(536).min(self.cfg.mss as u16);
+        let class = syncookie::mss_class(peer_mss);
+        let cookie = syncookie::encode(self.cookie_secret, key, hdr.seq, bucket, class);
+        self.stats.syn_cookies_sent += 1;
+        let spec = SegmentSpec {
+            flags: TcpFlags::SYN_ACK,
+            seq: cookie,
+            ack: hdr.seq.wrapping_add(1),
+            window: self.cfg.recv_window.min(65_535) as u16,
+            mss: Some(self.cfg.mss as u16),
+            wscale: None,
+            payload: &[],
+        };
+        self.build_and_queue_tcp(ip.src, hdr.dst_port, hdr.src_port, spec);
+    }
+
+    /// Validates the cookie implied by a bare ACK (`cookie = ack - 1`,
+    /// `peer_iss = seq - 1`) and, on success, materializes the
+    /// connection directly in `Established` — the TCB's first allocation
+    /// happens here, after the peer proved the round trip. Returns false
+    /// (consuming the payload) when the cookie does not verify.
+    fn try_cookie_accept(&mut self, ip: &Ipv4Header, hdr: &TcpHeader, payload: Mbuf) -> bool {
+        let key = FlowId::pack(ip.src, hdr.src_port, hdr.dst_port);
+        let bucket_now = self.now_ns / self.cfg.syn_cookie_bucket_ns;
+        let cookie = hdr.ack.wrapping_sub(1);
+        let peer_iss = hdr.seq.wrapping_sub(1);
+        let Some(mss) =
+            syncookie::validate(self.cookie_secret, key, peer_iss, cookie, bucket_now)
+        else {
+            return false;
+        };
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let id = FlowId { key, gen };
+        let mut tcb = Tcb::new(&self.cfg, id, 0, TcpState::Established, cookie);
+        tcb.open_time_ns = self.now_ns;
+        tcb.snd_una = cookie.wrapping_add(1);
+        tcb.snd_nxt = cookie.wrapping_add(1);
+        tcb.rcv_nxt = hdr.seq;
+        tcb.snd_wnd = hdr.window as u32;
+        tcb.mss = tcb.mss.min(mss as u32);
+        let (src_ip, src_port) = (ip.src, hdr.src_port);
+        self.stats.conns_accepted += 1;
+        self.stats.syn_cookies_accepted += 1;
+        self.events.push(TcpEvent::Knock { flow: id, src_ip, src_port });
+        self.flows.insert(key, tcb);
+        // Data or FIN piggybacked on the handshake-completing ACK.
+        if !payload.is_empty() || hdr.flags.fin {
+            self.on_established_family(key, *hdr, payload);
+        }
+        true
     }
 
     /// Full state machine for a segment on an existing flow.
@@ -1125,6 +1294,7 @@ impl TcpShard {
             self.wheel.cancel(t);
         }
         self.stats.conns_accepted += 1;
+        self.synrcvd_count -= 1;
         self.events.push(TcpEvent::Knock { flow: id, src_ip, src_port });
         // Piggybacked payload on the handshake ACK is possible.
         if !payload.is_empty() || hdr.flags.fin {
@@ -1436,6 +1606,9 @@ impl TcpShard {
     fn destroy(&mut self, key: u64) {
         if let Some(tcb) = self.flows.remove(key) {
             self.stats.rx_pool_outstanding -= (tcb.rx_held.len() + tcb.ooo.len()) as u64;
+            if tcb.state == TcpState::SynRcvd {
+                self.synrcvd_count -= 1;
+            }
             for t in [
                 tcb.rto_timer,
                 tcb.persist_timer,
