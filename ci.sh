@@ -31,6 +31,17 @@ cargo test -q --offline -p ix-tcp --test rx_reassembly
 cargo test -q --offline -p ix-tcp --test syn_filter
 cargo test -q --offline -p ix-tcp --test syn_cookies
 
+# Flow-group migration property gate: the differential suite replays
+# mid-transfer migrations against a never-migrated oracle and pins
+# 0 resets / 0 payload divergence / 0 leaked mbufs, plus the golden
+# RTO-rearm trace and the StackStats conservation checks.
+cargo test -q --offline -p ix-tcp --test migration
+
+# Elastic control-loop gate: spike absorption, bounded migration rate,
+# hung-target backoff, admission-gate shed/lift, RCU filter republish
+# on absorb, and the inert-controller byte-identical determinism pin.
+cargo test -q --offline -p ix-core --test elastic
+
 # Microbench smoke: quick mode trims iteration counts so this is a
 # does-it-still-run check (plus BENCH_sim.json regeneration), not a
 # statistically meaningful measurement. The greps assert the TX- and
@@ -139,6 +150,30 @@ elapsed_s=$(( SECONDS - start_s ))
 echo "ci: quick fig8 sweep took ${elapsed_s}s (budget ${fig8_budget_s}s)"
 if [ "$elapsed_s" -gt "$fig8_budget_s" ]; then
     echo "ci: FAIL — quick fig8 exceeded its wall-clock budget" >&2
+    exit 1
+fi
+
+# Elastic-controller smoke: the quick fig9 point set runs the MMPP
+# spike against static and elastic core allocation. The binary prints
+# two headline lines the greps pin: the controller-off reruns must be
+# bit-identical (the elastic machinery contributes nothing when
+# disabled), and the elastic run must absorb the spike under SLA,
+# consolidate violation-free, and beat the static core-time.
+fig9_budget_s=60
+start_s=$SECONDS
+IX_SWEEP_QUICK=1 ./target/release/fig9_elastic | tee /tmp/ci_fig9.out | tail -n +4
+elapsed_s=$(( SECONDS - start_s ))
+echo "ci: quick fig9 sweep took ${elapsed_s}s (budget ${fig9_budget_s}s)"
+if [ "$elapsed_s" -gt "$fig9_budget_s" ]; then
+    echo "ci: FAIL — quick fig9 exceeded its wall-clock budget" >&2
+    exit 1
+fi
+if ! grep -q "controller-off runs are byte-identical" /tmp/ci_fig9.out; then
+    echo "ci: FAIL — quick fig9 controller-off determinism broke" >&2
+    exit 1
+fi
+if ! grep -q "elastic run absorbed the spike" /tmp/ci_fig9.out; then
+    echo "ci: FAIL — quick fig9 elastic run missed an acceptance gate" >&2
     exit 1
 fi
 

@@ -1386,3 +1386,403 @@ pub fn run_adversarial(cfg: &AdversarialConfig) -> AdversarialResult {
         debug: tb.debug_line(),
     }
 }
+
+// ---------------------------------------------------------------------
+// Elastic-controller experiment (fig9): MMPP load spike absorption.
+// ---------------------------------------------------------------------
+
+/// Configuration of one elastic-scaling measurement: the fig5-style
+/// memcached fleet whose aggregate arrival rate is modulated by a
+/// two-state MMPP (base rate / spike rate), served by an IX dataplane
+/// whose cores are managed — or not — by the elastic controller.
+#[derive(Debug, Clone)]
+pub struct ElasticKvConfig {
+    /// Server cores available to the control plane.
+    pub server_cores: usize,
+    /// Cores active at launch (the elastic run starts consolidated; the
+    /// static baseline ignores this and keeps every core active).
+    pub initial_active: usize,
+    /// Run the elastic controller (false = static core allocation).
+    pub elastic: bool,
+    /// Admission gate: shed new connections at the NIC edge when every
+    /// core is saturated past the shed threshold.
+    pub admission_gate: bool,
+    /// Workload profile.
+    pub workload: crate::workload::WorkloadKind,
+    /// Aggregate base-state arrival rate, requests/second.
+    pub base_rps: f64,
+    /// Aggregate spike-state arrival rate.
+    pub burst_rps: f64,
+    /// First spike onset.
+    pub spike_start: Nanos,
+    /// Mean spike dwell (exponential).
+    pub mean_on: Nanos,
+    /// Mean calm dwell between spikes (exponential).
+    pub mean_off: Nanos,
+    /// Total run length; also the MMPP stop (forced calm).
+    pub duration: Nanos,
+    /// Latency-series window width.
+    pub window: Nanos,
+    /// Client machines.
+    pub n_clients: usize,
+    /// Handler threads per client machine.
+    pub client_threads: usize,
+    /// Connections per client thread.
+    pub conns_per_thread: usize,
+    /// New connections dialed mid-spike (0 = none): the churn the
+    /// admission gate sheds at the NIC edge under saturation. Shed
+    /// dialers retry on a fast SYN timer and land once the gate lifts.
+    pub late_dials: usize,
+    /// When the dial wave starts.
+    pub dial_at: Nanos,
+    /// Queue-delay SLA for the controller and for the reported
+    /// violation windows (p99 against this).
+    pub sla: Nanos,
+    /// Controller epoch.
+    pub epoch: Nanos,
+    /// Controller's per-frame service estimate.
+    pub per_frame: Nanos,
+    /// Engine knobs.
+    pub tuning: EngineTuning,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ElasticKvConfig {
+    fn default() -> ElasticKvConfig {
+        ElasticKvConfig {
+            server_cores: 6,
+            initial_active: 2,
+            elastic: true,
+            admission_gate: false,
+            workload: crate::workload::WorkloadKind::Usr,
+            base_rps: 300_000.0,
+            burst_rps: 1_500_000.0,
+            spike_start: Nanos::from_millis(10),
+            mean_on: Nanos::from_millis(12),
+            mean_off: Nanos::from_millis(10),
+            duration: Nanos::from_millis(40),
+            window: Nanos::from_millis(1),
+            n_clients: 36,
+            client_threads: 4,
+            conns_per_thread: 16,
+            late_dials: 0,
+            dial_at: Nanos::from_millis(12),
+            sla: Nanos(300_000),
+            epoch: Nanos(200_000),
+            per_frame: Nanos(2_000),
+            tuning: EngineTuning::default(),
+            seed: 9,
+        }
+    }
+}
+
+/// One per-window row of the elastic experiment's time series.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticWindow {
+    /// Window start, ns since run start.
+    pub t_ns: u64,
+    /// p99 open-loop latency inside the window (0 when empty).
+    pub p99_ns: u64,
+    /// Requests completed inside the window.
+    pub completed: u64,
+    /// Active (unparked) server cores at the window's end.
+    pub active_cores: usize,
+    /// Whether the MMPP burst flag was up at the window's end.
+    pub burst_on: bool,
+}
+
+/// Results of one elastic-scaling run.
+#[derive(Debug, Clone)]
+pub struct ElasticKvResult {
+    /// The time series.
+    pub windows: Vec<ElasticWindow>,
+    /// Requests completed across the whole run.
+    pub completed_total: u64,
+    /// Requests shed client-side (generator hopelessly behind).
+    pub shed: u64,
+    /// MMPP transition log `(t_ns, burst_on)`.
+    pub transitions: Vec<(u64, bool)>,
+    /// From first spike onset until the last over-SLA window inside the
+    /// first spike ends (0 = never violated; None = never absorbed:
+    /// still violating when the spike ended).
+    pub absorb_ns: Option<u64>,
+    /// Over-SLA windows after the final spike ends — SLA-violation-free
+    /// consolidation means 0.
+    pub post_spike_violations: u64,
+    /// Σ active-cores × window over the run (core-ns) — the energy
+    /// proxy. A static run pays `server_cores × duration`.
+    pub core_ns: u64,
+    /// Static-allocation energy for the same run, core-ns.
+    pub static_core_ns: u64,
+    /// Elastic controller counters (zeroed for the static baseline).
+    pub ctl: ix_core::ElasticStats,
+    /// NIC filter drops (admission-gate sheds at the edge).
+    pub gate_drops: u64,
+    /// Late dials that eventually connected (all of them should, once
+    /// the gate lifts; 0 when `late_dials` is 0).
+    pub dials_ok: u64,
+    /// Engine diagnostics.
+    pub debug: String,
+}
+
+/// Dials `want` connections starting at `at_ns` and redials any whose
+/// SYN is shed until all land — the connection churn the admission gate
+/// turns away during overload.
+struct WaveDialer {
+    server: ix_net::Ipv4Addr,
+    port: u16,
+    at_ns: u64,
+    want: usize,
+    launched: usize,
+    next_user: u64,
+    ok: Rc<std::cell::Cell<usize>>,
+}
+
+impl LibixHandler for WaveDialer {
+    fn on_tick(&mut self, ctx: &mut ix_core::libix::LibixCtx<'_>) {
+        if ctx.now_ns >= self.at_ns && self.launched < self.want {
+            ctx.connect(self.server, self.port, self.next_user);
+            self.next_user += 1;
+            self.launched += 1;
+        }
+    }
+
+    fn on_connected(&mut self, ctx: &mut ix_core::libix::ConnCtx<'_>, ok: bool) {
+        if ok {
+            self.ok.set(self.ok.get() + 1);
+            ctx.abort();
+        } else {
+            self.launched -= 1;
+        }
+    }
+
+    fn wants_tick(&self, _now: u64) -> bool {
+        self.ok.get() < self.want
+    }
+}
+
+/// Runs one elastic-scaling point: MMPP-modulated memcached load
+/// against an IX server, with or without the elastic controller.
+pub fn run_elastic(cfg: &ElasticKvConfig) -> ElasticKvResult {
+    use ix_core::ixcp::{
+        set_active_threads, start_elastic_controller, start_queue_watchdog_with_health,
+        FilterControl,
+    };
+
+    let mut tb = Testbed::new(cfg.seed, 1, cfg.n_clients);
+    let end = cfg.duration.as_nanos();
+    let window_ns = cfg.window.as_nanos();
+    let stats = LoadStats::new(0, end);
+    stats.borrow_mut().enable_series(0, end, window_ns);
+    let store = SharedStore::new();
+    let st = store.clone();
+    tb.launch_server(System::Ix, cfg.server_cores, &cfg.tuning, 11211, move |_| {
+        KvServer::new(st.clone())
+    });
+    let server_ip = tb.server_ip();
+
+    // The shared MMPP state: one flag, every client thread.
+    let flag = Rc::new(std::cell::Cell::new(false));
+    let total_threads = (cfg.n_clients * cfg.client_threads) as f64;
+    let base_per_thread = cfg.base_rps / total_threads;
+    let burst_per_thread = cfg.burst_rps / total_threads;
+    let workload = Workload::new(cfg.workload);
+    let mut seeder = SimRng::new(cfg.seed.wrapping_mul(0x9e37));
+    let st2 = stats.clone();
+    let wl = workload.clone();
+    let conns = cfg.conns_per_thread;
+    let flag2 = flag.clone();
+    tb.launch_linux_clients(cfg.client_threads, &cfg.tuning, move |_ci, _t| {
+        let mut c = MutilateClient::new(
+            server_ip,
+            11211,
+            conns,
+            base_per_thread,
+            wl.clone(),
+            seeder.fork(),
+            st2.clone(),
+        );
+        c.stop_at_ns = end;
+        c.burst = Some((flag2.clone(), burst_per_thread));
+        c
+    });
+    // The dial wave: connection churn arriving mid-spike, on its own
+    // host with a fast SYN retry so shed dials reconnect promptly once
+    // the gate lifts.
+    let dials_ok = Rc::new(std::cell::Cell::new(0usize));
+    if cfg.late_dials > 0 {
+        let dialer_host = tb.fabric.add_host(1, 8, 0);
+        let ok = dials_ok.clone();
+        let (at, want) = (cfg.dial_at.as_nanos(), cfg.late_dials);
+        let lh = LinuxHost::launch(
+            &mut tb.sim,
+            tb.fabric.host(dialer_host),
+            1,
+            cfg.tuning.linux.clone(),
+            StackConfig { syn_rto_ns: 200_000, ..cfg.tuning.stack.clone() },
+            None,
+            |_| {
+                Box::new(Libix::new(WaveDialer {
+                    server: server_ip,
+                    port: 11211,
+                    at_ns: at,
+                    want,
+                    launched: 0,
+                    next_user: 0,
+                    ok: ok.clone(),
+                })) as Box<dyn IxApp>
+            },
+        );
+        let (sip, smac) = {
+            let s = tb.fabric.host(tb.server);
+            (s.ip, s.mac)
+        };
+        lh.seed_arp(sip, smac);
+        tb.seed_server_arp(dialer_host);
+    }
+    let transitions_log = crate::mutilate::start_mmpp(
+        &mut tb.sim,
+        flag.clone(),
+        SimRng::new(cfg.seed ^ 0x4d4d5050),
+        cfg.spike_start.as_nanos(),
+        cfg.mean_on.as_nanos(),
+        cfg.mean_off.as_nanos(),
+        end,
+    );
+
+    // Control plane over the IX server.
+    let threads = match tb.engine.as_ref().expect("server") {
+        ServerEngine::Ix(d) => d.threads.clone(),
+        _ => unreachable!("elastic experiment is IX-only"),
+    };
+    let ctl = if cfg.elastic {
+        let (dp, fc) = match tb.engine.as_ref().expect("server") {
+            ServerEngine::Ix(d) => {
+                let fc = cfg
+                    .admission_gate
+                    .then(|| Rc::new(FilterControl::install(d, ix_net::filter::FilterPolicy::new())));
+                (d, fc)
+            }
+            _ => unreachable!(),
+        };
+        set_active_threads(&mut tb.sim, dp, cfg.initial_active, fc.as_deref());
+        // The control loop outlives the load by the drain slack so the
+        // admission gate lifts once the backlog clears (late dials that
+        // were shed at the NIC edge reconnect here).
+        let ctl_deadline = end + Nanos::from_millis(4).as_nanos();
+        let (_wd, health) = start_queue_watchdog_with_health(
+            &mut tb.sim,
+            dp,
+            Nanos::from_millis(1).as_nanos(),
+            ctl_deadline,
+            fc.clone(),
+        );
+        let ecfg = ix_core::ElasticConfig {
+            epoch_ns: cfg.epoch.as_nanos(),
+            sla_ns: cfg.sla.as_nanos(),
+            per_frame_ns: cfg.per_frame.as_nanos(),
+            min_active: 1,
+            shed_port: cfg.admission_gate.then_some(11211),
+            shed_sla_ns: cfg.sla.as_nanos() * 2,
+            ..ix_core::ElasticConfig::default()
+        };
+        Some(start_elastic_controller(&mut tb.sim, dp, ecfg, fc, Some(health), ctl_deadline))
+    } else {
+        None
+    };
+
+    // Per-window probes: active cores and burst state at window end.
+    let probes: Rc<RefCell<Vec<(usize, bool)>>> = Rc::new(RefCell::new(Vec::new()));
+    {
+        let n_windows = end.div_ceil(window_ns);
+        for k in 0..n_windows {
+            let probes = probes.clone();
+            let threads = threads.clone();
+            let flag = flag.clone();
+            tb.sim.schedule_in(Nanos((k + 1) * window_ns - 1), move |_| {
+                let active = threads.iter().filter(|t| !t.borrow().parked).count();
+                probes.borrow_mut().push((active, flag.get()));
+            });
+        }
+    }
+
+    tb.run_until_ns(end + Nanos::from_millis(4).as_nanos());
+
+    let gate_drops = {
+        let host = tb.fabric.host(tb.server);
+        host.nics
+            .iter()
+            .map(|n| n.borrow().filter_stats_total().drops)
+            .sum()
+    };
+    let s = stats.borrow();
+    let series = s.series.as_ref().expect("series enabled");
+    let probes = probes.borrow();
+    let sla_ns = cfg.sla.as_nanos();
+    let mut windows: Vec<ElasticWindow> = Vec::new();
+    for (k, h) in series.windows.iter().enumerate() {
+        let (active, burst_on) = probes.get(k).copied().unwrap_or((0, false));
+        windows.push(ElasticWindow {
+            t_ns: series.start_ns + k as u64 * window_ns,
+            p99_ns: if h.count() > 0 { h.p99().as_nanos() } else { 0 },
+            completed: series.counts[k],
+            active_cores: active,
+            burst_on,
+        });
+    }
+
+    // Time-to-absorb: within the first spike interval, when does the
+    // last over-SLA window end (relative to the onset)?
+    let transitions = transitions_log.borrow().clone();
+    let first_on = transitions.iter().find(|t| t.1).map(|t| t.0);
+    let first_off = transitions
+        .iter()
+        .find(|t| !t.1 && Some(t.0) > first_on)
+        .map(|t| t.0)
+        .unwrap_or(end);
+    let absorb_ns = first_on.map(|on| {
+        let mut last_over_end: u64 = 0;
+        let mut absorbed = true;
+        for w in &windows {
+            let w_end = w.t_ns + window_ns;
+            if w_end <= on || w.t_ns >= first_off {
+                continue;
+            }
+            if w.p99_ns > sla_ns {
+                last_over_end = w_end.saturating_sub(on);
+                // Violating in the spike's final window = never absorbed.
+                absorbed = w_end + window_ns < first_off;
+            }
+        }
+        (absorbed, last_over_end)
+    });
+    let absorb_ns = match absorb_ns {
+        Some((true, v)) => Some(v),
+        Some((false, _)) => None,
+        None => Some(0),
+    };
+    // Consolidation quality: windows after the final spike ended (one
+    // window of grace for in-flight requests) must stay under SLA.
+    let final_off = transitions.iter().rev().find(|t| !t.1).map(|t| t.0).unwrap_or(end);
+    let post_spike_violations = windows
+        .iter()
+        .filter(|w| w.t_ns >= final_off + window_ns && w.p99_ns > sla_ns)
+        .count() as u64;
+
+    let core_ns: u64 = windows.iter().map(|w| w.active_cores as u64 * window_ns).sum();
+    ElasticKvResult {
+        completed_total: s.completed_total,
+        shed: s.shed,
+        transitions,
+        absorb_ns,
+        post_spike_violations,
+        core_ns,
+        static_core_ns: cfg.server_cores as u64 * end,
+        ctl: ctl.map(|c| *c.borrow()).unwrap_or_default(),
+        gate_drops,
+        dials_ok: dials_ok.get() as u64,
+        debug: tb.debug_line(),
+        windows,
+    }
+}

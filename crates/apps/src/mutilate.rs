@@ -13,15 +13,43 @@
 //! with a pipeline bound of four. [`MutilateAgent`] is the unloaded
 //! latency sampler. Both feed a shared [`LoadStats`].
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use ix_testkit::Bytes;
 use ix_core::libix::{ConnCtx, LibixCtx, LibixHandler};
-use ix_sim::{Histogram, SimRng};
+use ix_sim::{Histogram, Nanos, SimRng, Simulator};
 
 use crate::workload::{proto, Workload};
+
+/// Per-window latency series — the time-resolved view the elastic
+/// controller experiments need (a single whole-run histogram hides
+/// exactly the transient the spike is about).
+#[derive(Debug)]
+pub struct LoadSeries {
+    /// Series start (virtual time).
+    pub start_ns: u64,
+    /// Window width.
+    pub window_ns: u64,
+    /// One open-loop latency histogram per window.
+    pub windows: Vec<Histogram>,
+    /// Completions per window.
+    pub counts: Vec<u64>,
+}
+
+impl LoadSeries {
+    fn record(&mut self, now_ns: u64, latency_ns: u64) {
+        if now_ns < self.start_ns {
+            return;
+        }
+        let idx = ((now_ns - self.start_ns) / self.window_ns) as usize;
+        if let Some(h) = self.windows.get_mut(idx) {
+            h.record(Nanos(latency_ns));
+            self.counts[idx] += 1;
+        }
+    }
+}
 
 /// Shared measurement sink for a memcached experiment.
 #[derive(Debug)]
@@ -44,6 +72,9 @@ pub struct LoadStats {
     pub window_start_ns: u64,
     /// Measurement window end.
     pub window_end_ns: u64,
+    /// Optional per-window latency series (off by default; enabling it
+    /// changes no RNG draw and no packet, only bookkeeping).
+    pub series: Option<LoadSeries>,
 }
 
 impl LoadStats {
@@ -58,7 +89,20 @@ impl LoadStats {
             shed: 0,
             window_start_ns,
             window_end_ns,
+            series: None,
         }))
+    }
+
+    /// Turns on the per-window latency series covering
+    /// `[start_ns, end_ns)` in `window_ns` slices.
+    pub fn enable_series(&mut self, start_ns: u64, end_ns: u64, window_ns: u64) {
+        let n = (end_ns.saturating_sub(start_ns)).div_ceil(window_ns) as usize;
+        self.series = Some(LoadSeries {
+            start_ns,
+            window_ns,
+            windows: (0..n).map(|_| Histogram::new()).collect(),
+            counts: vec![0; n],
+        });
     }
 
     fn in_window(&self, now_ns: u64) -> bool {
@@ -117,6 +161,12 @@ pub struct MutilateClient {
     /// Byte-copy passes into a connection's reassembly buffer, taken
     /// only when a response straddles a delivery boundary.
     pub spill_copies: u64,
+    /// MMPP burst modulation: while the shared flag is set, arrivals
+    /// come at the second element's rate instead of `rate_rps`. One
+    /// flag drives the whole fleet so a spike hits every client in the
+    /// same virtual instant. `None` leaves the arrival process (and its
+    /// RNG draw sequence) exactly as before.
+    pub burst: Option<(Rc<Cell<bool>>, f64)>,
 }
 
 impl MutilateClient {
@@ -153,6 +203,7 @@ impl MutilateClient {
             stop_at_ns: u64::MAX,
             inplace_parses: 0,
             spill_copies: 0,
+            burst: None,
         }
     }
 
@@ -217,9 +268,15 @@ impl LibixHandler for MutilateClient {
                 self.opened += 1;
             }
         }
-        // Open-loop arrivals since the last tick.
+        // Open-loop arrivals since the last tick. The modulating state
+        // (MMPP) is read per arrival: a flag flip mid-backlog changes
+        // the rate of every gap drawn after it.
         while self.next_arrival_ns <= ctx.now_ns && ctx.now_ns < self.stop_at_ns {
-            let gap = self.rng.exponential(1e9 / self.rate_rps.max(1.0)) as u64;
+            let rate = match &self.burst {
+                Some((flag, hi_rps)) if flag.get() => *hi_rps,
+                _ => self.rate_rps,
+            };
+            let gap = self.rng.exponential(1e9 / rate.max(1.0)) as u64;
             let arrived = self.next_arrival_ns;
             self.next_arrival_ns += gap.max(1);
             if self.backlog.len() >= self.backlog_cap {
@@ -288,6 +345,9 @@ impl LibixHandler for MutilateClient {
                 // Open-loop latency includes client-side queueing.
                 st.latency.record(ix_sim::Nanos(now - out.arrived_at));
                 st.net_latency.record(ix_sim::Nanos(now - out.issued_at));
+            }
+            if let Some(series) = st.series.as_mut() {
+                series.record(now, now - out.arrived_at);
             }
         }
         if spilled {
@@ -475,6 +535,73 @@ impl LibixHandler for MutilateAgent {
     }
 
     fn on_sent(&mut self, _ctx: &mut ConnCtx<'_>) {}
+}
+
+/// Transition log of an MMPP modulator: `(virtual time, burst on)`.
+pub type MmppLog = Rc<RefCell<Vec<(u64, bool)>>>;
+
+/// Drives the two-state MMPP modulation of a mutilate fleet: the shared
+/// `flag` turns on at `start_ns`, stays up for an exponential dwell of
+/// mean `mean_on_ns`, drops for an exponential dwell of mean
+/// `mean_off_ns`, and repeats until `stop_ns` (where it is forced off).
+/// All clients sharing the flag switch rates in the same virtual
+/// instant — the fleet-wide load spike. The FIRST on/off cycle is
+/// pinned to exactly its means (not sampled) so a time-to-absorb metric
+/// is always measured against a full-length spike followed by a real
+/// calm interval; an exponential draw can land at a few thousandths of
+/// the mean and leave nothing to absorb (or no calm to consolidate in).
+/// Later dwells are exponential. Returns the transition log.
+pub fn start_mmpp(
+    sim: &mut Simulator,
+    flag: Rc<Cell<bool>>,
+    rng: SimRng,
+    start_ns: u64,
+    mean_on_ns: u64,
+    mean_off_ns: u64,
+    stop_ns: u64,
+) -> MmppLog {
+    struct Mmpp {
+        flag: Rc<Cell<bool>>,
+        rng: SimRng,
+        mean_on_ns: u64,
+        mean_off_ns: u64,
+        stop_ns: u64,
+        pinned: u8,
+        log: MmppLog,
+    }
+    fn flip(sim: &mut Simulator, mut m: Mmpp, on: bool) {
+        let now = sim.now().as_nanos();
+        if now >= m.stop_ns {
+            if m.flag.get() {
+                m.flag.set(false);
+                m.log.borrow_mut().push((now, false));
+            }
+            return;
+        }
+        m.flag.set(on);
+        m.log.borrow_mut().push((now, on));
+        let mean = if on { m.mean_on_ns } else { m.mean_off_ns };
+        let dwell = if m.pinned > 0 {
+            m.pinned -= 1;
+            mean
+        } else {
+            m.rng.exponential(mean as f64) as u64
+        }
+        .clamp(1, m.stop_ns - now);
+        sim.schedule_in(Nanos(dwell), move |sim| flip(sim, m, !on));
+    }
+    let log: MmppLog = Rc::new(RefCell::new(Vec::new()));
+    let m = Mmpp {
+        flag,
+        rng,
+        mean_on_ns,
+        mean_off_ns,
+        stop_ns,
+        pinned: 2,
+        log: log.clone(),
+    };
+    sim.schedule_in(Nanos(start_ns), move |sim| flip(sim, m, true));
+    log
 }
 
 #[cfg(test)]

@@ -14,13 +14,21 @@
 //!   affected protocol control blocks between shards, §4.4),
 //! * queue-depth monitoring — the congestion signal the paper says a
 //!   dataplane can raise so the control plane allocates more resources
-//!   (§3).
+//!   (§3),
+//! * the **elastic control loop** ([`start_elastic_controller`]): the
+//!   policy the paper left to future work — per-epoch queue-delay
+//!   sampling against a tail-latency SLA proxy, hysteresis-gated core
+//!   add/revoke with a bounded per-epoch migration rate, retry/backoff
+//!   when the watchdog flags a target core hung, and a last-resort
+//!   admission gate that sheds *new* connections at the NIC filter when
+//!   every core is saturated (graceful overload degradation).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use ix_net::filter::FilterPolicy;
+use ix_net::filter::{FilterPolicy, RuleAction};
+use ix_net::ip::IpProto;
 use ix_nic::nic::NicRef;
 use ix_sim::{Nanos, Simulator};
 use ix_tcp::Tcb;
@@ -66,6 +74,14 @@ pub struct WatchdogStats {
 
 /// Shared handle to the watchdog's counters.
 pub type WatchdogRef = Rc<RefCell<WatchdogStats>>;
+
+/// The watchdog's published health verdicts: the thread indices flagged
+/// hung by the most recent scan (empty when every queue is draining).
+/// The elastic controller consults this before activating a core or
+/// steering flow groups toward it — migrating traffic onto a wedged
+/// queue would just move it into a black hole, so the controller backs
+/// off and retries instead.
+pub type WatchdogHealth = Rc<RefCell<Vec<usize>>>;
 
 /// The control plane: owns the dataplane registry and the elastic
 /// scaling mechanism.
@@ -124,82 +140,7 @@ impl ControlPlane {
     ///
     /// Panics if `n` is zero or exceeds the dataplane's thread count.
     pub fn set_active_threads(&mut self, sim: &mut Simulator, id: DataplaneId, n: usize) {
-        let dp = &self.dataplanes[id.0];
-        assert!(n >= 1 && n <= dp.threads.len(), "bad thread count {n}");
-        let now_ns = sim.now().as_nanos();
-
-        // 1. Reprogram the RSS redirection tables: bucket i -> queue
-        //    (i % n). New packets immediately steer to active threads.
-        let nics: Vec<_> = dp.threads[0].borrow().queues().iter().map(|(nic, _)| nic.clone()).collect();
-        for nic in &nics {
-            nic.borrow_mut()
-                .set_redirection((0..128).map(|i| i % n).collect());
-        }
-
-        // 2. Quiesce the threads being revoked: pull any frames still in
-        //    their RX rings through their own stacks, then let the
-        //    application drain its in-flight results and buffered writes
-        //    into TCP (the Exokernel-style revocation handshake). Only
-        //    then park.
-        for (i, th) in dp.threads.iter().enumerate() {
-            if i < n {
-                th.borrow_mut().parked = false;
-                continue;
-            }
-            {
-                let mut t = th.borrow_mut();
-                let queues = t.queues().to_vec();
-                for (nic, q) in queues {
-                    loop {
-                        let frame = nic.borrow_mut().rx_ring(q).poll();
-                        let Some(frame) = frame else { break };
-                        t.shard.input(now_ns, frame);
-                    }
-                    let mut nn = nic.borrow_mut();
-                    let un = nn.rx_ring(q).unreplenished();
-                    nn.rx_ring(q).replenish(un);
-                }
-            }
-            ElasticThread::drain_user_work(th, sim);
-            th.borrow_mut().parked = true;
-        }
-
-        // 3. Migrate existing flows so each lives on the shard its
-        //    bucket now maps to.
-        let steer_nic = nics[0].clone();
-        let mut moving: Vec<(usize, Vec<Tcb>)> = Vec::new();
-        for (i, th) in dp.threads.iter().enumerate() {
-            let mut t = th.borrow_mut();
-            let local_ip = t.shard.local_ip;
-            let nic = steer_nic.clone();
-            let extracted = t.shard.extract_flows(|remote_ip, remote_port, local_port| {
-                let q = nic.borrow().queue_for_flow(remote_ip, local_ip, remote_port, local_port);
-                q != i
-            });
-            if !extracted.is_empty() {
-                moving.push((i, extracted));
-            }
-        }
-        for (_, flows) in moving {
-            for tcb in flows {
-                let th = {
-                    let local_ip = dp.threads[0].borrow().shard.local_ip;
-                    let q = steer_nic.borrow().queue_for_flow(
-                        tcb.remote_ip,
-                        local_ip,
-                        tcb.remote_port,
-                        tcb.local_port,
-                    );
-                    dp.threads[q].clone()
-                };
-                th.borrow_mut().shard.absorb_flows(now_ns, vec![tcb]);
-            }
-        }
-
-        // 4. Wake the active threads so adopted flows make progress.
-        for th in dp.threads.iter().take(n) {
-            ElasticThread::schedule_iteration(th, sim);
-        }
+        set_active_threads(sim, &self.dataplanes[id.0], n, None);
     }
 
     /// Starts a periodic watchdog over the dataplane's RX queues. Every
@@ -224,6 +165,136 @@ impl ControlPlane {
     }
 }
 
+/// Every distinct NIC port the dataplane's threads serve. RSS tables
+/// must be reprogrammed identically on all of them (a flow hashes the
+/// same way on every member port).
+fn dataplane_nics(threads: &[ThreadRef]) -> Vec<NicRef> {
+    let mut nics: Vec<NicRef> = Vec::new();
+    for th in threads {
+        for (nic, _q) in th.borrow().queues() {
+            if !nics.iter().any(|n| Rc::ptr_eq(n, nic)) {
+                nics.push(nic.clone());
+            }
+        }
+    }
+    nics
+}
+
+/// Pulls every frame still sitting in `th`'s RX rings through its own
+/// shard and replenishes the consumed descriptors. Frames that were
+/// steered before a redirection-table reprogram belong to the *old*
+/// owner: processing them here (instead of extracting the flows first)
+/// is what keeps a bucket move invisible to the byte stream.
+fn drain_rings_through_own_shard(th: &ThreadRef, now_ns: u64) {
+    let mut t = th.borrow_mut();
+    let queues = t.queues().to_vec();
+    for (nic, q) in queues {
+        loop {
+            let frame = nic.borrow_mut().rx_ring(q).poll();
+            let Some(frame) = frame else { break };
+            t.shard.input(now_ns, frame);
+        }
+        let mut nn = nic.borrow_mut();
+        let un = nn.rx_ring(q).unreplenished();
+        nn.rx_ring(q).replenish(un);
+    }
+}
+
+/// Migrates every flow whose RSS bucket no longer maps to the shard
+/// holding it (§4.4): extract from the current owner, absorb at the
+/// queue the redirection table now names. When a [`FilterControl`] is
+/// supplied, the current policy snapshot is republished to every
+/// destination shard — a rule update published while the migration was
+/// in flight must not leave adopted flows classified by a stale
+/// snapshot. Returns the number of flows moved.
+pub fn migrate_mismatched_flows(
+    now_ns: u64,
+    threads: &[ThreadRef],
+    filter: Option<&FilterControl>,
+) -> u64 {
+    let steer_nic = threads[0].borrow().queues()[0].0.clone();
+    let local_ip = threads[0].borrow().shard.local_ip;
+    let mut moving: Vec<Tcb> = Vec::new();
+    for (i, th) in threads.iter().enumerate() {
+        let mut t = th.borrow_mut();
+        let nic = steer_nic.clone();
+        let extracted = t.shard.extract_flows(|remote_ip, remote_port, local_port| {
+            nic.borrow().queue_for_flow(remote_ip, local_ip, remote_port, local_port) != i
+        });
+        moving.extend(extracted);
+    }
+    let mut moved = 0u64;
+    let mut dests: Vec<usize> = Vec::new();
+    for tcb in moving {
+        let q = steer_nic.borrow().queue_for_flow(
+            tcb.remote_ip,
+            local_ip,
+            tcb.remote_port,
+            tcb.local_port,
+        );
+        threads[q].borrow_mut().shard.absorb_flows(now_ns, vec![tcb]);
+        if !dests.contains(&q) {
+            dests.push(q);
+        }
+        moved += 1;
+    }
+    if let Some(fc) = filter {
+        for q in dests {
+            fc.republish_shard(&threads[q]);
+        }
+    }
+    moved
+}
+
+/// Standalone form of [`ControlPlane::set_active_threads`] for callers
+/// that hold a [`Dataplane`] directly (experiment harnesses). `filter`,
+/// when supplied, is republished to migration destinations.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds the dataplane's thread count.
+pub fn set_active_threads(
+    sim: &mut Simulator,
+    dp: &Dataplane,
+    n: usize,
+    filter: Option<&FilterControl>,
+) {
+    assert!(n >= 1 && n <= dp.threads.len(), "bad thread count {n}");
+    let now_ns = sim.now().as_nanos();
+
+    // 1. Reprogram the RSS redirection tables: bucket i -> queue
+    //    (i % n). New packets immediately steer to active threads.
+    let nics = dataplane_nics(&dp.threads);
+    for nic in &nics {
+        nic.borrow_mut()
+            .set_redirection((0..128).map(|i| i % n).collect());
+    }
+
+    // 2. Quiesce the threads being revoked: pull any frames still in
+    //    their RX rings through their own stacks, then let the
+    //    application drain its in-flight results and buffered writes
+    //    into TCP (the Exokernel-style revocation handshake). Only
+    //    then park.
+    //    Threads that stay active quiesce the same way: frames already
+    //    steered into their rings and application work already queued
+    //    must reach their stacks *before* the flow table reshuffles, or
+    //    a migrated flow would leave orphaned events behind.
+    for (i, th) in dp.threads.iter().enumerate() {
+        drain_rings_through_own_shard(th, now_ns);
+        ElasticThread::drain_user_work(th, sim);
+        th.borrow_mut().parked = i >= n;
+    }
+
+    // 3. Migrate existing flows so each lives on the shard its bucket
+    //    now maps to.
+    migrate_mismatched_flows(now_ns, &dp.threads, filter);
+
+    // 4. Wake the active threads so adopted flows make progress.
+    for th in dp.threads.iter().take(n) {
+        ElasticThread::schedule_iteration(th, sim);
+    }
+}
+
 /// Standalone form of [`ControlPlane::start_queue_watchdog`] for callers
 /// that hold a [`Dataplane`] directly (experiment harnesses).
 pub fn start_queue_watchdog(
@@ -232,31 +303,56 @@ pub fn start_queue_watchdog(
     period_ns: u64,
     deadline_ns: u64,
 ) -> WatchdogRef {
-    let threads = Rc::new(dp.threads.clone());
+    start_queue_watchdog_with_health(sim, dp, period_ns, deadline_ns, None).0
+}
+
+/// Like [`start_queue_watchdog`], but also returns the shared health
+/// handle the watchdog publishes its per-scan hung-thread verdicts
+/// through (the elastic controller's input), and accepts the
+/// dataplane's [`FilterControl`] so re-steer migrations republish the
+/// policy snapshot to destination shards.
+pub fn start_queue_watchdog_with_health(
+    sim: &mut Simulator,
+    dp: &Dataplane,
+    period_ns: u64,
+    deadline_ns: u64,
+    filter: Option<Rc<FilterControl>>,
+) -> (WatchdogRef, WatchdogHealth) {
     let stats: WatchdogRef = Rc::new(RefCell::new(WatchdogStats::default()));
-    let last = Rc::new(RefCell::new(HashMap::new()));
-    let (t, l, s) = (threads, last, stats.clone());
-    sim.schedule_in(Nanos(period_ns), move |sim| {
-        watchdog_tick(sim, t, l, s, period_ns, deadline_ns);
-    });
-    stats
+    let health: WatchdogHealth = Rc::new(RefCell::new(Vec::new()));
+    let ctx = WatchdogCtx {
+        threads: Rc::new(dp.threads.clone()),
+        last: Rc::new(RefCell::new(HashMap::new())),
+        stats: stats.clone(),
+        health: health.clone(),
+        filter,
+        period_ns,
+        deadline_ns,
+    };
+    sim.schedule_in(Nanos(period_ns), move |sim| watchdog_tick(sim, ctx));
+    (stats, health)
 }
 
 /// Last-sample memory per `(thread, queue-slot)`: frames polled so far
 /// and the ring backlog at that instant.
 type WatchdogSamples = Rc<RefCell<HashMap<(usize, usize), (u64, usize)>>>;
 
-/// One watchdog pass: sample every queue, detect hangs, re-steer, and
-/// reschedule while within the deadline.
-fn watchdog_tick(
-    sim: &mut Simulator,
+/// Everything one watchdog pass needs (bundled so the self-rescheduling
+/// closure moves one value).
+struct WatchdogCtx {
     threads: Rc<Vec<ThreadRef>>,
     last: WatchdogSamples,
     stats: WatchdogRef,
+    health: WatchdogHealth,
+    filter: Option<Rc<FilterControl>>,
     period_ns: u64,
     deadline_ns: u64,
-) {
-    stats.borrow_mut().scans += 1;
+}
+
+/// One watchdog pass: sample every queue, detect hangs, publish the
+/// verdicts, re-steer, and reschedule while within the deadline.
+fn watchdog_tick(sim: &mut Simulator, ctx: WatchdogCtx) {
+    ctx.stats.borrow_mut().scans += 1;
     // Sample every queue first, then re-steer all hung threads in ONE
     // pass. Re-steering per detection handled simultaneous hangs badly:
     // the first re-steer only knew about the first hung queue, so it
@@ -264,7 +360,7 @@ fn watchdog_tick(
     // moved from one black hole into another and stayed stalled until
     // (at best) a later tick.
     let mut hung: Vec<usize> = Vec::new();
-    for (ti, th) in threads.iter().enumerate() {
+    for (ti, th) in ctx.threads.iter().enumerate() {
         if th.borrow().parked {
             continue;
         }
@@ -279,10 +375,10 @@ fn watchdog_tick(
             // period while a backlog sits in the ring, nothing is
             // draining the queue.
             let polled = received - pending as u64;
-            let prev = last.borrow_mut().insert((ti, pi), (polled, pending));
+            let prev = ctx.last.borrow_mut().insert((ti, pi), (polled, pending));
             if let Some((prev_polled, prev_pending)) = prev {
                 if pending > 0 && prev_pending > 0 && polled == prev_polled {
-                    stats.borrow_mut().hangs_detected += 1;
+                    ctx.stats.borrow_mut().hangs_detected += 1;
                     if !hung.contains(&ti) {
                         hung.push(ti);
                     }
@@ -290,13 +386,15 @@ fn watchdog_tick(
             }
         }
     }
+    // Publish this scan's verdicts (clearing recovered threads) so the
+    // elastic controller never steers flow groups toward a wedged core.
+    *ctx.health.borrow_mut() = hung.clone();
     if !hung.is_empty() {
-        resteer_hung_queues(sim, &threads, &hung, &stats);
+        resteer_hung_queues(sim, &ctx.threads, &hung, &ctx.stats, ctx.filter.as_deref());
     }
-    if sim.now().as_nanos() + period_ns <= deadline_ns {
-        sim.schedule_in(Nanos(period_ns), move |sim| {
-            watchdog_tick(sim, threads, last, stats, period_ns, deadline_ns);
-        });
+    if sim.now().as_nanos() + ctx.period_ns <= ctx.deadline_ns {
+        let period_ns = ctx.period_ns;
+        sim.schedule_in(Nanos(period_ns), move |sim| watchdog_tick(sim, ctx));
     }
 }
 
@@ -314,6 +412,7 @@ fn resteer_hung_queues(
     threads: &[ThreadRef],
     hung: &[usize],
     stats: &WatchdogRef,
+    filter: Option<&FilterControl>,
 ) {
     let now_ns = sim.now().as_nanos();
     let healthy: Vec<usize> = threads
@@ -368,33 +467,409 @@ fn resteer_hung_queues(
     }
     // 3. Migrate each hung shard's connections to the shards their
     //    buckets now map to (same mechanism as elastic revocation).
-    for &h in hung {
-        let queues = threads[h].borrow().queues().to_vec();
-        let steer_nic = queues[0].0.clone();
-        let local_ip = threads[h].borrow().shard.local_ip;
-        let extracted = {
-            let nic = steer_nic.clone();
-            threads[h].borrow_mut().shard.extract_flows(|remote_ip, remote_port, local_port| {
-                nic.borrow().queue_for_flow(remote_ip, local_ip, remote_port, local_port) != h
-            })
-        };
-        for tcb in extracted {
-            let q = steer_nic.borrow().queue_for_flow(
-                tcb.remote_ip,
-                local_ip,
-                tcb.remote_port,
-                tcb.local_port,
-            );
-            stats.borrow_mut().flows_migrated += 1;
-            threads[q].borrow_mut().shard.absorb_flows(now_ns, vec![tcb]);
-        }
-    }
+    stats.borrow_mut().flows_migrated += migrate_mismatched_flows(now_ns, threads, filter);
     // 4. Wake the healthy threads so adopted flows make progress.
     for th in threads.iter() {
         if !th.borrow().parked {
             ElasticThread::schedule_iteration(th, sim);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// The elastic control loop (§4.4 mechanisms + the policy the paper left
+// to future work).
+// ---------------------------------------------------------------------
+
+/// Tuning for the elastic controller. All thresholds are expressed
+/// through one queue-delay SLA proxy: a core's backlog (frames waiting
+/// in its RX rings) times the estimated per-frame service time is the
+/// latency a newly arrived request will see before processing even
+/// starts — the §3 observation that queues "build up only at the NIC
+/// edge" makes this the one place tail latency is forecastable.
+#[derive(Debug, Clone)]
+pub struct ElasticConfig {
+    /// Sampling/decision period.
+    pub epoch_ns: u64,
+    /// Queue-delay SLA proxy target: a core whose backlog exceeds this
+    /// is violating; sustained violation adds a core.
+    pub sla_ns: u64,
+    /// Estimated service time per backlogged frame (converts ring depth
+    /// into queueing delay).
+    pub per_frame_ns: u64,
+    /// Consecutive over-SLA epochs before a core is added (hysteresis:
+    /// a one-epoch blip must not trigger a migration storm).
+    pub add_epochs: u32,
+    /// Consecutive idle epochs before a core is revoked. Much longer
+    /// than `add_epochs`: growing late costs SLA violations, shrinking
+    /// late only costs energy.
+    pub revoke_epochs: u32,
+    /// Revocation headroom: one fewer core must hold the projected
+    /// delay under `sla_ns / revoke_headroom` before a revoke starts,
+    /// so add and revoke thresholds never chatter against each other.
+    pub revoke_headroom: u32,
+    /// Never revoke below this many active threads.
+    pub min_active: usize,
+    /// Bounded migration rate: at most this many RSS redirection
+    /// buckets move per epoch, so a scaling decision never migrates the
+    /// whole connection table in one burst.
+    pub max_buckets_per_epoch: usize,
+    /// Epochs to wait before retrying an add whose target core the
+    /// watchdog flagged hung.
+    pub hung_backoff_epochs: u32,
+    /// Graceful overload degradation: when every core is active and the
+    /// delay proxy exceeds `shed_sla_ns`, publish a [`RuleAction::DropSyn`]
+    /// rule for this port via the dataplane's [`FilterControl`] —
+    /// shedding *new* connections at the NIC edge instead of letting
+    /// established-flow latency collapse. Requires a filter handle.
+    pub shed_port: Option<u16>,
+    /// Queue-delay level that turns the admission gate on (only with
+    /// every core already active).
+    pub shed_sla_ns: u64,
+    /// Consecutive calm epochs before the admission gate lifts —
+    /// deliberately shorter than `revoke_epochs`: a closed gate turns
+    /// away legitimate connections, so it reopens as soon as the
+    /// overload clearly passes, while core revocation stays
+    /// conservative.
+    pub shed_calm_epochs: u32,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> ElasticConfig {
+        ElasticConfig {
+            epoch_ns: 50_000,
+            sla_ns: 100_000,
+            per_frame_ns: 1_000,
+            add_epochs: 2,
+            revoke_epochs: 20,
+            revoke_headroom: 4,
+            min_active: 1,
+            max_buckets_per_epoch: 16,
+            hung_backoff_epochs: 8,
+            shed_port: None,
+            shed_sla_ns: 200_000,
+            shed_calm_epochs: 6,
+        }
+    }
+}
+
+/// Counters from the elastic control loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElasticStats {
+    /// Decision epochs executed.
+    pub epochs: u64,
+    /// Cores added (spike absorption).
+    pub adds: u64,
+    /// Core revocations decided (idle consolidation).
+    pub revokes: u64,
+    /// Revoked threads fully drained and parked.
+    pub parks: u64,
+    /// Adds deferred because the watchdog flagged the target core hung
+    /// (each defer backs off `hung_backoff_epochs` before retrying).
+    pub add_retries: u64,
+    /// RSS redirection buckets moved (rate-bounded per epoch).
+    pub buckets_moved: u64,
+    /// Live connections migrated between shards.
+    pub flows_migrated: u64,
+    /// Admission gate turn-ons / turn-offs.
+    pub shed_enables: u64,
+    /// See `shed_enables`.
+    pub shed_disables: u64,
+    /// Epochs the admission gate spent active.
+    pub shed_epochs: u64,
+    /// Epochs where the delay proxy exceeded the SLA.
+    pub sla_violation_epochs: u64,
+    /// Σ (unparked threads) over epochs — the busy-cores × time energy
+    /// proxy (multiply by `epoch_ns` for core-nanoseconds). A static
+    /// allocation pays `threads × epochs`.
+    pub busy_core_epochs: u64,
+    /// High-water mark of the queue-delay proxy.
+    pub max_delay_ns: u64,
+}
+
+/// Shared handle to the controller's counters.
+pub type ElasticRef = Rc<RefCell<ElasticStats>>;
+
+/// Mutable decision state between epochs.
+#[derive(Debug, Default)]
+struct ElasticState {
+    target_active: usize,
+    over_streak: u32,
+    idle_streak: u32,
+    shed_over_streak: u32,
+    shed_calm_streak: u32,
+    /// Epochs left before a hung-target add may be retried.
+    backoff: u32,
+    shed_on: bool,
+}
+
+/// Everything one controller epoch needs (bundled so the
+/// self-rescheduling closure moves one value).
+struct ElasticCtx {
+    threads: Rc<Vec<ThreadRef>>,
+    cfg: ElasticConfig,
+    filter: Option<Rc<FilterControl>>,
+    health: Option<WatchdogHealth>,
+    stats: ElasticRef,
+    state: Rc<RefCell<ElasticState>>,
+    deadline_ns: u64,
+}
+
+/// Starts the elastic control loop over `dp`: every `cfg.epoch_ns` it
+/// samples per-core queue depth, converts it to the queue-delay SLA
+/// proxy, and issues hysteresis-gated core add / revoke commands with a
+/// bounded per-epoch migration rate. `filter` enables the overload
+/// admission gate (and keeps migration destinations' policy snapshots
+/// fresh); `health` is the watchdog's published hung-set, consulted
+/// before steering flow groups toward a core. The controller initial
+/// target is the currently unparked thread count; it stops rescheduling
+/// once the next epoch would land past `deadline_ns`.
+pub fn start_elastic_controller(
+    sim: &mut Simulator,
+    dp: &Dataplane,
+    cfg: ElasticConfig,
+    filter: Option<Rc<FilterControl>>,
+    health: Option<WatchdogHealth>,
+    deadline_ns: u64,
+) -> ElasticRef {
+    let stats: ElasticRef = Rc::new(RefCell::new(ElasticStats::default()));
+    let target = dp.threads.iter().filter(|t| !t.borrow().parked).count().max(1);
+    let ctx = ElasticCtx {
+        threads: Rc::new(dp.threads.clone()),
+        cfg: cfg.clone(),
+        filter,
+        health,
+        stats: stats.clone(),
+        state: Rc::new(RefCell::new(ElasticState {
+            target_active: target,
+            ..ElasticState::default()
+        })),
+        deadline_ns,
+    };
+    sim.schedule_in(Nanos(cfg.epoch_ns), move |sim| elastic_tick(sim, ctx));
+    stats
+}
+
+/// One controller epoch: sample, decide, converge, park, gate.
+fn elastic_tick(sim: &mut Simulator, ctx: ElasticCtx) {
+    let now_ns = sim.now().as_nanos();
+    let n = ctx.threads.len();
+    let cfg = &ctx.cfg;
+    let hung: Vec<usize> =
+        ctx.health.as_ref().map(|h| h.borrow().clone()).unwrap_or_default();
+
+    // --- Sample: per-core RX backlog over the unparked threads. The
+    //     signal is the ring-depth high-water mark since the previous
+    //     epoch, not the instantaneous depth: run-to-completion drains
+    //     the ring at every iteration, so a point sample reads ~0 even
+    //     on a core whose bursts queue far past the SLA. ---
+    let mut max_pending = 0usize;
+    let mut total_pending = 0usize;
+    let mut busy = 0usize;
+    for th in ctx.threads.iter() {
+        let t = th.borrow();
+        if t.parked {
+            continue;
+        }
+        busy += 1;
+        let mut mine = 0usize;
+        for (nic, q) in t.queues() {
+            mine += nic.borrow_mut().rx_ring(*q).take_depth_hwm();
+        }
+        max_pending = max_pending.max(mine);
+        total_pending += mine;
+    }
+    let max_delay = max_pending as u64 * cfg.per_frame_ns;
+
+    let mut wake_new: Option<usize> = None;
+    {
+        let mut st = ctx.stats.borrow_mut();
+        let mut s = ctx.state.borrow_mut();
+        st.epochs += 1;
+        st.busy_core_epochs += busy as u64;
+        st.max_delay_ns = st.max_delay_ns.max(max_delay);
+        if s.backoff > 0 {
+            s.backoff -= 1;
+        }
+
+        // --- Hysteresis bookkeeping. ---
+        if max_delay > cfg.sla_ns {
+            st.sla_violation_epochs += 1;
+            s.over_streak += 1;
+            s.idle_streak = 0;
+        } else {
+            s.over_streak = 0;
+            // Idle iff one fewer core would still hold the delay proxy
+            // with `revoke_headroom` to spare.
+            let projected = if s.target_active > 1 {
+                total_pending as u64 * cfg.per_frame_ns / (s.target_active as u64 - 1)
+            } else {
+                u64::MAX
+            };
+            if projected.saturating_mul(cfg.revoke_headroom.max(1) as u64) <= cfg.sla_ns {
+                s.idle_streak += 1;
+            } else {
+                s.idle_streak = 0;
+            }
+        }
+
+        // --- Scale decision. ---
+        if s.over_streak >= cfg.add_epochs && s.target_active < n && s.backoff == 0 {
+            // Threads activate in index order, so the add target is the
+            // first parked index.
+            let next = s.target_active;
+            if hung.contains(&next) {
+                // The watchdog says this core is a black hole: defer the
+                // add and back off before retrying rather than migrating
+                // flow groups into it.
+                st.add_retries += 1;
+                s.backoff = cfg.hung_backoff_epochs;
+            } else {
+                s.target_active += 1;
+                st.adds += 1;
+                s.over_streak = 0;
+                wake_new = Some(next);
+            }
+        } else if s.idle_streak >= cfg.revoke_epochs && s.target_active > cfg.min_active.max(1)
+        {
+            s.target_active -= 1;
+            st.revokes += 1;
+            s.idle_streak = 0;
+        }
+    }
+    if let Some(next) = wake_new {
+        ctx.threads[next].borrow_mut().parked = false;
+        ElasticThread::schedule_iteration(&ctx.threads[next], sim);
+    }
+
+    // --- Converge the redirection tables toward bucket b → b % target,
+    //     at most `max_buckets_per_epoch` buckets per epoch, then drain
+    //     and migrate exactly the flows those buckets carried. ---
+    let target = ctx.state.borrow().target_active;
+    let (moved_buckets, sources) =
+        converge_buckets(&ctx.threads, target, cfg.max_buckets_per_epoch, &hung);
+    if moved_buckets > 0 {
+        ctx.stats.borrow_mut().buckets_moved += moved_buckets;
+        for &i in &sources {
+            if !ctx.threads[i].borrow().parked {
+                // Quiesce the source before its flows leave: frames in
+                // its ring and application work already queued must go
+                // through its own stack first, or the migrated flows
+                // would leave orphaned events (and un-sent replies)
+                // behind.
+                drain_rings_through_own_shard(&ctx.threads[i], now_ns);
+                ElasticThread::drain_user_work(&ctx.threads[i], sim);
+            }
+        }
+        let flows = migrate_mismatched_flows(now_ns, &ctx.threads, ctx.filter.as_deref());
+        ctx.stats.borrow_mut().flows_migrated += flows;
+        for th in ctx.threads.iter() {
+            if !th.borrow().parked {
+                ElasticThread::schedule_iteration(th, sim);
+            }
+        }
+    }
+
+    // --- Park revoked threads once fully drained: no buckets steer to
+    //     them, their rings are empty, and their shards hold no flows
+    //     (the Exokernel-style revocation handshake completes here). ---
+    let map = dataplane_nics(&ctx.threads)[0].borrow().redirection().to_vec();
+    for i in target..n {
+        let th = &ctx.threads[i];
+        if th.borrow().parked || map.contains(&i) {
+            continue;
+        }
+        let (flows, backlog) = {
+            let t = th.borrow();
+            let mut backlog = 0usize;
+            for (nic, q) in t.queues() {
+                backlog += nic.borrow_mut().rx_ring(*q).pending();
+            }
+            (t.shard.flow_count(), backlog)
+        };
+        if flows == 0 && backlog == 0 {
+            ElasticThread::drain_user_work(th, sim);
+            th.borrow_mut().parked = true;
+            ctx.stats.borrow_mut().parks += 1;
+        }
+    }
+
+    // --- Admission gate (graceful overload degradation). ---
+    if let (Some(port), Some(fc)) = (cfg.shed_port, ctx.filter.as_ref()) {
+        let mut st = ctx.stats.borrow_mut();
+        let mut s = ctx.state.borrow_mut();
+        let saturated = s.target_active == n;
+        if saturated && max_delay > cfg.shed_sla_ns {
+            s.shed_over_streak += 1;
+            s.shed_calm_streak = 0;
+        } else {
+            s.shed_over_streak = 0;
+            if max_delay <= cfg.sla_ns / 2 {
+                s.shed_calm_streak += 1;
+            } else {
+                s.shed_calm_streak = 0;
+            }
+        }
+        if !s.shed_on && s.shed_over_streak >= cfg.add_epochs {
+            // Every core is active and still drowning: shed new
+            // connections at the NIC edge so established flows keep
+            // their latency. Established traffic passes untouched.
+            s.shed_on = true;
+            st.shed_enables += 1;
+            fc.update(|p| p.clone().rule_port(IpProto::Tcp, port, RuleAction::DropSyn));
+        } else if s.shed_on && s.shed_calm_streak >= cfg.shed_calm_epochs {
+            // Sustained calm: lift the gate (explicit Pass overrides the
+            // DropSyn rule; last writer wins in the rule table).
+            s.shed_on = false;
+            st.shed_disables += 1;
+            fc.update(|p| p.clone().rule_port(IpProto::Tcp, port, RuleAction::Pass));
+        }
+        if s.shed_on {
+            st.shed_epochs += 1;
+        }
+    }
+
+    if now_ns + cfg.epoch_ns <= ctx.deadline_ns {
+        let epoch_ns = cfg.epoch_ns;
+        sim.schedule_in(Nanos(epoch_ns), move |sim| elastic_tick(sim, ctx));
+    }
+}
+
+/// Moves up to `budget` RSS buckets toward the canonical map
+/// `bucket b → queue (b % target)`, reprogramming every NIC port
+/// identically. Buckets whose wanted owner is in `skip` (hung) stay
+/// where they are and retry next epoch. Returns the number of buckets
+/// moved and the distinct old owners they moved away from (whose rings
+/// must drain before their flows migrate).
+fn converge_buckets(
+    threads: &[ThreadRef],
+    target: usize,
+    budget: usize,
+    skip: &[usize],
+) -> (u64, Vec<usize>) {
+    let nics = dataplane_nics(threads);
+    let mut map = nics[0].borrow().redirection().to_vec();
+    let mut moved = 0u64;
+    let mut sources: Vec<usize> = Vec::new();
+    for (b, e) in map.iter_mut().enumerate() {
+        if moved as usize >= budget {
+            break;
+        }
+        let want = b % target;
+        if *e != want && !skip.contains(&want) {
+            if !sources.contains(e) {
+                sources.push(*e);
+            }
+            *e = want;
+            moved += 1;
+        }
+    }
+    if moved > 0 {
+        for nic in &nics {
+            nic.borrow_mut().set_redirection(map.clone());
+        }
+    }
+    (moved, sources)
 }
 
 impl std::fmt::Debug for ControlPlane {
@@ -417,6 +892,11 @@ pub struct FilterControl {
     readers: Vec<crate::rcu::ReaderId>,
     nics: Vec<NicRef>,
     threads: Vec<ThreadRef>,
+    /// False after [`uninstall`](FilterControl::uninstall): updates keep
+    /// versioning the table but nothing is published — an `update`
+    /// racing an uninstall must not resurrect the filter on the hot
+    /// path, and a migration absorb must not re-arm a retired policy.
+    installed: Cell<bool>,
 }
 
 impl FilterControl {
@@ -425,16 +905,15 @@ impl FilterControl {
     /// elastic thread (the real system's per-core quiescence bookkeeping).
     pub fn install(dp: &Dataplane, policy: FilterPolicy) -> FilterControl {
         let rcu = Rcu::new(policy);
-        let mut nics: Vec<NicRef> = Vec::new();
-        for th in &dp.threads {
-            for (nic, _q) in th.borrow().queues() {
-                if !nics.iter().any(|n| Rc::ptr_eq(n, nic)) {
-                    nics.push(nic.clone());
-                }
-            }
-        }
+        let nics = dataplane_nics(&dp.threads);
         let readers = dp.threads.iter().map(|_| rcu.register_reader()).collect();
-        let fc = FilterControl { rcu, readers, nics, threads: dp.threads.clone() };
+        let fc = FilterControl {
+            rcu,
+            readers,
+            nics,
+            threads: dp.threads.clone(),
+            installed: Cell::new(true),
+        };
         fc.publish();
         fc
     }
@@ -456,7 +935,9 @@ impl FilterControl {
     /// version reclaimed.
     pub fn update(&self, f: impl FnOnce(&FilterPolicy) -> FilterPolicy) {
         self.rcu.update(f);
-        self.publish();
+        if self.installed.get() {
+            self.publish();
+        }
         // Control-plane actions run between run-to-completion cycles in
         // the single-threaded simulation, so every registered reader is
         // at a quiescent point the moment the snapshots are swapped;
@@ -467,9 +948,24 @@ impl FilterControl {
         self.rcu.reclaim();
     }
 
+    /// Re-pushes the current snapshot into one shard. The §4.4
+    /// migration absorb path calls this for every destination: a rule
+    /// update published while the migration was in flight would
+    /// otherwise leave the adopted flows classified by whatever stale
+    /// snapshot the destination captured before the update. No-op after
+    /// [`uninstall`](FilterControl::uninstall).
+    pub fn republish_shard(&self, th: &ThreadRef) {
+        if !self.installed.get() {
+            return;
+        }
+        th.borrow_mut().shard.set_filter_policy(Some(self.rcu.read()));
+    }
+
     /// Removes the filter from every NIC and shard (the dataplane
-    /// returns to the exact unfiltered hot path).
+    /// returns to the exact unfiltered hot path). Later `update`s keep
+    /// versioning the rule table without publishing it.
     pub fn uninstall(&self) {
+        self.installed.set(false);
         for nic in &self.nics {
             nic.borrow_mut().set_filter(None);
         }

@@ -41,7 +41,11 @@ pub mod rcu;
 
 pub use api::{EventCond, IxApp, Syscall, SyscallResult, UserCtx};
 pub use dataplane::{Dataplane, DataplaneStats, ElasticThread};
-pub use ixcp::{ControlPlane, DataplaneId, FilterControl, WatchdogRef, WatchdogStats};
+pub use ixcp::{
+    start_elastic_controller, start_queue_watchdog, start_queue_watchdog_with_health, ControlPlane,
+    DataplaneId, ElasticConfig, ElasticRef, ElasticStats, FilterControl, WatchdogHealth,
+    WatchdogRef, WatchdogStats,
+};
 pub use libix::{ConnCtx, Libix, LibixHandler};
 pub use params::CostParams;
 pub use rcu::Rcu;

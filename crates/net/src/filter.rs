@@ -46,6 +46,12 @@ pub enum RuleAction {
     Drop,
     /// SYN segments get the cookie treatment; everything else passes.
     SynChallenge,
+    /// Connection-opening SYNs are discarded; established traffic
+    /// passes. This is the control plane's admission gate: when every
+    /// core is saturated, shedding *new* connections at the NIC edge
+    /// keeps established-flow latency bounded instead of letting the
+    /// whole service collapse (graceful overload degradation).
+    DropSyn,
     /// Admit up to the token bucket's rate; drop the excess.
     RateLimit(RateLimit),
 }
@@ -353,6 +359,13 @@ impl FilterPolicy {
                     Verdict::Pass
                 }
             }
+            RuleAction::DropSyn => {
+                if p.proto == IpProto::Tcp && p.is_syn_only() {
+                    Verdict::Drop
+                } else {
+                    Verdict::Pass
+                }
+            }
             RuleAction::RateLimit(rl) => {
                 if rl.admit(now_ns) {
                     Verdict::Pass
@@ -494,6 +507,34 @@ mod tests {
         assert_eq!(p.classify(&pp, 0), Verdict::Pass);
         pp.tcp_flags = 0x12; // SYN-ACK: passes.
         assert_eq!(p.classify(&pp, 0), Verdict::Pass);
+    }
+
+    #[test]
+    fn drop_syn_sheds_only_connection_opens() {
+        let p = FilterPolicy::new().rule_port(IpProto::Tcp, 11211, RuleAction::DropSyn);
+        let mut pp = PreParsed {
+            proto: IpProto::Tcp,
+            src_ip: Ipv4Addr::new(10, 0, 0, 9),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 1),
+            src_port: 5,
+            dst_port: 11211,
+            tcp_flags: 0x02,
+        };
+        // A connection-opening SYN is shed at the NIC edge.
+        assert_eq!(p.classify(&pp, 0), Verdict::Drop);
+        // Established traffic (plain ACK, data, FIN) keeps flowing.
+        pp.tcp_flags = 0x10;
+        assert_eq!(p.classify(&pp, 0), Verdict::Pass);
+        pp.tcp_flags = 0x18; // PSH|ACK
+        assert_eq!(p.classify(&pp, 0), Verdict::Pass);
+        pp.tcp_flags = 0x12; // SYN-ACK: not a connection open towards us.
+        assert_eq!(p.classify(&pp, 0), Verdict::Pass);
+        // Other ports are untouched.
+        pp.tcp_flags = 0x02;
+        pp.dst_port = 80;
+        assert_eq!(p.classify(&pp, 0), Verdict::Pass);
+        // The gate is not a cookie rule: the stack's cookie path stays off.
+        assert!(!p.syn_challenged(pp.src_ip, 11211));
     }
 
     #[test]

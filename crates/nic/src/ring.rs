@@ -37,6 +37,13 @@ pub struct RxRing {
     pub pool_drops: u64,
     /// Total frames accepted.
     pub received: u64,
+    /// Deepest the ring has been since the last
+    /// [`take_depth_hwm`](RxRing::take_depth_hwm) — the control plane's
+    /// queue-depth signal. An instantaneous `pending()` sample aliases
+    /// with batched run-to-completion draining (the ring is empty at
+    /// most instants even under heavy load); the high-water mark sees
+    /// every burst.
+    depth_hwm: usize,
 }
 
 impl RxRing {
@@ -60,6 +67,7 @@ impl RxRing {
             drops: 0,
             pool_drops: 0,
             received: 0,
+            depth_hwm: 0,
         }
     }
 
@@ -108,6 +116,7 @@ impl RxRing {
         self.posted -= 1;
         self.frames.push_back(buf);
         self.received += 1;
+        self.depth_hwm = self.depth_hwm.max(self.frames.len());
         true
     }
 
@@ -129,6 +138,14 @@ impl RxRing {
     /// Descriptors awaiting replenishment (consumed by polled frames).
     pub fn unreplenished(&self) -> usize {
         self.capacity - self.posted - self.frames.len()
+    }
+
+    /// Reads and resets the queue-depth high-water mark (floored at the
+    /// standing backlog, which is still queued).
+    pub fn take_depth_hwm(&mut self) -> usize {
+        let hwm = self.depth_hwm.max(self.frames.len());
+        self.depth_hwm = self.frames.len();
+        hwm
     }
 }
 

@@ -301,6 +301,12 @@ impl TcpShard {
         self.filter_policy = policy;
     }
 
+    /// The filter-policy snapshot this shard currently classifies with
+    /// (the control plane pins freshness across migration absorbs).
+    pub fn filter_policy(&self) -> Option<&Rc<FilterPolicy>> {
+        self.filter_policy.as_ref()
+    }
+
     /// Live half-open (`SynRcvd`) connections on this shard.
     pub fn synrcvd_len(&self) -> usize {
         self.synrcvd_count
@@ -459,15 +465,23 @@ impl TcpShard {
             if tcb.state == TcpState::SynRcvd {
                 self.synrcvd_count -= 1;
             }
-            for t in [
-                tcb.rto_timer.take(),
-                tcb.persist_timer.take(),
-                tcb.timewait_timer.take(),
-                tcb.delack_timer.take(),
-            ]
-            .into_iter()
-            .flatten()
-            {
+            // Cancel every armed timer on this wheel, recording its
+            // residual delay so `absorb_flows` re-arms the destination
+            // wheel with the same remainder.
+            if let Some(t) = tcb.rto_timer.take() {
+                tcb.migrate_rto_ns = self.wheel.remaining_ns(t);
+                self.wheel.cancel(t);
+            }
+            if let Some(t) = tcb.persist_timer.take() {
+                tcb.migrate_persist_ns = self.wheel.remaining_ns(t);
+                self.wheel.cancel(t);
+            }
+            if let Some(t) = tcb.timewait_timer.take() {
+                tcb.migrate_timewait_ns = self.wheel.remaining_ns(t);
+                self.wheel.cancel(t);
+            }
+            if let Some(t) = tcb.delack_timer.take() {
+                tcb.migrate_delack_ns = self.wheel.remaining_ns(t);
                 self.wheel.cancel(t);
             }
             // Stale pending-ACK entries for this key become no-ops
@@ -477,10 +491,17 @@ impl TcpShard {
         out
     }
 
-    /// Adopts flows migrated from another shard, re-arming their timers.
+    /// Adopts flows migrated from another shard, re-arming their timers
+    /// on this shard's wheel with the residual delays `extract_flows`
+    /// recorded — a timer that had 300 µs left on the source core has
+    /// 300 µs left here, so migration neither loses a pending timeout
+    /// nor postpones it (frequent migration must not starve the RTO).
+    /// Flows that arrive without carry-state (tests constructing TCBs by
+    /// hand, watchdog re-steers of discarded-ring flows) fall back to
+    /// protocol-state defaults for RTO and TIME_WAIT.
     pub fn absorb_flows(&mut self, now_ns: u64, flows: Vec<Tcb>) {
         self.now_ns = now_ns;
-        for tcb in flows {
+        for mut tcb in flows {
             // Deconflict generation counters so stale-handle protection
             // keeps working after migration.
             self.next_gen = self.next_gen.max(tcb.id.gen + 1);
@@ -488,10 +509,14 @@ impl TcpShard {
             let gen = tcb.id.gen;
             let need_rto = !tcb.rtq.is_empty()
                 || matches!(tcb.state, TcpState::SynSent | TcpState::SynRcvd);
-            let rto = tcb.rto_ns;
+            let rto = tcb.migrate_rto_ns.take().unwrap_or(tcb.rto_ns);
             let need_tw = tcb.state == TcpState::TimeWait;
-            let tw = self.cfg.time_wait_ns;
-            if tcb.need_ack {
+            let tw = tcb.migrate_timewait_ns.take().unwrap_or(self.cfg.time_wait_ns);
+            let persist = tcb.migrate_persist_ns.take();
+            let delack = tcb.migrate_delack_ns.take();
+            // A pending delayed ACK stays on the timer path below; a
+            // plain `need_ack` rides the end-of-cycle flush.
+            if tcb.need_ack && delack.is_none() {
                 self.pending_acks.push(key);
             }
             self.stats.rx_pool_outstanding += (tcb.rx_held.len() + tcb.ooo.len()) as u64;
@@ -510,6 +535,18 @@ impl TcpShard {
                     .wheel
                     .schedule(tw, TimerEntry { key, gen, kind: TimerKind::TimeWait });
                 self.flows.get_mut(key).expect("inserted").timewait_timer = Some(t);
+            }
+            if let Some(d) = persist {
+                let t = self
+                    .wheel
+                    .schedule(d, TimerEntry { key, gen, kind: TimerKind::Persist });
+                self.flows.get_mut(key).expect("inserted").persist_timer = Some(t);
+            }
+            if let Some(d) = delack {
+                let t = self
+                    .wheel
+                    .schedule(d, TimerEntry { key, gen, kind: TimerKind::DelAck });
+                self.flows.get_mut(key).expect("inserted").delack_timer = Some(t);
             }
         }
     }

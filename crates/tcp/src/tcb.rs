@@ -180,6 +180,21 @@ pub struct Tcb {
     /// Pending delayed-ACK timer.
     pub delack_timer: Option<TimerId>,
 
+    // --- Migration carry-state (§4.4) ---
+    /// Residual delay of the RTO timer when `extract_flows` cancelled it
+    /// on the source wheel; `absorb_flows` re-arms the destination wheel
+    /// with the same remainder. Timer *identity* cannot migrate (wheel
+    /// slots are per-core), and re-arming at the full interval would let
+    /// frequent migration postpone a retransmission indefinitely — so
+    /// the remaining time is the state that moves.
+    pub migrate_rto_ns: Option<u64>,
+    /// Residual delay of the persist (zero-window probe) timer.
+    pub migrate_persist_ns: Option<u64>,
+    /// Residual delay of the TIME_WAIT quarantine.
+    pub migrate_timewait_ns: Option<u64>,
+    /// Residual delay of the delayed-ACK timer.
+    pub migrate_delack_ns: Option<u64>,
+
     /// Effective MSS for this connection (min of ours and peer's).
     pub mss: u32,
     /// When the SYN / SYN-ACK was (last) sent, for seeding the RTT
@@ -238,6 +253,10 @@ impl Tcb {
             persist_timer: None,
             timewait_timer: None,
             delack_timer: None,
+            migrate_rto_ns: None,
+            migrate_persist_ns: None,
+            migrate_timewait_ns: None,
+            migrate_delack_ns: None,
             mss: cfg.mss,
             open_time_ns: 0,
             last_retx_ns: 0,

@@ -195,6 +195,19 @@ impl<T> TimerWheel<T> {
         TimerId { index: idx, generation }
     }
 
+    /// Nanoseconds until `id` fires (tick-quantized, 0 when due), or
+    /// `None` if it already fired or was cancelled. Flow migration uses
+    /// this to carry a timer's residual delay onto another core's wheel:
+    /// re-arming at the full interval instead would let frequent
+    /// migration postpone a deadline indefinitely.
+    pub fn remaining_ns(&self, id: TimerId) -> Option<u64> {
+        let e = self.entries.get(id.index as usize)?;
+        if e.generation != id.generation || e.location.is_none() {
+            return None;
+        }
+        Some(e.deadline.saturating_sub(self.now_tick) * self.resolution_ns)
+    }
+
     /// Cancels a timer, returning its payload if it was still pending.
     /// Cancelling an already-fired or already-cancelled timer returns
     /// `None`.
