@@ -37,6 +37,12 @@ cargo test -q --offline -p ix-tcp --test syn_cookies
 # RTO-rearm trace and the StackStats conservation checks.
 cargo test -q --offline -p ix-tcp --test migration
 
+# Bucket-index gate: the per-RSS-bucket intrusive lists on FlowMap must
+# stay in lock-step with the probe table under randomized insert /
+# remove / extract / absorb churn, and the migration order must be a
+# function of insertion history alone, independent of table layout.
+cargo test -q --offline -p ix-tcp --test bucket_index
+
 # Elastic control-loop gate: spike absorption, bounded migration rate,
 # hung-target backoff, admission-gate shed/lift, RCU filter republish
 # on absorb, and the inert-controller byte-identical determinism pin.
@@ -63,6 +69,25 @@ for wl in classify_hit classify_miss syn_cookie_roundtrip; do
         exit 1
     fi
 done
+
+# Bulk-migration microbench gate: the [migrate] comparisons must run,
+# and the bulk extract path must hold a >= 5x speedup over the per-flow
+# scan/sort/re-lookup baseline at 100k live flows. The factor gate
+# reads extract_100k — its per-iteration cost calibrates to hundreds of
+# iterations even in quick mode, so the ratio is stable; the heavier
+# absorb points are presence-checked only.
+for wl in extract_100k absorb_100k; do
+    if ! grep -q "^\[migrate\] ${wl}:" /tmp/ci_bench.out; then
+        echo "ci: FAIL — migrate/${wl} microbench comparison did not run" >&2
+        exit 1
+    fi
+done
+speedup=$(sed -n 's/^\[migrate\] extract_100k:.*(\([0-9.]*\)x)$/\1/p' /tmp/ci_bench.out)
+if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 5.0) }'; then
+    echo "ci: FAIL — migrate/extract_100k bulk speedup ${speedup}x is below the 5x floor" >&2
+    exit 1
+fi
+echo "ci: migrate/extract_100k bulk speedup ${speedup}x (floor 5x)"
 
 # Wall-clock budget: the quick fig5 sweep must stay interactive. The
 # ceiling is generous (slow shared CI hosts), but a scheduler or pool
@@ -174,6 +199,26 @@ if ! grep -q "controller-off runs are byte-identical" /tmp/ci_fig9.out; then
 fi
 if ! grep -q "elastic run absorbed the spike" /tmp/ci_fig9.out; then
     echo "ci: FAIL — quick fig9 elastic run missed an acceptance gate" >&2
+    exit 1
+fi
+
+# Bulk-migration smoke: the quick fig9-scale point set (1k and 10k
+# connections) moves whole live shards between cores under echo load
+# through the bucket-index extract + batch timer-splice absorb path.
+# The headline grep pins flat per-flow scaling (largest point within 2x
+# of the smallest), every ping-pong moving the full shard, zero resets,
+# and the load stream surviving the burst.
+fig9s_budget_s=90
+start_s=$SECONDS
+IX_SWEEP_QUICK=1 ./target/release/fig9_scale | tee /tmp/ci_fig9s.out | tail -n +4
+elapsed_s=$(( SECONDS - start_s ))
+echo "ci: quick fig9-scale sweep took ${elapsed_s}s (budget ${fig9s_budget_s}s)"
+if [ "$elapsed_s" -gt "$fig9s_budget_s" ]; then
+    echo "ci: FAIL — quick fig9-scale exceeded its wall-clock budget" >&2
+    exit 1
+fi
+if ! grep -q "flat migration scaling:" /tmp/ci_fig9s.out; then
+    echo "ci: FAIL — quick fig9-scale missed an acceptance gate" >&2
     exit 1
 fi
 

@@ -385,6 +385,11 @@ pub struct RotatingEchoClient {
     connected: usize,
     inflight: usize,
     rotating: bool,
+    /// Do not begin dialing before this instant. Harnesses stagger
+    /// this across client threads to turn a synchronized 250k-SYN
+    /// storm into amortized dial waves the server's accept path can
+    /// absorb without drops.
+    pub dial_at_ns: u64,
     /// Start rotating no later than this instant, even if some
     /// connections failed to establish (robustness at 250k-connection
     /// scale).
@@ -419,6 +424,7 @@ impl RotatingEchoClient {
             connected: 0,
             inflight: 0,
             rotating: false,
+            dial_at_ns: 0,
             start_at_ns: 0,
             stop_at_ns: u64::MAX,
             template: Bytes::new(),
@@ -456,6 +462,9 @@ impl RotatingEchoClient {
 
 impl LibixHandler for RotatingEchoClient {
     fn on_tick(&mut self, ctx: &mut LibixCtx<'_>) {
+        if ctx.now_ns < self.dial_at_ns {
+            return;
+        }
         // Ramp: open connections in bounded batches.
         while self.opened < self.conns && self.opened < self.connected + self.ramp_batch {
             ctx.connect(self.server, self.port, self.opened as u64);
@@ -529,6 +538,9 @@ impl LibixHandler for RotatingEchoClient {
     fn next_deadline_ns(&self) -> Option<u64> {
         if self.rotating {
             None
+        } else if self.opened == 0 && self.dial_at_ns > 0 {
+            // Waiting for our dial wave.
+            Some(self.dial_at_ns)
         } else {
             Some(self.start_at_ns)
         }

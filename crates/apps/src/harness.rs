@@ -642,6 +642,166 @@ pub fn run_connscale(cfg: &ConnScaleConfig) -> ConnScaleResult {
 }
 
 // ---------------------------------------------------------------------
+// Bulk-migration scaling experiment (fig9-scale).
+// ---------------------------------------------------------------------
+
+/// One fig9-scale point: migrate a whole `total_conns`-connection shard
+/// between cores while the echo load keeps running.
+#[derive(Debug, Clone)]
+pub struct ScaleMigrationConfig {
+    /// Established connections, all consolidated onto one shard before
+    /// the timed migrations.
+    pub total_conns: usize,
+    /// Server cores (the shard ping-pongs between cores 0 and 1).
+    pub server_cores: usize,
+    /// Client machines.
+    pub n_clients: usize,
+    /// Threads per client.
+    pub client_threads: usize,
+    /// Timed whole-shard migrations (alternating 0 → 1 → 0 …).
+    pub migrations: usize,
+    /// Simulated time the load runs between migrations.
+    pub settle: Nanos,
+    /// Length of the throughput windows before and after the
+    /// migration burst.
+    pub measure: Nanos,
+    /// Engine knobs.
+    pub tuning: EngineTuning,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ScaleMigrationConfig {
+    fn default() -> ScaleMigrationConfig {
+        ScaleMigrationConfig {
+            total_conns: 10_000,
+            server_cores: 8,
+            n_clients: 18,
+            client_threads: 8,
+            migrations: 8,
+            settle: Nanos::from_millis(2),
+            measure: Nanos::from_millis(10),
+            tuning: EngineTuning::default(),
+            seed: 9,
+        }
+    }
+}
+
+/// Result of one fig9-scale point.
+#[derive(Debug, Clone)]
+pub struct ScaleMigrationResult {
+    /// Live server connections when the migration burst began.
+    pub conns: u64,
+    /// Per timed migration, in order: flows moved and the host
+    /// extract/absorb phase split.
+    pub migrations: Vec<ix_core::ixcp::MigrateReport>,
+    /// Best-case host nanoseconds per moved flow across the timed
+    /// migrations, whole pass (minimum filters host-side scheduling
+    /// noise).
+    pub ns_per_flow: f64,
+    /// Best-case host nanoseconds per flow for the absorb half alone —
+    /// the destination-side adoption cost the scaling gate tracks.
+    pub absorb_ns_per_flow: f64,
+    /// Messages/sec in the window before the burst.
+    pub msgs_before: f64,
+    /// Messages/sec in the window after the burst.
+    pub msgs_after: f64,
+    /// Connections lost across the burst (0 expected).
+    pub resets: u64,
+}
+
+/// Runs one fig9-scale point: establish `total_conns` connections in
+/// staggered dial waves, consolidate every RSS bucket onto core 0,
+/// then ping-pong the whole shard between cores 0 and 1 under load,
+/// timing each bulk migration with a host wall clock.
+pub fn run_scale_migration(cfg: &ScaleMigrationConfig) -> ScaleMigrationResult {
+    use ix_core::ixcp::reprogram_and_migrate;
+
+    let mut tb = Testbed::new(cfg.seed, 4, cfg.n_clients);
+    let ramp_ns = 20_000_000 + (cfg.total_conns as u64) * 1_500;
+    let warmup_end = ramp_ns + 10_000_000;
+    let stats = EchoBenchStats::new(warmup_end, u64::MAX);
+    tb.launch_server(System::Ix, cfg.server_cores, &cfg.tuning, 7000, |_| {
+        EchoServer::new(64, 120)
+    });
+    let server_ip = tb.server_ip();
+    let threads_total = cfg.n_clients * cfg.client_threads;
+    let per_thread = cfg.total_conns.div_ceil(threads_total);
+    // Amortized connect storm: each client thread dials in its own
+    // wave inside the first quarter of the ramp, in bounded batches.
+    let wave_ns = (ramp_ns / 4) / threads_total as u64;
+    let client_threads = cfg.client_threads;
+    let st = stats.clone();
+    tb.launch_linux_clients(cfg.client_threads, &cfg.tuning, move |ci, t| {
+        let mut c =
+            crate::echo::RotatingEchoClient::new(server_ip, 7000, 64, per_thread, 2, st.clone());
+        c.ramp_batch = 128;
+        c.dial_at_ns = ((ci * client_threads + t) as u64) * wave_ns;
+        c.start_at_ns = ramp_ns;
+        c.stop_at_ns = u64::MAX;
+        c
+    });
+
+    // Pre-migration load window.
+    tb.run_until_ns(warmup_end);
+    let m0 = stats.borrow().messages_total;
+    tb.run_until_ns(warmup_end + cfg.measure.as_nanos());
+    let m1 = stats.borrow().messages_total;
+
+    let conns = match tb.engine.as_ref().expect("launched") {
+        ServerEngine::Ix(d) => d.host_conns.get(),
+        _ => unreachable!("fig9-scale runs the IX dataplane"),
+    };
+
+    // Consolidate the whole connection population onto core 0
+    // (untimed), then ping-pong it between cores under load.
+    let migrate = |tb: &mut Testbed, target: usize| {
+        let Testbed { sim, engine, .. } = tb;
+        match engine.as_ref().expect("launched") {
+            ServerEngine::Ix(d) => reprogram_and_migrate(sim, d, vec![target; 128], None),
+            _ => unreachable!(),
+        }
+    };
+    migrate(&mut tb, 0);
+    let settle = cfg.settle.as_nanos();
+    let mut reports = Vec::with_capacity(cfg.migrations);
+    for i in 0..cfg.migrations {
+        reports.push(migrate(&mut tb, 1 - i % 2));
+        let now = tb.sim.now().as_nanos();
+        tb.run_until_ns(now + settle);
+    }
+
+    // Post-migration load window.
+    let t2 = tb.sim.now().as_nanos();
+    let m2 = stats.borrow().messages_total;
+    tb.run_until_ns(t2 + cfg.measure.as_nanos());
+    let m3 = stats.borrow().messages_total;
+
+    let conns_after = match tb.engine.as_ref().expect("launched") {
+        ServerEngine::Ix(d) => d.host_conns.get(),
+        _ => unreachable!(),
+    };
+    let secs = cfg.measure.as_secs_f64();
+    let per_flow = |ns: fn(&ix_core::ixcp::MigrateReport) -> u64| {
+        reports
+            .iter()
+            .map(|r| ns(r) as f64 / r.moved.max(1) as f64)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let ns_per_flow = per_flow(|r| r.host_ns);
+    let absorb_ns_per_flow = per_flow(|r| r.absorb_ns);
+    ScaleMigrationResult {
+        conns,
+        migrations: reports,
+        ns_per_flow,
+        absorb_ns_per_flow,
+        msgs_before: (m1 - m0) as f64 / secs,
+        msgs_after: (m3 - m2) as f64 / secs,
+        resets: conns.saturating_sub(conns_after),
+    }
+}
+
+// ---------------------------------------------------------------------
 // NetPIPE experiment (Fig 2).
 // ---------------------------------------------------------------------
 

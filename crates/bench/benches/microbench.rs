@@ -670,6 +670,222 @@ fn bench_flowtable(r: &mut BenchRunner) {
     });
 }
 
+/// Flow-group migration, over the shard's real data structures
+/// (bucketed [`ix_tcp::FlowMap`] + [`TimerWheel`] with four armed
+/// timers per flow). Extract side: one iteration moves one RSS flow
+/// group — the granularity the elastic control loop rebalances at —
+/// out of a table holding 1k/10k/100k live flows, then restores it
+/// untimed ([`Bencher::iter_timed`]). The bulk path walks the group's
+/// intrusive bucket list and splices its timers with `cancel_batch`;
+/// the per-flow baseline is the pipeline it replaced, whose cost is
+/// O(table) regardless of group size — `collect_keys()` over every
+/// live flow, a software Toeplitz hash per key to test group
+/// membership, a full key sort, then 4 × (`remaining_ns` + `cancel`)
+/// wheel round-trips per extracted flow. Absorb side: the whole shard
+/// lands on a freshly-started destination core (the fig9 shape); the
+/// bulk path reserves the flow table once and re-arms timers through
+/// `schedule_batch` slot handles, the baseline grows the table one
+/// insert at a time and pays 4 × `schedule` + `get_mut` re-lookups
+/// per flow.
+fn bench_migrate(r: &mut BenchRunner) {
+    use std::time::Instant;
+
+    use ix_tcp::{FlowMap, NUM_BUCKETS};
+    use ix_timerwheel::TimerId;
+
+    /// TCB stand-in: four armed timers plus a cache line of state.
+    #[derive(Clone, Copy)]
+    struct Flow {
+        timers: [Option<TimerId>; 4],
+        _state: [u64; 8],
+    }
+
+    const LOCAL_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const LOCAL_PORT: u16 = 7000;
+
+    fn remote(i: u64) -> (Ipv4Addr, u16) {
+        (Ipv4Addr(0x0a00_0002 + (i / 48_000) as u32), (16_384 + (i % 48_000)) as u16)
+    }
+
+    fn key_of(i: u64) -> u64 {
+        let (ip, port) = remote(i);
+        ((ip.0 as u64) << 32) | ((port as u64) << 16) | LOCAL_PORT as u64
+    }
+
+    fn bucket_of_key(k: u64) -> u16 {
+        let hash = hash_ipv4_tuple(
+            &TOEPLITZ_DEFAULT_KEY,
+            Ipv4Addr((k >> 32) as u32),
+            LOCAL_IP,
+            (k >> 16) as u16,
+            k as u16,
+        );
+        (hash & (NUM_BUCKETS as u32 - 1)) as u16
+    }
+
+    /// RTO-shaped timer spread, constant per (flow, slot) so the wheel
+    /// reaches a steady state across iterations.
+    fn delay(k: u64, j: usize) -> u64 {
+        200_000_000 + (k % 64) * 1_000_000 + j as u64 * 16_384
+    }
+
+    fn setup(n: u64) -> (FlowMap<Flow>, TimerWheel<u64>) {
+        let mut m: FlowMap<Flow> = FlowMap::with_capacity(n as usize * 2);
+        let mut w: TimerWheel<u64> = TimerWheel::new();
+        for i in 0..n {
+            let k = key_of(i);
+            let mut f = Flow { timers: [None; 4], _state: [i; 8] };
+            for j in 0..4 {
+                f.timers[j] = Some(w.schedule(delay(k, j), k));
+            }
+            m.insert_in_bucket(k, bucket_of_key(k), f);
+        }
+        (m, w)
+    }
+
+    /// Bulk extract of one flow group: walk its intrusive bucket list,
+    /// splice all four timers per flow in one wheel pass.
+    fn extract_bulk(m: &mut FlowMap<Flow>, w: &mut TimerWheel<u64>, b: u16) -> Vec<(u64, u16, Flow)> {
+        let keys: Vec<u64> = m.bucket_keys(b).collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            let f = m.remove(k).expect("listed key present");
+            w.cancel_batch(f.timers.into_iter().flatten(), |_, remaining| {
+                black_box(remaining);
+            });
+            out.push((k, b, f));
+        }
+        out
+    }
+
+    /// Per-flow baseline extract of the same group: full-table key
+    /// scan, a Toeplitz hash per key to test membership, a sort, then
+    /// four individual wheel round-trips per flow.
+    fn extract_perflow(m: &mut FlowMap<Flow>, w: &mut TimerWheel<u64>, b: u16) -> Vec<(u64, u16, Flow)> {
+        let mut batch = m.collect_keys();
+        batch.retain(|&k| bucket_of_key(k) == b);
+        batch.sort_unstable();
+        let mut out = Vec::with_capacity(batch.len());
+        for &k in &batch {
+            let f = m.remove(k).expect("present");
+            for id in f.timers.into_iter().flatten() {
+                black_box(w.remaining_ns(id));
+                w.cancel(id);
+            }
+            out.push((k, b, f));
+        }
+        out
+    }
+
+    /// Bulk absorb, mirroring the shipped `Stack::absorb_flows` path:
+    /// capacity reservation, staged slab/bucket placement with slot
+    /// handles (no per-flow table probe), one `schedule_batch` pass
+    /// re-arming every timer, then a single home-slot-ordered
+    /// `commit_staged` probe over the whole batch.
+    fn absorb_bulk(m: &mut FlowMap<Flow>, w: &mut TimerWheel<u64>, group: Vec<(u64, u16, Flow)>) {
+        m.reserve(group.len());
+        let mut reqs = Vec::with_capacity(group.len() * 4);
+        let mut targets = Vec::with_capacity(group.len() * 4);
+        for (k, b, mut f) in group {
+            f.timers = [None; 4];
+            let slot = m.stage_insert(k, b, f);
+            for j in 0..4 {
+                reqs.push((delay(k, j), k));
+                targets.push((slot, j));
+            }
+        }
+        let mut i = 0usize;
+        w.schedule_batch(reqs, |id| {
+            let (slot, j) = targets[i];
+            i += 1;
+            m.slot_mut(slot).timers[j] = Some(id);
+        });
+        m.commit_staged();
+    }
+
+    /// Per-flow baseline absorb: one unreserved insert per flow, then
+    /// 4 × `schedule` + `get_mut` re-lookup to store each timer id.
+    fn absorb_perflow(m: &mut FlowMap<Flow>, w: &mut TimerWheel<u64>, group: Vec<(u64, u16, Flow)>) {
+        for (k, b, mut f) in group {
+            f.timers = [None; 4];
+            m.insert_in_bucket(k, b, f);
+            for j in 0..4 {
+                let id = w.schedule(delay(k, j), k);
+                m.get_mut(k).expect("just inserted").timers[j] = Some(id);
+            }
+        }
+    }
+
+    // Each iteration rotates through the 128 flow groups so every
+    // bucket-list length is sampled; the untimed half of the round-trip
+    // restores the table to steady state.
+    for (label, n) in [("1k", 1_000u64), ("10k", 10_000), ("100k", 100_000)] {
+        r.bench(&format!("migrate/extract_{label}"), |be| {
+            let (mut m, mut w) = setup(n);
+            let mut b = 0u16;
+            be.iter_timed(|| {
+                let t = Instant::now();
+                let group = extract_bulk(&mut m, &mut w, b);
+                let dt = t.elapsed();
+                black_box(group.len());
+                absorb_bulk(&mut m, &mut w, group);
+                b = (b + 1) % NUM_BUCKETS as u16;
+                dt
+            })
+        });
+        r.bench(&format!("migrate_perflow/extract_{label}"), |be| {
+            let (mut m, mut w) = setup(n);
+            let mut b = 0u16;
+            be.iter_timed(|| {
+                let t = Instant::now();
+                let group = extract_perflow(&mut m, &mut w, b);
+                let dt = t.elapsed();
+                black_box(group.len());
+                absorb_bulk(&mut m, &mut w, group);
+                b = (b + 1) % NUM_BUCKETS as u16;
+                dt
+            })
+        });
+        // Absorb-side: the whole shard lands on a freshly-started
+        // destination core (the fig9 shape) — empty flow table, empty
+        // wheel. The baseline grows both one insert at a time.
+        r.bench(&format!("migrate/absorb_{label}"), |be| {
+            let (mut m, mut w) = setup(n);
+            be.iter_timed(|| {
+                let mut group = Vec::with_capacity(n as usize);
+                for b in 0..NUM_BUCKETS as u16 {
+                    group.append(&mut extract_bulk(&mut m, &mut w, b));
+                }
+                let mut dm: FlowMap<Flow> = FlowMap::new();
+                let mut dw: TimerWheel<u64> = TimerWheel::new();
+                let t = Instant::now();
+                absorb_bulk(&mut dm, &mut dw, group);
+                let dt = t.elapsed();
+                black_box(dm.len());
+                (m, w) = (dm, dw);
+                dt
+            })
+        });
+        r.bench(&format!("migrate_perflow/absorb_{label}"), |be| {
+            let (mut m, mut w) = setup(n);
+            be.iter_timed(|| {
+                let mut group = Vec::with_capacity(n as usize);
+                for b in 0..NUM_BUCKETS as u16 {
+                    group.append(&mut extract_bulk(&mut m, &mut w, b));
+                }
+                let mut dm: FlowMap<Flow> = FlowMap::new();
+                let mut dw: TimerWheel<u64> = TimerWheel::new();
+                let t = Instant::now();
+                absorb_perflow(&mut dm, &mut dw, group);
+                let dt = t.elapsed();
+                black_box(dm.len());
+                (m, w) = (dm, dw);
+                dt
+            })
+        });
+    }
+}
+
 /// The pre-stack RX filter: fixed-offset pre-parse plus one
 /// open-addressing policy lookup per frame, against a HashMap-ACL model
 /// (separate std maps per rule kind, probed in the same precedence
@@ -976,6 +1192,39 @@ fn write_report(r: &BenchRunner) {
         ix_bench::report::update_section(&format!("rxpath_speedup{suffix}"), &cmp);
     }
 
+    // And for flow-group migration: the bulk bucket-walk + timer-splice
+    // path against the per-flow scan/sort/re-lookup pipeline it
+    // replaced. One iteration migrates 1/8 of the shard out and back.
+    let mut cmp = String::from("{");
+    let mut first = true;
+    for wl in
+        ["extract_1k", "extract_10k", "extract_100k", "absorb_1k", "absorb_10k", "absorb_100k"]
+    {
+        if let (Some(new), Some(base)) =
+            (find(&format!("migrate/{wl}")), find(&format!("migrate_perflow/{wl}")))
+        {
+            if !first {
+                cmp.push_str(", ");
+            }
+            first = false;
+            cmp += &format!(
+                "\"{wl}\": {{\"bulk_ns\": {new:.2}, \"perflow_ns\": {base:.2}, \
+                 \"speedup\": {:.2}}}",
+                base / new
+            );
+            println!(
+                "[migrate] {wl}: {:.1} ns/round vs per-flow {:.1} ns/round ({:.2}x)",
+                new,
+                base,
+                base / new
+            );
+        }
+    }
+    cmp.push('}');
+    if cmp.len() > 2 {
+        ix_bench::report::update_section(&format!("migrate_speedup{suffix}"), &cmp);
+    }
+
     // And for the pre-stack filter: pre-parse + one open-addressing
     // lookup per frame against the HashMap-ACL model, plus the absolute
     // per-SYN cookie cost (no baseline — the alternative is a TCB).
@@ -1025,6 +1274,7 @@ fn main() {
     bench_txpath(&mut r);
     bench_rxpath(&mut r);
     bench_flowtable(&mut r);
+    bench_migrate(&mut r);
     bench_filter(&mut r);
     bench_histogram(&mut r);
     bench_end_to_end(&mut r);

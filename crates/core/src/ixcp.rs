@@ -201,49 +201,134 @@ fn drain_rings_through_own_shard(th: &ThreadRef, now_ns: u64) {
 }
 
 /// Migrates every flow whose RSS bucket no longer maps to the shard
-/// holding it (§4.4): extract from the current owner, absorb at the
-/// queue the redirection table now names. When a [`FilterControl`] is
-/// supplied, the current policy snapshot is republished to every
-/// destination shard — a rule update published while the migration was
-/// in flight must not leave adopted flows classified by a stale
-/// snapshot. Returns the number of flows moved.
+/// holding it (§4.4): the redirection table is read once, each
+/// mis-steered *bucket* is drained from its current owner in bulk via
+/// the per-bucket flow-table index (no per-flow Toeplitz hashing, no
+/// table scan), and each destination absorbs its whole batch in one
+/// call (single table reservation, batched timer re-arm). When a
+/// [`FilterControl`] is supplied, the current policy snapshot is
+/// republished to every destination shard — a rule update published
+/// while the migration was in flight must not leave adopted flows
+/// classified by a stale snapshot. Returns the number of flows moved.
 pub fn migrate_mismatched_flows(
     now_ns: u64,
     threads: &[ThreadRef],
     filter: Option<&FilterControl>,
 ) -> u64 {
+    let (batches, moved) = extract_mismatched_batches(threads);
+    absorb_mismatched_batches(now_ns, threads, batches, filter);
+    moved
+}
+
+/// Extract half of [`migrate_mismatched_flows`]: drains every
+/// mis-steered bucket from its current owner into one batch per
+/// destination queue. Buckets land in (source thread, bucket,
+/// insertion-order) order — a function of the flows' history alone,
+/// so migration order is layout-independent. Each batch is pre-sized
+/// from the O(1) bucket-index populations and filled by
+/// `extract_bucket_into`, so a 250k-TCB move writes each TCB into its
+/// destination batch exactly once — no intermediate per-bucket `Vec`,
+/// no growth re-copies.
+fn extract_mismatched_batches(threads: &[ThreadRef]) -> (Vec<Vec<Tcb>>, u64) {
     let steer_nic = threads[0].borrow().queues()[0].0.clone();
-    let local_ip = threads[0].borrow().shard.local_ip;
-    let mut moving: Vec<Tcb> = Vec::new();
+    let map: Vec<usize> = steer_nic.borrow().redirection().to_vec();
+    let mut counts = vec![0usize; threads.len()];
+    for (i, th) in threads.iter().enumerate() {
+        let t = th.borrow();
+        for (b, &q) in map.iter().enumerate() {
+            if q != i {
+                counts[q] += t.shard.bucket_len(b as u16);
+            }
+        }
+    }
+    let mut batches: Vec<Vec<Tcb>> = counts.into_iter().map(Vec::with_capacity).collect();
+    let mut moved = 0u64;
     for (i, th) in threads.iter().enumerate() {
         let mut t = th.borrow_mut();
-        let nic = steer_nic.clone();
-        let extracted = t.shard.extract_flows(|remote_ip, remote_port, local_port| {
-            nic.borrow().queue_for_flow(remote_ip, local_ip, remote_port, local_port) != i
-        });
-        moving.extend(extracted);
-    }
-    let mut moved = 0u64;
-    let mut dests: Vec<usize> = Vec::new();
-    for tcb in moving {
-        let q = steer_nic.borrow().queue_for_flow(
-            tcb.remote_ip,
-            local_ip,
-            tcb.remote_port,
-            tcb.local_port,
-        );
-        threads[q].borrow_mut().shard.absorb_flows(now_ns, vec![tcb]);
-        if !dests.contains(&q) {
-            dests.push(q);
+        for (b, &q) in map.iter().enumerate() {
+            if q == i {
+                continue;
+            }
+            let before = batches[q].len();
+            t.shard.extract_bucket_into(b as u16, &mut batches[q]);
+            moved += (batches[q].len() - before) as u64;
         }
-        moved += 1;
     }
-    if let Some(fc) = filter {
-        for q in dests {
+    (batches, moved)
+}
+
+/// Absorb half of [`migrate_mismatched_flows`]: each destination
+/// adopts its whole batch in one call (single table reservation,
+/// batched timer re-arm), then gets the current filter snapshot
+/// republished when one is supplied.
+fn absorb_mismatched_batches(
+    now_ns: u64,
+    threads: &[ThreadRef],
+    batches: Vec<Vec<Tcb>>,
+    filter: Option<&FilterControl>,
+) {
+    for (q, batch) in batches.into_iter().enumerate() {
+        if batch.is_empty() {
+            continue;
+        }
+        threads[q].borrow_mut().shard.absorb_flows(now_ns, batch);
+        if let Some(fc) = filter {
             fc.republish_shard(&threads[q]);
         }
     }
-    moved
+}
+
+/// Host-side measurement of one bulk migration pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MigrateReport {
+    /// Live flows moved between shards.
+    pub moved: u64,
+    /// Host wall-clock nanoseconds for the whole pass
+    /// (`extract_ns + absorb_ns`).
+    pub host_ns: u64,
+    /// Host nanoseconds draining mis-steered buckets from their owners
+    /// (bucket-list walks, table removes, batch timer cancels). Reads
+    /// scattered cold flow state — the latency-bound half.
+    pub extract_ns: u64,
+    /// Host nanoseconds adopting the batches at their destinations
+    /// (one reservation, streaming inserts, batched timer re-arm).
+    pub absorb_ns: u64,
+}
+
+/// Reprograms every NIC redirection table to `map`, quiesces all
+/// threads (RX rings drained through their own shards, user work
+/// flushed), runs one bulk [`migrate_mismatched_flows`] pass under a
+/// host wall clock, and wakes every thread that now owns buckets. This
+/// is the timed migration entry point the fig9-scale harness drives;
+/// [`set_active_threads`] composes the same steps with its
+/// parking policy.
+pub fn reprogram_and_migrate(
+    sim: &mut Simulator,
+    dp: &Dataplane,
+    map: Vec<usize>,
+    filter: Option<&FilterControl>,
+) -> MigrateReport {
+    assert_eq!(map.len(), 128, "82599 redirection table has 128 entries");
+    let now_ns = sim.now().as_nanos();
+    for nic in dataplane_nics(&dp.threads) {
+        nic.borrow_mut().set_redirection(map.clone());
+    }
+    for th in &dp.threads {
+        drain_rings_through_own_shard(th, now_ns);
+        ElasticThread::drain_user_work(th, sim);
+    }
+    let t0 = std::time::Instant::now();
+    let (batches, moved) = extract_mismatched_batches(&dp.threads);
+    let extract_ns = t0.elapsed().as_nanos() as u64;
+    let t1 = std::time::Instant::now();
+    absorb_mismatched_batches(now_ns, &dp.threads, batches, filter);
+    let absorb_ns = t1.elapsed().as_nanos() as u64;
+    for (i, th) in dp.threads.iter().enumerate() {
+        if map.contains(&i) && !th.borrow().parked {
+            ElasticThread::schedule_iteration(th, sim);
+        }
+    }
+    MigrateReport { moved, host_ns: extract_ns + absorb_ns, extract_ns, absorb_ns }
 }
 
 /// Standalone form of [`ControlPlane::set_active_threads`] for callers

@@ -181,6 +181,63 @@ impl FlowTable {
         }
     }
 
+    /// Bulk-insert `(key, idx)` pairs whose keys are all absent — the
+    /// migration-absorb fill. The table is sized once for the whole
+    /// batch, then the probe-array writes are grouped by home-slot
+    /// region: a stable 256-bin counting sort (two streaming O(n)
+    /// passes, no comparison sort) walks the probe array region by
+    /// region, so a 250k-entry fill stays within one cache-resident
+    /// window at a time instead of hopping to a cold line per key.
+    /// Within a bin the batch order is kept, so the resulting layout is
+    /// a deterministic function of (batch order, table capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key is already present (or staged twice): a flow
+    /// lives in exactly one shard, so an absorb that finds its key
+    /// live means connection state was duplicated, not migrated.
+    pub fn insert_absent_batch(&mut self, items: &mut Vec<(u64, u32)>) {
+        if items.is_empty() {
+            return;
+        }
+        if self.slots.is_empty() || (self.len + items.len()) * 8 > self.slots.len() * 7 {
+            self.rebuild(Self::slots_for(self.len + items.len()));
+        }
+        // Bin by the home slot's top 8 bits (each bin covers a
+        // `slots/256` region of the probe array — 32 KB of slots at
+        // 250k flows).
+        let shift = (self.mask + 1).trailing_zeros().saturating_sub(8);
+        let order: Vec<(u32, u32)> = items
+            .iter()
+            .enumerate()
+            .map(|(j, &(k, _))| (((mix(k) as usize) & self.mask) as u32, j as u32))
+            .collect();
+        let mut bins = [0u32; 257];
+        for &(h, _) in &order {
+            bins[(h >> shift) as usize + 1] += 1;
+        }
+        for b in 0..256 {
+            bins[b + 1] += bins[b];
+        }
+        let mut grouped: Vec<(u32, u32)> = vec![(0, 0); order.len()];
+        for &(h, j) in &order {
+            let b = (h >> shift) as usize;
+            grouped[bins[b] as usize] = (h, j);
+            bins[b] += 1;
+        }
+        for (_, j) in grouped {
+            let (key, idx) = items[j as usize];
+            match self.probe(key) {
+                Ok(_) => panic!("insert_absent_batch: key {key:#x} already present"),
+                Err(i) => {
+                    self.slots[i] = Slot { key, idx };
+                    self.len += 1;
+                }
+            }
+        }
+        items.clear();
+    }
+
     /// Remove `key`, backward-shifting the probe chain so no tombstone
     /// is ever left behind.
     #[inline]
@@ -245,6 +302,18 @@ impl FlowTable {
         buf
     }
 
+    /// Pre-size the probe array so `additional` more entries fit
+    /// without growing. Bulk absorb ([`FlowMap::reserve`]) calls this
+    /// once per migration instead of paying incremental rebuilds
+    /// (re-probing the whole table at every 7/8 crossing) while 250k
+    /// entries stream in.
+    pub fn reserve(&mut self, additional: usize) {
+        let need = Self::slots_for(self.len + additional);
+        if need > self.slots.len() {
+            self.rebuild(need);
+        }
+    }
+
     /// Re-probe every live entry into a fresh power-of-two array.
     fn rebuild(&mut self, new_slots: usize) {
         debug_assert!(new_slots.is_power_of_two());
@@ -266,6 +335,28 @@ impl Default for FlowTable {
     }
 }
 
+/// RSS redirection-table size: flows hash into one of this many
+/// buckets, and migration moves whole buckets (paper §4.4 flow groups).
+pub const NUM_BUCKETS: usize = 128;
+
+/// Bucket sentinel for entries outside the bucket index (app-side maps,
+/// non-flow cookies). Unbucketed entries pay two untaken branches at
+/// insert/remove and are invisible to [`FlowMap::bucket_keys`].
+pub const NO_BUCKET: u16 = u16::MAX;
+
+/// Intrusive per-bucket list node, parallel to the slab. Carries the
+/// key so a bucket walk never touches the (cache-line-heavy) value
+/// slab, and the bucket so unlink needs no extra lookup.
+#[derive(Clone, Copy)]
+struct Link {
+    prev: u32,
+    next: u32,
+    key: u64,
+    bucket: u16,
+}
+
+const UNLINKED: Link = Link { prev: EMPTY, next: EMPTY, key: 0, bucket: NO_BUCKET };
+
 /// `u64 → T` map backed by a [`FlowTable`] of slab indices: the drop-in
 /// replacement for `HashMap<u64, Tcb>` in [`TcpShard`], generic so the
 /// microbenches and differential tests exercise it with small payloads.
@@ -275,17 +366,54 @@ impl Default for FlowTable {
 /// moves any other value, and growing the table re-probes 16-byte
 /// entries — the slab itself only grows, amortized, at the tail.
 ///
+/// Entries inserted via [`FlowMap::insert_in_bucket`] are additionally
+/// threaded onto an intrusive doubly-linked list per RSS bucket
+/// (`Link` records parallel to the slab), kept in insertion order.
+/// Flow-group migration walks exactly the migrating bucket's list —
+/// O(bucket population) — instead of scanning and sorting the whole
+/// table.
+///
 /// [`TcpShard`]: crate::stack::TcpShard
 pub struct FlowMap<T> {
     table: FlowTable,
     slab: Vec<Option<T>>,
     free: Vec<u32>,
+    /// Per-slot bucket-list nodes; `links.len() == slab.len()` always.
+    links: Vec<Link>,
+    /// Per-bucket list heads/tails (`EMPTY` = empty list); allocated on
+    /// the first bucketed insert so unbucketed maps stay allocation-free.
+    heads: Vec<u32>,
+    tails: Vec<u32>,
+    /// Per-bucket populations, maintained at link/unlink so
+    /// [`FlowMap::bucket_len`] is O(1) — the control plane pre-sizes
+    /// migration batches from these without walking any list.
+    counts: Vec<u32>,
+    /// `(key, slot)` pairs placed by [`FlowMap::stage_insert`] but not
+    /// yet probed into the table; drained by [`FlowMap::commit_staged`].
+    staged: Vec<(u64, u32)>,
+    /// Slabs replaced by [`FlowMap::adopt_slab`] (or the reserve-time
+    /// compaction), awaiting incremental drop-glue reclamation. A
+    /// drained 250k-slot slab is ~94 MB of all-`None` options; running
+    /// its drop glue inline would put a full sequential DRAM pass
+    /// inside the migration blackout window, so it is deferred to
+    /// quiescent dataplane cycles ([`FlowMap::reclaim_retired`]).
+    retired: Vec<Vec<Option<T>>>,
 }
 
 impl<T> FlowMap<T> {
     /// An empty map; the first insert allocates.
     pub fn new() -> Self {
-        FlowMap { table: FlowTable::new(), slab: Vec::new(), free: Vec::new() }
+        FlowMap {
+            table: FlowTable::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            links: Vec::new(),
+            heads: Vec::new(),
+            tails: Vec::new(),
+            counts: Vec::new(),
+            staged: Vec::new(),
+            retired: Vec::new(),
+        }
     }
 
     /// A map pre-sized for `n` entries.
@@ -294,7 +422,34 @@ impl<T> FlowMap<T> {
             table: FlowTable::with_capacity(n),
             slab: Vec::with_capacity(n),
             free: Vec::new(),
+            links: Vec::with_capacity(n),
+            heads: Vec::new(),
+            tails: Vec::new(),
+            counts: Vec::new(),
+            staged: Vec::new(),
+            retired: Vec::new(),
         }
+    }
+
+    /// Pre-size the probe table, slab, and link array for `additional`
+    /// more entries — one rebuild up front instead of log₂(additional)
+    /// incremental ones mid-absorb.
+    pub fn reserve(&mut self, additional: usize) {
+        // An empty map about to adopt a bulk batch: drop the free list
+        // and let the batch lay out contiguously from the slab tail.
+        // LIFO slot reuse would scatter a 250k-TCB absorb across the
+        // old slab's footprint (one cold miss per value write); a
+        // compacted slab takes sequential appends instead, and leaves
+        // the adopted flows contiguous in arrival order.
+        if self.table.is_empty() && !self.free.is_empty() {
+            self.retire_slab();
+            self.links.clear();
+            self.free.clear();
+        }
+        self.table.reserve(additional);
+        let grow = additional.saturating_sub(self.free.len());
+        self.slab.reserve(grow);
+        self.links.reserve(grow);
     }
 
     /// Live entries.
@@ -328,38 +483,257 @@ impl<T> FlowMap<T> {
     }
 
     /// Insert or replace; returns the displaced value if any. Probes
-    /// the chain exactly once either way.
+    /// the chain exactly once either way. The entry is *unbucketed*
+    /// (invisible to [`FlowMap::bucket_keys`]).
     pub fn insert(&mut self, key: u64, value: T) -> Option<T> {
+        self.insert_in_bucket(key, NO_BUCKET, value).1
+    }
+
+    /// Insert or replace, threading the entry onto `bucket`'s intrusive
+    /// list (appended, so bucket walks run in insertion order). Returns
+    /// the slab slot index — the handle timer-arming uses instead of
+    /// re-probing — and the displaced value if any.
+    pub fn insert_in_bucket(&mut self, key: u64, bucket: u16, value: T) -> (u32, Option<T>) {
+        debug_assert!(bucket == NO_BUCKET || (bucket as usize) < NUM_BUCKETS);
         let mut pending = Some(value);
-        let (slab, free) = (&mut self.slab, &mut self.free);
+        let (slab, free, links) = (&mut self.slab, &mut self.free, &mut self.links);
         let idx = self.table.get_or_insert_with(key, || {
-            alloc_slot(slab, free, pending.take().expect("make called once"))
+            alloc_slot(slab, free, links, key, pending.take().expect("make called once"))
         });
-        // If the closure never ran, `key` already had a slab slot.
         match pending.take() {
-            Some(v) => self.slab[idx as usize].replace(v),
-            None => None,
+            // The closure never ran: `key` already had a slab slot.
+            Some(v) => {
+                let old = self.slab[idx as usize].replace(v);
+                if self.links[idx as usize].bucket != bucket {
+                    self.unlink(idx);
+                    self.link_tail(idx, key, bucket);
+                }
+                (idx, old)
+            }
+            None => {
+                self.link_tail(idx, key, bucket);
+                (idx, None)
+            }
         }
+    }
+
+    /// Stage an insert of an *absent* key: the value takes a slab slot
+    /// and joins `bucket`'s list immediately (so the returned slot
+    /// handle and bucket walks work), but the probe-table write is
+    /// deferred to [`FlowMap::commit_staged`]. Bulk absorb stages every
+    /// flow, then commits once — the commit sorts the batch by home
+    /// slot so 250k probe-array writes stream in ascending address
+    /// order instead of hash-hopping across a cold 4 MB array.
+    ///
+    /// Until `commit_staged` runs, staged keys are invisible to
+    /// `get`/`remove`/`len` (they *are* visible to bucket walks and
+    /// [`FlowMap::slot_mut`]). Staging a key that is already live — or
+    /// staging it twice — panics at commit: a flow lives in exactly
+    /// one shard.
+    pub fn stage_insert(&mut self, key: u64, bucket: u16, value: T) -> u32 {
+        let idx = self.stage_push(key, value);
+        self.stage_adopted(idx, key, bucket);
+        idx
+    }
+
+    /// Adopt `values` wholesale as the slab of an *empty* map: the
+    /// vector's buffer becomes the value storage (when `Option<T>` has
+    /// a niche — every TCB does — the in-place `collect` reuses the
+    /// allocation, so a 250k-TCB absorb performs zero per-value
+    /// copies). Slot `i` holds `values[i]`; the caller reads each value
+    /// through [`FlowMap::slot_mut`] and threads it with
+    /// [`FlowMap::stage_adopted`], then commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map holds any live or staged entries — adoption
+    /// replaces the slab, which is only sound when nothing points into
+    /// the old one.
+    pub fn adopt_slab(&mut self, values: Vec<T>) {
+        assert!(
+            self.table.is_empty() && self.staged.is_empty(),
+            "adopt_slab on a map with live or staged entries"
+        );
+        let n = values.len();
+        self.free.clear();
+        self.retire_slab();
+        self.slab = values.into_iter().map(Some).collect();
+        self.links.clear();
+        self.links.resize(n, UNLINKED);
+        self.table.reserve(n);
+        self.staged.reserve(n);
+    }
+
+    /// Move the current slab onto the retired list for deferred
+    /// reclamation. Even fully drained, a big slab is all-`None` drop
+    /// glue over its whole footprint — a sequential DRAM pass that does
+    /// not belong in the migration blackout window.
+    fn retire_slab(&mut self) {
+        if self.slab.capacity() == 0 {
+            return;
+        }
+        // Bound the backlog: two retired slabs cover a steady migration
+        // ping-pong with quiescent cycles in between; a third arriving
+        // means no cycles ran, so pay for the oldest inline rather than
+        // grow without bound.
+        if self.retired.len() >= 2 {
+            self.retired.remove(0);
+        }
+        self.retired.push(std::mem::take(&mut self.slab));
+    }
+
+    /// Drop up to `max_slots` retired slab slots (oldest slab first),
+    /// returning how many were reclaimed. The dataplane calls this from
+    /// its end-of-cycle hook, so replaced slabs are reclaimed a bounded
+    /// chunk per quiescent cycle instead of inline during migration.
+    pub fn reclaim_retired(&mut self, max_slots: usize) -> usize {
+        let mut done = 0;
+        while done < max_slots {
+            let Some(oldest) = self.retired.first_mut() else { break };
+            let take = (max_slots - done).min(oldest.len());
+            let keep = oldest.len() - take;
+            oldest.truncate(keep);
+            done += take;
+            if oldest.is_empty() {
+                self.retired.remove(0);
+            }
+        }
+        done
+    }
+
+    /// Retired slab slots still awaiting [`FlowMap::reclaim_retired`].
+    pub fn retired_backlog(&self) -> usize {
+        self.retired.iter().map(Vec::len).sum()
+    }
+
+    /// Place `value` in a free slab slot without touching the probe
+    /// table or any bucket list, returning the slot handle. The entry
+    /// is unreachable until [`FlowMap::stage_adopted`] threads it and
+    /// [`FlowMap::commit_staged`] probes it in.
+    pub fn stage_push(&mut self, key: u64, value: T) -> u32 {
+        alloc_slot(&mut self.slab, &mut self.free, &mut self.links, key, value)
+    }
+
+    /// Thread slot `idx` (from [`FlowMap::adopt_slab`] or
+    /// [`FlowMap::stage_push`]) onto `bucket`'s list and queue its key
+    /// for the next [`FlowMap::commit_staged`].
+    pub fn stage_adopted(&mut self, idx: u32, key: u64, bucket: u16) {
+        debug_assert!(bucket == NO_BUCKET || (bucket as usize) < NUM_BUCKETS);
+        self.link_tail(idx, key, bucket);
+        self.staged.push((key, idx));
+    }
+
+    /// Probe every staged `(key, slot)` pair into the table in
+    /// ascending home-slot order (see [`FlowTable::insert_absent_batch`]).
+    pub fn commit_staged(&mut self) {
+        let mut staged = std::mem::take(&mut self.staged);
+        self.table.insert_absent_batch(&mut staged);
+        self.staged = staged;
     }
 
     /// Mutably borrows `key`'s value, inserting `T::default()` first
     /// if absent (the `entry(..).or_default()` idiom). Single probe.
+    /// The entry is unbucketed.
     pub fn get_or_insert_default(&mut self, key: u64) -> &mut T
     where
         T: Default,
     {
-        let (slab, free) = (&mut self.slab, &mut self.free);
-        let idx = self.table.get_or_insert_with(key, || alloc_slot(slab, free, T::default()));
+        let (slab, free, links) = (&mut self.slab, &mut self.free, &mut self.links);
+        let idx = self
+            .table
+            .get_or_insert_with(key, || alloc_slot(slab, free, links, key, T::default()));
         self.slab[idx as usize].as_mut().expect("live table entry")
     }
 
     /// Removes `key`, returning its value and free-listing the slot.
     pub fn remove(&mut self, key: u64) -> Option<T> {
         let idx = self.table.remove(key)?;
+        self.unlink(idx);
         let v = self.slab[idx as usize].take();
         debug_assert!(v.is_some(), "table index pointed at a free slab slot");
         self.free.push(idx);
         v
+    }
+
+    /// Mutably borrows the value in slab slot `idx` — the handle
+    /// returned by [`FlowMap::insert_in_bucket`]. Skips the key probe
+    /// entirely; panics if the slot was freed since.
+    #[inline]
+    pub fn slot_mut(&mut self, idx: u32) -> &mut T {
+        self.slab[idx as usize].as_mut().expect("slot handle outlived its entry")
+    }
+
+    /// The bucket `key` was inserted into ([`NO_BUCKET`] for plain
+    /// inserts), or `None` if `key` is absent.
+    #[inline]
+    pub fn bucket_of(&self, key: u64) -> Option<u16> {
+        let idx = self.table.get(key)?;
+        Some(self.links[idx as usize].bucket)
+    }
+
+    /// Walk `bucket`'s keys in insertion order without touching the
+    /// value slab. This is the migration scan: O(bucket population),
+    /// and the order is a function of the insertion history alone —
+    /// identical across table layouts/capacities, so no sort is needed
+    /// for deterministic migration.
+    pub fn bucket_keys(&self, bucket: u16) -> impl Iterator<Item = u64> + '_ {
+        let mut cur = *self.heads.get(bucket as usize).unwrap_or(&EMPTY);
+        std::iter::from_fn(move || {
+            if cur == EMPTY {
+                return None;
+            }
+            let l = self.links[cur as usize];
+            cur = l.next;
+            Some(l.key)
+        })
+    }
+
+    /// Number of entries threaded on `bucket`'s list. O(1): read from
+    /// the per-bucket population counters.
+    pub fn bucket_len(&self, bucket: u16) -> usize {
+        *self.counts.get(bucket as usize).unwrap_or(&0) as usize
+    }
+
+    /// Append slot `idx` to `bucket`'s list (no-op for [`NO_BUCKET`]).
+    fn link_tail(&mut self, idx: u32, key: u64, bucket: u16) {
+        if bucket == NO_BUCKET {
+            self.links[idx as usize] = Link { prev: EMPTY, next: EMPTY, key, bucket };
+            return;
+        }
+        if self.heads.is_empty() {
+            self.heads = vec![EMPTY; NUM_BUCKETS];
+            self.tails = vec![EMPTY; NUM_BUCKETS];
+            self.counts = vec![0; NUM_BUCKETS];
+        }
+        let tail = self.tails[bucket as usize];
+        self.links[idx as usize] = Link { prev: tail, next: EMPTY, key, bucket };
+        if tail == EMPTY {
+            self.heads[bucket as usize] = idx;
+        } else {
+            self.links[tail as usize].next = idx;
+        }
+        self.tails[bucket as usize] = idx;
+        self.counts[bucket as usize] += 1;
+    }
+
+    /// Detach slot `idx` from its bucket list (no-op if unbucketed).
+    fn unlink(&mut self, idx: u32) {
+        let Link { prev, next, bucket, .. } = self.links[idx as usize];
+        if bucket == NO_BUCKET {
+            return;
+        }
+        if prev == EMPTY {
+            self.heads[bucket as usize] = next;
+        } else {
+            self.links[prev as usize].next = next;
+        }
+        if next == EMPTY {
+            self.tails[bucket as usize] = prev;
+        } else {
+            self.links[next as usize].prev = prev;
+        }
+        self.links[idx as usize] = UNLINKED;
+        self.counts[bucket as usize] -= 1;
     }
 
     /// Iterate `(key, &value)` in table slot order (see
@@ -398,7 +772,16 @@ impl<T> FlowMap<T> {
             slab_slots: self.slab.len(),
             bytes: self.slab.capacity() * std::mem::size_of::<Option<T>>()
                 + self.table.mem_bytes()
-                + self.free.capacity() * std::mem::size_of::<u32>(),
+                + self.free.capacity() * std::mem::size_of::<u32>()
+                + self.links.capacity() * std::mem::size_of::<Link>()
+                + (self.heads.capacity() + self.tails.capacity() + self.counts.capacity())
+                    * std::mem::size_of::<u32>()
+                + self.staged.capacity() * std::mem::size_of::<(u64, u32)>()
+                + self
+                    .retired
+                    .iter()
+                    .map(|v| v.capacity() * std::mem::size_of::<Option<T>>())
+                    .sum::<usize>(),
         }
     }
 }
@@ -410,17 +793,27 @@ impl<T> Default for FlowMap<T> {
 }
 
 /// Place `value` in a free slab slot (LIFO reuse, else grow the tail)
-/// and return its index. Free function so [`FlowMap`] methods can call
-/// it while the table is mutably borrowed.
-fn alloc_slot<T>(slab: &mut Vec<Option<T>>, free: &mut Vec<u32>, value: T) -> u32 {
+/// and return its index, keeping the link array slot-parallel. The
+/// caller threads the link afterwards ([`FlowMap::link_tail`]). Free
+/// function so [`FlowMap`] methods can call it while the table is
+/// mutably borrowed.
+fn alloc_slot<T>(
+    slab: &mut Vec<Option<T>>,
+    free: &mut Vec<u32>,
+    links: &mut Vec<Link>,
+    key: u64,
+    value: T,
+) -> u32 {
     match free.pop() {
         Some(i) => {
             slab[i as usize] = Some(value);
+            links[i as usize] = Link { key, ..UNLINKED };
             i
         }
         None => {
             assert!(slab.len() < EMPTY as usize, "flow slab exceeds u32 indexing");
             slab.push(Some(value));
+            links.push(Link { key, ..UNLINKED });
             (slab.len() - 1) as u32
         }
     }
@@ -533,6 +926,172 @@ mod tests {
         let mut keys: Vec<u64> = m.iter().map(|(k, _)| k).collect();
         keys.sort_unstable();
         assert_eq!(keys, [1, 3, 4]);
+    }
+
+    #[test]
+    fn bucket_lists_keep_insertion_order_across_churn() {
+        let mut m: FlowMap<u64> = FlowMap::new();
+        for k in 0..12u64 {
+            m.insert_in_bucket(k, (k % 3) as u16, k * 10);
+        }
+        assert_eq!(m.bucket_keys(0).collect::<Vec<_>>(), [0, 3, 6, 9]);
+        assert_eq!(m.bucket_keys(1).collect::<Vec<_>>(), [1, 4, 7, 10]);
+        assert_eq!(m.bucket_len(2), 4);
+        // Remove from the middle of a list; order of the rest holds.
+        assert_eq!(m.remove(3), Some(30));
+        assert_eq!(m.remove(9), Some(90));
+        assert_eq!(m.bucket_keys(0).collect::<Vec<_>>(), [0, 6]);
+        // Reinsert: appends at the tail, reusing a freed slab slot.
+        m.insert_in_bucket(3, 0, 31);
+        assert_eq!(m.bucket_keys(0).collect::<Vec<_>>(), [0, 6, 3]);
+        assert_eq!(m.bucket_of(3), Some(0));
+        assert_eq!(m.bucket_of(99), None);
+    }
+
+    #[test]
+    fn replacement_rehomes_only_on_bucket_change() {
+        let mut m: FlowMap<&str> = FlowMap::new();
+        m.insert_in_bucket(1, 5, "a");
+        m.insert_in_bucket(2, 5, "b");
+        // Same-bucket replacement keeps list position.
+        assert_eq!(m.insert_in_bucket(1, 5, "a2").1, Some("a"));
+        assert_eq!(m.bucket_keys(5).collect::<Vec<_>>(), [1, 2]);
+        // Cross-bucket replacement moves the entry to the new tail.
+        assert_eq!(m.insert_in_bucket(1, 6, "a3").1, Some("a2"));
+        assert_eq!(m.bucket_keys(5).collect::<Vec<_>>(), [2]);
+        assert_eq!(m.bucket_keys(6).collect::<Vec<_>>(), [1]);
+        assert_eq!(m.bucket_of(1), Some(6));
+    }
+
+    #[test]
+    fn unbucketed_entries_are_invisible_to_bucket_walks() {
+        let mut m: FlowMap<u32> = FlowMap::new();
+        m.insert(7, 70);
+        m.insert_in_bucket(8, 0, 80);
+        assert_eq!(m.bucket_of(7), Some(NO_BUCKET));
+        assert_eq!(m.bucket_keys(0).collect::<Vec<_>>(), [8]);
+        assert_eq!(m.remove(7), Some(70));
+        assert_eq!(m.remove(8), Some(80));
+        assert_eq!(m.bucket_len(0), 0);
+    }
+
+    #[test]
+    fn slot_handle_skips_the_probe() {
+        let mut m: FlowMap<u64> = FlowMap::new();
+        let (idx, old) = m.insert_in_bucket(42, 3, 1);
+        assert!(old.is_none());
+        *m.slot_mut(idx) += 9;
+        assert_eq!(m.get(42), Some(&10));
+    }
+
+    #[test]
+    fn reserve_prevents_incremental_growth() {
+        let mut m: FlowMap<u64> = FlowMap::new();
+        m.reserve(100_000);
+        let cap = m.table.capacity();
+        for k in 0..100_000u64 {
+            m.insert_in_bucket(k, (k % NUM_BUCKETS as u64) as u16, k);
+        }
+        assert_eq!(m.table.capacity(), cap, "reserve should pre-size the table");
+    }
+
+    /// The staged bulk path and the incremental path agree: same
+    /// lookups, same bucket walks, same slot handles usable before the
+    /// commit, and the commit's home-slot-ordered writes place keys
+    /// exactly where incremental probing would.
+    #[test]
+    fn staged_commit_matches_incremental_inserts() {
+        let mut staged: FlowMap<u64> = FlowMap::new();
+        let mut incr: FlowMap<u64> = FlowMap::new();
+        staged.reserve(3000);
+        incr.reserve(3000);
+        for k in 0..3000u64 {
+            let key = k.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let b = (k % NUM_BUCKETS as u64) as u16;
+            let slot = staged.stage_insert(key, b, k);
+            *staged.slot_mut(slot) += 1;
+            incr.insert_in_bucket(key, b, k + 1);
+        }
+        // Staged keys are invisible to the table until commit.
+        assert_eq!(staged.len(), 0);
+        staged.commit_staged();
+        assert_eq!(staged.len(), incr.len());
+        for k in 0..3000u64 {
+            let key = k.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            assert_eq!(staged.get(key), Some(&(k + 1)), "key {k}");
+            assert_eq!(staged.bucket_of(key), incr.bucket_of(key));
+        }
+        for b in 0..NUM_BUCKETS as u16 {
+            let a: Vec<u64> = staged.bucket_keys(b).collect();
+            let c: Vec<u64> = incr.bucket_keys(b).collect();
+            assert_eq!(a, c, "bucket {b} walk order");
+            assert_eq!(staged.bucket_len(b), incr.bucket_len(b));
+        }
+        // Removal (backward-shift) works on the committed layout.
+        for k in (0..3000u64).step_by(3) {
+            let key = k.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            assert_eq!(staged.remove(key), Some(k + 1));
+            assert_eq!(staged.get(key), None);
+        }
+        assert_eq!(staged.len(), 2000);
+    }
+
+    /// Adoption retires the old slab instead of dropping it inline;
+    /// bounded reclaim drains it incrementally and the backlog never
+    /// exceeds two slabs.
+    #[test]
+    fn retired_slabs_drain_incrementally() {
+        let mut m: FlowMap<u64> = FlowMap::new();
+        let fill = |n: u64| (0..n).map(|k| k.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect::<Vec<_>>();
+        // Round 1: normal inserts, then drain — slab full of Nones.
+        for &k in &fill(1000) {
+            m.insert_in_bucket(k, 0, k);
+        }
+        for &k in &fill(1000) {
+            m.remove(k);
+        }
+        assert_eq!(m.retired_backlog(), 0);
+        // Adoption swaps the slab out; the old one goes to retired.
+        m.adopt_slab(fill(500));
+        assert_eq!(m.retired_backlog(), 1000);
+        for (i, &k) in fill(500).iter().enumerate() {
+            m.stage_adopted(i as u32, k, 3);
+        }
+        m.commit_staged();
+        assert_eq!(m.len(), 500);
+        assert_eq!(m.bucket_len(3), 500);
+        // Incremental reclaim drains oldest-first in bounded chunks.
+        assert_eq!(m.reclaim_retired(300), 300);
+        assert_eq!(m.retired_backlog(), 700);
+        assert_eq!(m.reclaim_retired(usize::MAX), 700);
+        assert_eq!(m.retired_backlog(), 0);
+        assert_eq!(m.reclaim_retired(64), 0);
+        // The backlog is bounded: repeated adoptions without reclaim
+        // keep at most two retired slabs.
+        for round in 0..5u64 {
+            for &k in &fill(100) {
+                m.remove(k.wrapping_add(round));
+            }
+            let all: Vec<u64> = m.iter().map(|(k, _)| k).collect();
+            for k in all {
+                m.remove(k);
+            }
+            m.adopt_slab(fill(100));
+            for (i, &k) in fill(100).iter().enumerate() {
+                m.stage_adopted(i as u32, k, 0);
+            }
+            m.commit_staged();
+        }
+        assert!(m.retired_backlog() <= 2 * 500, "backlog grew: {}", m.retired_backlog());
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn staging_a_live_key_panics_at_commit() {
+        let mut m: FlowMap<u32> = FlowMap::new();
+        m.insert_in_bucket(7, 0, 1);
+        m.stage_insert(7, 0, 2);
+        m.commit_staged();
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub mod tcb;
 pub use arp_table::ArpTable;
 pub use config::{AckPolicy, StackConfig};
 pub use event::{DeadReason, FlowId, TcpEvent};
-pub use flow_table::{FlowMap, FlowMapMem, FlowTable};
+pub use flow_table::{FlowMap, FlowMapMem, FlowTable, NO_BUCKET, NUM_BUCKETS};
 pub use stack::{StackError, StackStats, TcpShard, UdpDatagram};
 pub use tcb::{Tcb, TcpState};

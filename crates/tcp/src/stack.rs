@@ -19,7 +19,7 @@ use ix_timerwheel::TimerWheel;
 use crate::arp_table::ArpTable;
 use crate::config::{AckPolicy, StackConfig};
 use crate::event::{DeadReason, FlowId, TcpEvent};
-use crate::flow_table::{FlowMap, FlowMapMem};
+use crate::flow_table::{FlowMap, FlowMapMem, NO_BUCKET, NUM_BUCKETS};
 use crate::syncookie;
 use crate::tcb::{Tcb, TcpState, TimerKind, TxSeg};
 
@@ -331,6 +331,27 @@ impl TcpShard {
         self.flows.len()
     }
 
+    /// RSS redirection-table bucket for a flow's *reply* tuple: the
+    /// same Toeplitz hash (and the same argument order) the NIC runs
+    /// over an arriving frame's `(src, dst, sport, dport)`, masked to
+    /// the 128-entry table. Computed once per flow at adoption;
+    /// extract/absorb then move whole buckets without re-hashing.
+    fn rss_bucket_for(&self, remote_ip: Ipv4Addr, remote_port: u16, local_port: u16) -> u16 {
+        let hash = ix_net::rss::hash_ipv4_tuple(
+            &ix_net::rss::TOEPLITZ_DEFAULT_KEY,
+            remote_ip,
+            self.local_ip,
+            remote_port,
+            local_port,
+        );
+        (hash & (NUM_BUCKETS as u32 - 1)) as u16
+    }
+
+    /// Number of live flows in one RSS bucket (O(bucket population)).
+    pub fn bucket_flow_count(&self, bucket: u16) -> usize {
+        self.flows.bucket_len(bucket)
+    }
+
     /// TCB-slab occupancy and resident bytes (live flows, high-water
     /// slab slots, slab+table footprint) for peak-RSS-style accounting.
     pub fn flow_mem_stats(&self) -> FlowMapMem {
@@ -443,21 +464,63 @@ impl TcpShard {
     /// cancelling their timers on this shard. The control plane hands
     /// them to [`TcpShard::absorb_flows`] on their new shard.
     ///
-    /// The predicate receives the flow tuple `(remote_ip, remote_port,
-    /// local_port)` unpacked from the table key, so the selection scan
-    /// walks only the 16-byte probe array — it never touches the TCB
-    /// slab until a flow is actually extracted.
+    /// The selection walks the per-bucket index lists (bucket 0..128,
+    /// each in insertion order) — never the full probe array, and never
+    /// a sort: the order is a function of the flows' insertion history
+    /// alone, identical across table layouts. The predicate receives
+    /// the tuple `(remote_ip, remote_port, local_port)` unpacked from
+    /// the link's key, so nothing touches the TCB slab until a flow is
+    /// actually extracted.
     pub fn extract_flows(
         &mut self,
         mut belongs_elsewhere: impl FnMut(Ipv4Addr, u16, u16) -> bool,
     ) -> Vec<Tcb> {
-        let mut keys = self.flows.collect_keys();
-        keys.retain(|&k| belongs_elsewhere(Ipv4Addr((k >> 32) as u32), (k >> 16) as u16, k as u16));
-        // Deterministic migration order regardless of table layout.
-        keys.sort_unstable();
+        let mut keys = Vec::new();
+        for b in 0..NUM_BUCKETS as u16 {
+            keys.extend(self.flows.bucket_keys(b).filter(|&k| {
+                belongs_elsewhere(Ipv4Addr((k >> 32) as u32), (k >> 16) as u16, k as u16)
+            }));
+        }
+        self.extract_keys(&keys)
+    }
+
+    /// Extracts every flow in one RSS bucket — the §4.4 flow-group
+    /// migration primitive. O(bucket population): the bucket's
+    /// insertion-ordered list is the work list; no scan, no sort, no
+    /// per-flow Toeplitz hash.
+    pub fn extract_bucket(&mut self, bucket: u16) -> Vec<Tcb> {
+        let mut out = Vec::with_capacity(self.flows.bucket_len(bucket));
+        self.extract_bucket_into(bucket, &mut out);
+        out
+    }
+
+    /// Like [`Stack::extract_bucket`], but appends into a caller-owned
+    /// batch. The control plane pre-sizes one batch per destination
+    /// (via [`Stack::bucket_len`]) and extracts every mis-steered
+    /// bucket straight into it — one TCB write each, no intermediate
+    /// per-bucket `Vec` and no growth re-copies mid-migration.
+    pub fn extract_bucket_into(&mut self, bucket: u16, out: &mut Vec<Tcb>) {
+        let keys: Vec<u64> = self.flows.bucket_keys(bucket).collect();
+        self.extract_keys_into(&keys, out);
+    }
+
+    /// Live flows currently homed on RSS bucket `bucket`.
+    pub fn bucket_len(&self, bucket: u16) -> usize {
+        self.flows.bucket_len(bucket)
+    }
+
+    /// Removes the given flows, cancelling their timers in bulk and
+    /// recording each residual delay for re-arming on the destination.
+    fn extract_keys(&mut self, keys: &[u64]) -> Vec<Tcb> {
         let mut out = Vec::with_capacity(keys.len());
-        for k in keys {
-            let mut tcb = self.flows.remove(k).expect("present");
+        self.extract_keys_into(keys, &mut out);
+        out
+    }
+
+    /// [`Stack::extract_keys`] into a caller-owned batch.
+    fn extract_keys_into(&mut self, keys: &[u64], out: &mut Vec<Tcb>) {
+        for &k in keys {
+            let mut tcb = self.flows.remove(k).expect("indexed key present");
             // Held receive buffers migrate with the flow; the gauge
             // follows them to the absorbing shard.
             self.stats.rx_pool_outstanding -= (tcb.rx_held.len() + tcb.ooo.len()) as u64;
@@ -465,30 +528,28 @@ impl TcpShard {
             if tcb.state == TcpState::SynRcvd {
                 self.synrcvd_count -= 1;
             }
-            // Cancel every armed timer on this wheel, recording its
-            // residual delay so `absorb_flows` re-arms the destination
-            // wheel with the same remainder.
-            if let Some(t) = tcb.rto_timer.take() {
-                tcb.migrate_rto_ns = self.wheel.remaining_ns(t);
-                self.wheel.cancel(t);
-            }
-            if let Some(t) = tcb.persist_timer.take() {
-                tcb.migrate_persist_ns = self.wheel.remaining_ns(t);
-                self.wheel.cancel(t);
-            }
-            if let Some(t) = tcb.timewait_timer.take() {
-                tcb.migrate_timewait_ns = self.wheel.remaining_ns(t);
-                self.wheel.cancel(t);
-            }
-            if let Some(t) = tcb.delack_timer.take() {
-                tcb.migrate_delack_ns = self.wheel.remaining_ns(t);
-                self.wheel.cancel(t);
-            }
+            // Cancel every armed timer in one batch, recording residual
+            // delays so `absorb_flows` re-arms the destination wheel
+            // with the same remainder. One wheel round-trip per timer
+            // (the payload's kind routes the residual), not two.
+            let ids = [
+                tcb.rto_timer.take(),
+                tcb.persist_timer.take(),
+                tcb.timewait_timer.take(),
+                tcb.delack_timer.take(),
+            ];
+            self.wheel.cancel_batch(ids.into_iter().flatten(), |entry, remaining| {
+                match entry.kind {
+                    TimerKind::Rto => tcb.migrate_rto_ns = Some(remaining),
+                    TimerKind::Persist => tcb.migrate_persist_ns = Some(remaining),
+                    TimerKind::TimeWait => tcb.migrate_timewait_ns = Some(remaining),
+                    TimerKind::DelAck => tcb.migrate_delack_ns = Some(remaining),
+                }
+            });
             // Stale pending-ACK entries for this key become no-ops
             // (flush checks `need_ack` against the live map).
             out.push(tcb);
         }
-        out
     }
 
     /// Adopts flows migrated from another shard, re-arming their timers
@@ -499,56 +560,166 @@ impl TcpShard {
     /// Flows that arrive without carry-state (tests constructing TCBs by
     /// hand, watchdog re-steers of discarded-ring flows) fall back to
     /// protocol-state defaults for RTO and TIME_WAIT.
+    /// Takes the batch by vector so an empty destination (whole-shard
+    /// migration always lands on one) can adopt the buffer wholesale as
+    /// its TCB slab — zero per-TCB copies, via the in-place `collect`
+    /// over the niche-optimized `Option<Tcb>`. A live destination
+    /// stages each TCB into a free slot instead. Either way the flow
+    /// table is reserved once, every TCB is threaded onto its bucket
+    /// list in batch order, the probe table is committed in one
+    /// home-slot-ordered pass, and timers are armed in cache-sized
+    /// chunks against slot handles — no `get_mut` re-lookup per timer,
+    /// no incremental table growth mid-absorb, no hash-random
+    /// probe-array writes.
     pub fn absorb_flows(&mut self, now_ns: u64, flows: Vec<Tcb>) {
+        /// Flows per timer-arming flush. Timer ids are written back into
+        /// TCBs through their slot handles; flushing every ~2k flows
+        /// (≈1 MB of TCBs) keeps those write-backs L2-resident instead
+        /// of re-faulting the whole batch from DRAM after a 250k-flow
+        /// insert pass has evicted its own head.
+        const ABSORB_CHUNK: usize = 2048;
+
+        /// Drain `reqs` into the wheel in one batched pass, routing each
+        /// returned [`TimerId`] into its TCB via the slot handle in
+        /// `targets` — no `get_mut` re-probe per timer.
+        fn flush_timers(
+            wheel: &mut TimerWheel<TimerEntry>,
+            flows: &mut FlowMap<Tcb>,
+            reqs: &mut Vec<(u64, TimerEntry)>,
+            targets: &mut Vec<(u32, TimerKind)>,
+        ) {
+            let mut i = 0usize;
+            wheel.schedule_batch(reqs.drain(..), |id| {
+                let (slot, kind) = targets[i];
+                i += 1;
+                let tcb = flows.slot_mut(slot);
+                match kind {
+                    TimerKind::Rto => tcb.rto_timer = Some(id),
+                    TimerKind::TimeWait => tcb.timewait_timer = Some(id),
+                    TimerKind::Persist => tcb.persist_timer = Some(id),
+                    TimerKind::DelAck => tcb.delack_timer = Some(id),
+                }
+            });
+            targets.clear();
+        }
+
         self.now_ns = now_ns;
-        for mut tcb in flows {
-            // Deconflict generation counters so stale-handle protection
-            // keeps working after migration.
-            self.next_gen = self.next_gen.max(tcb.id.gen + 1);
-            let key = tcb.id.key;
-            let gen = tcb.id.gen;
-            let need_rto = !tcb.rtq.is_empty()
-                || matches!(tcb.state, TcpState::SynSent | TcpState::SynRcvd);
-            let rto = tcb.migrate_rto_ns.take().unwrap_or(tcb.rto_ns);
-            let need_tw = tcb.state == TcpState::TimeWait;
-            let tw = tcb.migrate_timewait_ns.take().unwrap_or(self.cfg.time_wait_ns);
-            let persist = tcb.migrate_persist_ns.take();
-            let delack = tcb.migrate_delack_ns.take();
-            // A pending delayed ACK stays on the timer path below; a
-            // plain `need_ack` rides the end-of-cycle flush.
-            if tcb.need_ack && delack.is_none() {
-                self.pending_acks.push(key);
+        let n = flows.len();
+        if n == 0 {
+            return;
+        }
+        // Value placement: an empty map adopts the batch vector as its
+        // slab in place (slot i == batch index i, zero TCB copies); a
+        // live map stages each value into a free slot.
+        let slots: Vec<u32> = if self.flows.is_empty() {
+            self.flows.adopt_slab(flows);
+            (0..n as u32).collect()
+        } else {
+            self.flows.reserve(n);
+            flows
+                .into_iter()
+                .map(|tcb| {
+                    let key = tcb.id.key;
+                    self.flows.stage_push(key, tcb)
+                })
+                .collect()
+        };
+        let local_ip = self.local_ip;
+        // Timer requests accumulated per chunk: `reqs` feeds the wheel,
+        // `targets` routes each returned TimerId back to its TCB's
+        // handle field by slot index.
+        let chunk = ABSORB_CHUNK.min(n);
+        let mut reqs: Vec<(u64, TimerEntry)> = Vec::with_capacity(chunk + 4);
+        let mut targets: Vec<(u32, TimerKind)> = Vec::with_capacity(chunk + 4);
+        for &slot in &slots {
+            let key;
+            let bucket;
+            {
+                let tcb = self.flows.slot_mut(slot);
+                // Deconflict generation counters so stale-handle
+                // protection keeps working after migration.
+                self.next_gen = self.next_gen.max(tcb.id.gen + 1);
+                key = tcb.id.key;
+                let gen = tcb.id.gen;
+                let need_rto = !tcb.rtq.is_empty()
+                    || matches!(tcb.state, TcpState::SynSent | TcpState::SynRcvd);
+                // Clear migrate residuals only when set: an idle
+                // established flow takes the read-only path through this
+                // loop, so its cache lines stay clean — no write-back of
+                // the whole 94 MB batch just to store `None` over `None`.
+                let rto = tcb.migrate_rto_ns.unwrap_or(tcb.rto_ns);
+                if tcb.migrate_rto_ns.is_some() {
+                    tcb.migrate_rto_ns = None;
+                }
+                let need_tw = tcb.state == TcpState::TimeWait;
+                let tw = tcb.migrate_timewait_ns.unwrap_or(self.cfg.time_wait_ns);
+                if tcb.migrate_timewait_ns.is_some() {
+                    tcb.migrate_timewait_ns = None;
+                }
+                let persist = tcb.migrate_persist_ns;
+                if persist.is_some() {
+                    tcb.migrate_persist_ns = None;
+                }
+                let delack = tcb.migrate_delack_ns;
+                if delack.is_some() {
+                    tcb.migrate_delack_ns = None;
+                }
+                // A pending delayed ACK stays on the timer path below; a
+                // plain `need_ack` rides the end-of-cycle flush.
+                if tcb.need_ack && delack.is_none() {
+                    self.pending_acks.push(key);
+                }
+                self.stats.rx_pool_outstanding += (tcb.rx_held.len() + tcb.ooo.len()) as u64;
+                if tcb.state == TcpState::SynRcvd {
+                    self.synrcvd_count += 1;
+                }
+                // Flows migrated from a sibling shard carry their
+                // bucket; hand-built TCBs (tests, watchdog re-steers)
+                // get it computed here, once, for the rest of their
+                // life. Inlined `rss_bucket_for` — `tcb` borrows the
+                // flow map, so no whole-`self` call is possible here.
+                if tcb.rss_bucket == NO_BUCKET {
+                    let hash = ix_net::rss::hash_ipv4_tuple(
+                        &ix_net::rss::TOEPLITZ_DEFAULT_KEY,
+                        tcb.remote_ip,
+                        local_ip,
+                        tcb.remote_port,
+                        tcb.local_port,
+                    );
+                    tcb.rss_bucket = (hash & (NUM_BUCKETS as u32 - 1)) as u16;
+                }
+                bucket = tcb.rss_bucket;
+                if need_rto {
+                    reqs.push((rto, TimerEntry { key, gen, kind: TimerKind::Rto }));
+                    targets.push((slot, TimerKind::Rto));
+                }
+                if need_tw {
+                    reqs.push((tw, TimerEntry { key, gen, kind: TimerKind::TimeWait }));
+                    targets.push((slot, TimerKind::TimeWait));
+                }
+                if let Some(d) = persist {
+                    reqs.push((d, TimerEntry { key, gen, kind: TimerKind::Persist }));
+                    targets.push((slot, TimerKind::Persist));
+                }
+                if let Some(d) = delack {
+                    reqs.push((d, TimerEntry { key, gen, kind: TimerKind::DelAck }));
+                    targets.push((slot, TimerKind::DelAck));
+                }
             }
-            self.stats.rx_pool_outstanding += (tcb.rx_held.len() + tcb.ooo.len()) as u64;
-            if tcb.state == TcpState::SynRcvd {
-                self.synrcvd_count += 1;
-            }
-            self.flows.insert(key, tcb);
-            if need_rto {
-                let t = self
-                    .wheel
-                    .schedule(rto, TimerEntry { key, gen, kind: TimerKind::Rto });
-                self.flows.get_mut(key).expect("inserted").rto_timer = Some(t);
-            }
-            if need_tw {
-                let t = self
-                    .wheel
-                    .schedule(tw, TimerEntry { key, gen, kind: TimerKind::TimeWait });
-                self.flows.get_mut(key).expect("inserted").timewait_timer = Some(t);
-            }
-            if let Some(d) = persist {
-                let t = self
-                    .wheel
-                    .schedule(d, TimerEntry { key, gen, kind: TimerKind::Persist });
-                self.flows.get_mut(key).expect("inserted").persist_timer = Some(t);
-            }
-            if let Some(d) = delack {
-                let t = self
-                    .wheel
-                    .schedule(d, TimerEntry { key, gen, kind: TimerKind::DelAck });
-                self.flows.get_mut(key).expect("inserted").delack_timer = Some(t);
+            self.flows.stage_adopted(slot, key, bucket);
+            // Arm this chunk's timers while its TCBs are still
+            // cache-resident; timer write-back goes through slot
+            // handles, which don't need the (still-pending) commit.
+            if targets.len() >= ABSORB_CHUNK {
+                flush_timers(&mut self.wheel, &mut self.flows, &mut reqs, &mut targets);
             }
         }
+        flush_timers(&mut self.wheel, &mut self.flows, &mut reqs, &mut targets);
+        // The loop above only staged (slab + bucket list); one commit
+        // probes the whole batch into the table in ascending home-slot
+        // order — streaming writes over the probe array instead of one
+        // random cold line per flow.
+        self.flows.commit_staged();
     }
 
     // ------------------------------------------------------------------
@@ -592,7 +763,9 @@ impl TcpShard {
             TimerEntry { key, gen, kind: TimerKind::Rto },
         );
         tcb.rto_timer = Some(timer);
-        self.flows.insert(key, tcb);
+        tcb.rss_bucket = self.rss_bucket_for(dst_ip, dst_port, local_port);
+        let bucket = tcb.rss_bucket;
+        self.flows.insert_in_bucket(key, bucket, tcb);
         Ok(id)
     }
 
@@ -1098,7 +1271,9 @@ impl TcpShard {
             );
             tcb.rto_timer = Some(t);
             self.synrcvd_count += 1;
-            self.flows.insert(key, tcb);
+            tcb.rss_bucket = self.rss_bucket_for(ip.src, hdr.src_port, hdr.dst_port);
+            let bucket = tcb.rss_bucket;
+            self.flows.insert_in_bucket(key, bucket, tcb);
             return;
         }
         // A bare ACK to a listened port may be the completing leg of a
@@ -1201,7 +1376,9 @@ impl TcpShard {
         self.stats.conns_accepted += 1;
         self.stats.syn_cookies_accepted += 1;
         self.events.push(TcpEvent::Knock { flow: id, src_ip, src_port });
-        self.flows.insert(key, tcb);
+        tcb.rss_bucket = self.rss_bucket_for(src_ip, src_port, hdr.dst_port);
+        let bucket = tcb.rss_bucket;
+        self.flows.insert_in_bucket(key, bucket, tcb);
         // Data or FIN piggybacked on the handshake-completing ACK.
         if !payload.is_empty() || hdr.flags.fin {
             self.on_established_family(key, *hdr, payload);
@@ -1833,8 +2010,16 @@ impl TcpShard {
     /// each run-to-completion cycle so windows reflect `recv_done`
     /// credits issued by the application during the cycle.
     pub fn end_cycle(&mut self, now_ns: u64) {
+        /// Retired-slab slots reclaimed per quiescent cycle (~3 MB of
+        /// drop-glue reads): a replaced 250k-slot slab drains in ~30
+        /// cycles without putting its full DRAM pass in any one cycle.
+        const RECLAIM_SLOTS_PER_CYCLE: usize = 8192;
         self.now_ns = now_ns;
         self.flush_acks();
+        // RCU-style deferred reclamation: migration swaps TCB slabs
+        // inside the blackout window and leaves the old one retired;
+        // quiescent cycles pay its drop glue a bounded chunk at a time.
+        self.flows.reclaim_retired(RECLAIM_SLOTS_PER_CYCLE);
     }
 
     /// Delayed-ACK policy (RFC 1122): a flow with one unacknowledged

@@ -195,6 +195,14 @@ pub struct Tcb {
     /// Residual delay of the delayed-ACK timer.
     pub migrate_delack_ns: Option<u64>,
 
+    /// RSS redirection-table bucket this flow hashes into (`hash &
+    /// 0x7f`, the NIC's Toeplitz over the reply tuple), computed once
+    /// when the shard adopts the flow and carried across migrations so
+    /// neither extract nor absorb re-runs the per-bit software hash.
+    /// [`NO_BUCKET`](crate::flow_table::NO_BUCKET) until a shard
+    /// computes it.
+    pub rss_bucket: u16,
+
     /// Effective MSS for this connection (min of ours and peer's).
     pub mss: u32,
     /// When the SYN / SYN-ACK was (last) sent, for seeding the RTT
@@ -223,6 +231,7 @@ impl Tcb {
             remote_ip: id.remote_ip(),
             remote_port: id.remote_port(),
             local_port: id.local_port(),
+            rss_bucket: crate::flow_table::NO_BUCKET,
             snd_una: iss,
             snd_nxt: iss,
             snd_wnd: 0,

@@ -41,6 +41,18 @@ impl Bencher {
         }
         self.elapsed = start.elapsed();
     }
+
+    /// Like [`Bencher::iter`], but `f` reports the time spent in the
+    /// measured region itself. Use when each iteration must restore
+    /// state (e.g. undo a migration) that should not count against the
+    /// operation under test.
+    pub fn iter_timed(&mut self, mut f: impl FnMut() -> Duration) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            total += f();
+        }
+        self.elapsed = total;
+    }
 }
 
 /// One finished measurement.

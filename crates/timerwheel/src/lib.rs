@@ -224,6 +224,98 @@ impl<T> TimerWheel<T> {
         payload
     }
 
+    /// Cancels a timer and reports its residual delay in one entry
+    /// access: `(payload, remaining_ns)`, or `None` if it already fired
+    /// or was cancelled. This is the migration-extract primitive —
+    /// equivalent to [`TimerWheel::remaining_ns`] followed by
+    /// [`TimerWheel::cancel`], but with a single generation check and
+    /// entry load instead of two round-trips per timer.
+    pub fn cancel_with_remaining(&mut self, id: TimerId) -> Option<(T, u64)> {
+        let e = self.entries.get(id.index as usize)?;
+        if e.generation != id.generation || e.location.is_none() {
+            return None;
+        }
+        let remaining = e.deadline.saturating_sub(self.now_tick) * self.resolution_ns;
+        self.unlink(id.index);
+        let payload =
+            self.entries[id.index as usize].payload.take().expect("live entry has payload");
+        self.free_entry(id.index);
+        self.live -= 1;
+        self.cancelled_total += 1;
+        Some((payload, remaining))
+    }
+
+    /// Bulk cancel: invokes `sink(payload, remaining_ns)` for every id
+    /// that was still pending; stale ids are skipped silently. Behaves
+    /// exactly like [`TimerWheel::cancel_with_remaining`] per id.
+    pub fn cancel_batch(
+        &mut self,
+        ids: impl IntoIterator<Item = TimerId>,
+        mut sink: impl FnMut(T, u64),
+    ) {
+        for id in ids {
+            if let Some((payload, remaining)) = self.cancel_with_remaining(id) {
+                sink(payload, remaining);
+            }
+        }
+    }
+
+    /// Bulk schedule: arms every `(delay_ns, payload)` item and hands
+    /// its [`TimerId`] to `sink`, in order. Identical fire semantics to
+    /// calling [`TimerWheel::schedule`] per item (same tick rounding,
+    /// same per-slot tie order) but amortized for migration-sized
+    /// batches: the entry arena is grown once up front, and the wheel
+    /// position is resolved once per run of equal deadlines — absorbed
+    /// flow groups carry long runs of identical residual delays, which
+    /// append to one slot chain without re-deriving level/slot each
+    /// time.
+    pub fn schedule_batch(
+        &mut self,
+        items: impl IntoIterator<Item = (u64, T)>,
+        mut sink: impl FnMut(TimerId),
+    ) {
+        let items = items.into_iter();
+        let (lo, hi) = items.size_hint();
+        let n = hi.unwrap_or(lo);
+        // A fully-idle wheel arming a migration-sized batch: relink the
+        // free list in ascending arena order (generations untouched, so
+        // stale-handle protection is unaffected) — allocations then
+        // walk the arena sequentially instead of hopping across the
+        // LIFO scars of the preceding cancel storm, one streamed write
+        // per entry instead of a cold miss.
+        if self.live == 0 && self.free_head != NIL && n >= 1024 {
+            self.free_head = NIL;
+            for i in (0..self.entries.len()).rev() {
+                self.entries[i].next_free = self.free_head;
+                self.free_head = i as u32;
+            }
+        }
+        self.entries.reserve(n);
+        // (deadline, level, slot) of the previous item: consecutive
+        // equal deadlines skip `place`.
+        let mut last: Option<(u64, u8, u16)> = None;
+        for (delay_ns, payload) in items {
+            let ticks = delay_ns.div_ceil(self.resolution_ns).max(1);
+            let deadline = self.now_tick + ticks;
+            let idx = self.alloc_entry();
+            let generation = self.entries[idx as usize].generation;
+            self.entries[idx as usize].deadline = deadline;
+            self.entries[idx as usize].payload = Some(payload);
+            let (level, slot) = match last {
+                Some((d, l, s)) if d == deadline => (l, s),
+                _ => {
+                    let (l, s) = self.place(deadline);
+                    last = Some((deadline, l, s));
+                    (l, s)
+                }
+            };
+            self.link(idx, level, slot);
+            self.live += 1;
+            self.scheduled_total += 1;
+            sink(TimerId { index: idx, generation });
+        }
+    }
+
     /// Absolute tick of the earliest pending timer, or `None` when idle.
     /// Linear in the number of live entries (scans occupied slots).
     fn next_deadline_tick(&self) -> Option<u64> {
@@ -513,6 +605,63 @@ mod tests {
         // Advance in big steps; expensive but correctness-only path.
         w.advance(delay + DEFAULT_RESOLUTION_NS, |p| fired.push(p));
         assert_eq!(fired, vec![1]);
+    }
+
+    #[test]
+    fn cancel_with_remaining_matches_remaining_then_cancel() {
+        let mut a: TimerWheel<u32> = TimerWheel::new();
+        let mut b: TimerWheel<u32> = TimerWheel::new();
+        let ida = a.schedule(1_000_000, 1);
+        let idb = b.schedule(1_000_000, 1);
+        a.advance(300_000, |_| panic!("early"));
+        b.advance(300_000, |_| panic!("early"));
+        let want = b.remaining_ns(idb).unwrap();
+        let got = a.cancel_with_remaining(ida).unwrap();
+        assert_eq!(got, (b.cancel(idb).unwrap(), want));
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.counters(), b.counters());
+        // Stale id: both report nothing.
+        assert_eq!(a.cancel_with_remaining(ida), None);
+    }
+
+    #[test]
+    fn schedule_batch_is_equivalent_to_sequential_schedules() {
+        // Same delays, one wheel batched and one sequential: identical
+        // fire order (incl. per-slot ties) and counters.
+        let delays: Vec<u64> =
+            (0..500u64).map(|i| 16_000 + (i % 7) * 3_000_000 + (i % 3) * 16_000).collect();
+        let mut seq: TimerWheel<u64> = TimerWheel::new();
+        let mut bat: TimerWheel<u64> = TimerWheel::new();
+        for (i, &d) in delays.iter().enumerate() {
+            seq.schedule(d, i as u64);
+        }
+        let mut ids = Vec::new();
+        bat.schedule_batch(
+            delays.iter().enumerate().map(|(i, &d)| (d, i as u64)),
+            |id| ids.push(id),
+        );
+        assert_eq!(ids.len(), delays.len());
+        assert_eq!(bat.live(), seq.live());
+        let mut fs = Vec::new();
+        let mut fb = Vec::new();
+        seq.advance(1_000_000_000, |p| fs.push(p));
+        bat.advance(1_000_000_000, |p| fb.push(p));
+        assert_eq!(fb, fs, "batched schedule changed fire order");
+    }
+
+    #[test]
+    fn cancel_batch_skips_stale_ids() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        let a = w.schedule(100_000, 1);
+        let b = w.schedule(200_000, 2);
+        let c = w.schedule(300_000, 3);
+        assert!(w.cancel(b).is_some());
+        let mut got = Vec::new();
+        w.cancel_batch([a, b, c], |p, rem| got.push((p, rem)));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 1);
+        assert_eq!(got[1].0, 3);
+        assert_eq!(w.live(), 0);
     }
 
     #[test]
