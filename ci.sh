@@ -43,6 +43,20 @@ cargo test -q --offline -p ix-tcp --test migration
 # function of insertion history alone, independent of table layout.
 cargo test -q --offline -p ix-tcp --test bucket_index
 
+# Batched-RX pipeline gates: the checksum property suite pins the
+# widened u64 fold byte-identical to the RFC 1071 u16 reference; the
+# rx_batch differential suite replays randomized interleavings through
+# the staged pipeline against the per-packet oracle. The byte-identity
+# grep pins the named batch_rx-off witness: with the knob off (the
+# default every figure sweep runs under), input_batch is globally
+# byte-identical to per-packet input().
+cargo test -q --offline -p ix-net --test checksum_prop
+cargo test --offline -p ix-tcp --test rx_batch 2>&1 | tee /tmp/ci_rxbatch.out
+if ! grep -q "test batch_rx_off_is_byte_identical ... ok" /tmp/ci_rxbatch.out; then
+    echo "ci: FAIL — batch_rx-off byte-identity witness did not pass" >&2
+    exit 1
+fi
+
 # Elastic control-loop gate: spike absorption, bounded migration rate,
 # hung-target backoff, admission-gate shed/lift, RCU filter republish
 # on absorb, and the inert-controller byte-identical determinism pin.
@@ -88,6 +102,32 @@ if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 5.0) }'; then
     exit 1
 fi
 echo "ci: migrate/extract_100k bulk speedup ${speedup}x (floor 5x)"
+
+# Batched-RX microbench gates: the [checksum] and [rxbatch] comparisons
+# must run, the flow-grouped batch must hold >= 1.5x over per-frame
+# input() (64-frame batches, 16 interleaved flows — the documented
+# ACK-coalescing and single-probe-per-flow win), and the widened
+# checksum fold must hold >= 2x over the u16 baseline at MTU size. Both
+# per-iteration costs calibrate to plenty of iterations in quick mode,
+# so the ratios are stable enough to gate.
+for wl in verify_64b verify_1460b build_1460b; do
+    if ! grep -q "^\[checksum\] ${wl}:" /tmp/ci_bench.out; then
+        echo "ci: FAIL — checksum/${wl} microbench comparison did not run" >&2
+        exit 1
+    fi
+done
+rxb=$(sed -n 's/^\[rxbatch\] group_probe:.*(\([0-9.]*\)x)$/\1/p' /tmp/ci_bench.out)
+if ! awk -v s="$rxb" 'BEGIN { exit !(s >= 1.5) }'; then
+    echo "ci: FAIL — rxbatch/group_probe speedup ${rxb}x is below the 1.5x floor" >&2
+    exit 1
+fi
+echo "ci: rxbatch/group_probe batched speedup ${rxb}x (floor 1.5x)"
+cks=$(sed -n 's/^\[checksum\] verify_1460b:.*(\([0-9.]*\)x)$/\1/p' /tmp/ci_bench.out)
+if ! awk -v s="$cks" 'BEGIN { exit !(s >= 2.0) }'; then
+    echo "ci: FAIL — checksum/verify_1460b speedup ${cks}x is below the 2x floor" >&2
+    exit 1
+fi
+echo "ci: checksum/verify_1460b widened-fold speedup ${cks}x (floor 2x)"
 
 # Wall-clock budget: the quick fig5 sweep must stay interactive. The
 # ceiling is generous (slow shared CI hosts), but a scheduler or pool

@@ -222,6 +222,28 @@ fn adaptive_batching_stays_small_when_unloaded() {
 }
 
 #[test]
+fn steady_state_runs_without_scratch_reallocation() {
+    let (mut sim, _fabric, sdp, _c, results) = setup(2, 64, 500, 4);
+    // Warmup: the per-cycle scratch buffers grow to their high-water
+    // capacity during the first bursts of traffic.
+    sim.run_until(ix_sim::SimTime(Nanos::from_millis(2).as_nanos()));
+    let warm = sdp.stats();
+    assert!(warm.iterations > 100, "warmup saw only {} cycles", warm.iterations);
+    // Steady state: thousands more run-to-completion cycles, zero
+    // further scratch reallocation (ISSUE 10 satellite pin).
+    sim.run_until(ix_sim::SimTime(Nanos::from_millis(500).as_nanos()));
+    let r = results.borrow();
+    assert!(r.done, "run incomplete: {} rtts", r.rtts_ns.len());
+    let st = sdp.stats();
+    assert!(st.iterations > warm.iterations, "no cycles ran after warmup");
+    assert_eq!(
+        st.scratch_allocs, warm.scratch_allocs,
+        "scratch buffers reallocated in steady state ({} cycles)",
+        st.iterations - warm.iterations
+    );
+}
+
+#[test]
 fn ixcp_revocation_migrates_flows_and_traffic_continues() {
     let (mut sim, _fabric, sdp, _c, results) = setup(4, 64, 400, 16);
     // Let traffic start on 4 threads.

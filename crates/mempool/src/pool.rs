@@ -155,6 +155,28 @@ impl MbufPool {
         }
     }
 
+    /// Allocates up to `n` mbufs in one free-list transaction, appending
+    /// them to `out`; returns how many were delivered (short on
+    /// exhaustion). This is the bulk ring-refill shape of a polled RX
+    /// path (IX §3: batching amortizes per-packet costs at every stage,
+    /// buffer management included) — one borrow for the whole batch
+    /// instead of one per buffer.
+    pub fn alloc_batch(&mut self, n: usize, out: &mut Vec<Mbuf>) -> usize {
+        let mut got = 0;
+        {
+            let mut list = self.list.borrow_mut();
+            out.reserve(n);
+            while got < n {
+                let Some(storage) = list.take() else { break };
+                out.push(Mbuf::from_storage(storage, Rc::downgrade(&self.list)));
+                got += 1;
+            }
+        }
+        self.stats.allocs += got as u64;
+        self.stats.exhausted += (n - got) as u64;
+        got
+    }
+
     /// Allocates an mbuf pre-filled with `data`.
     pub fn alloc_with(&mut self, data: &[u8]) -> Option<Mbuf> {
         let mut m = self.alloc()?;

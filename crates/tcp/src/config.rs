@@ -75,6 +75,14 @@ pub struct StackConfig {
     /// in its mint bucket and the next one, so this is half the minimum
     /// handshake-completion deadline.
     pub syn_cookie_bucket_ns: u64,
+    /// When true, [`crate::TcpShard::input_batch`] runs the staged batch
+    /// pipeline (pre-parse the whole polled batch, group segments by
+    /// flow so the table is probed once per flow per batch, process
+    /// same-flow runs back-to-back against a hot TCB, and coalesce pure
+    /// ACKs to at most one per flow per run under the Immediate/Delayed
+    /// policies). Default off: `input_batch` degenerates to per-frame
+    /// `input` calls and is behaviour-identical byte for byte.
+    pub batch_rx: bool,
 }
 
 impl Default for StackConfig {
@@ -96,6 +104,7 @@ impl Default for StackConfig {
             syn_cookies: false,
             syn_backlog: 65_536,
             syn_cookie_bucket_ns: 1_000_000_000,
+            batch_rx: false,
         }
     }
 }

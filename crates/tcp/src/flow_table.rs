@@ -482,6 +482,16 @@ impl<T> FlowMap<T> {
         self.slab[idx as usize].as_mut()
     }
 
+    /// Resolves `key` to its slab-slot handle without borrowing the
+    /// value. The handle feeds [`FlowMap::slot_mut`] so a batch of
+    /// operations against one flow probes the hash chain exactly once;
+    /// it stays valid until the entry is removed or the slab is
+    /// replaced (`adopt_slab`/`extract`).
+    #[inline]
+    pub fn slot_of(&self, key: u64) -> Option<u32> {
+        self.table.get(key)
+    }
+
     /// Insert or replace; returns the displaced value if any. Probes
     /// the chain exactly once either way. The entry is *unbucketed*
     /// (invisible to [`FlowMap::bucket_keys`]).

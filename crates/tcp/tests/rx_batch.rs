@@ -1,0 +1,659 @@
+//! Differential property suite for the batched RX pipeline (DESIGN.md
+//! §5j). Every plan drives the *same* wire frames into three shards:
+//!
+//! - **batched** — `batch_rx: true`, fed through `input_batch` (the
+//!   staged pre-parse → flow-group → run-process pipeline under test),
+//! - **oracle** — fed one frame at a time through the per-packet
+//!   `input()` path, the reference semantics,
+//! - **off** — `batch_rx: false`, fed through `input_batch`, which must
+//!   degrade to a plain drain through `input()`.
+//!
+//! The observables cross-checked after every cycle:
+//!
+//! - per-flow application byte streams and event sequences (grouping
+//!   may reorder *across* flows, never within one),
+//! - per-flow wire frames, byte-identical — except pure ACKs under
+//!   `AckPolicy::Immediate`, where the batch pipeline's documented
+//!   per-flow coalescing may emit fewer (never more, never a different
+//!   final ack/window),
+//! - drop counters: corrupted frames land on `checksum_drops` /
+//!   `parse_drops` identically on both paths,
+//! - the **off** shard's output is globally byte-identical to the
+//!   oracle's, frames and events both, every cycle.
+//!
+//! Plans interleave in-order runs, out-of-order arrivals, duplicates,
+//! corrupted frames, and mid-batch FIN/RST teardown across four client
+//! flows.
+
+use ix_mempool::Mbuf;
+use ix_net::eth::{EthHeader, EtherType, MacAddr};
+use ix_net::ip::{IpProto, Ipv4Addr, Ipv4Header};
+use ix_net::tcp::{TcpFlags, TcpHeader};
+use ix_tcp::{AckPolicy, FlowId, StackConfig, StackStats, TcpEvent, TcpShard};
+use ix_testkit::prelude::*;
+
+const A_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+const SRV_PORT: u16 = 80;
+const N_FLOWS: usize = 4;
+
+fn mac(i: u16) -> MacAddr {
+    MacAddr::from_host_index(i)
+}
+
+fn cli_port(flow: usize) -> u16 {
+    40_000 + flow as u16
+}
+
+/// The byte carried at stream offset `p` of flow `flow` — fixed, so
+/// retransmitted and overlapping segments are self-consistent.
+fn byte_at(flow: usize, p: usize) -> u8 {
+    (((p as u32).wrapping_mul(2_654_435_761) ^ (flow as u32).wrapping_mul(0x9e37_79b9)) >> 24) as u8
+}
+
+/// One frame of a batch plan. Offsets are relative to the flow's
+/// in-order cursor at build time, so "ahead"/"behind" track the stream.
+#[derive(Debug, Clone)]
+enum FrameOp {
+    /// The next in-order chunk (advances the cursor).
+    Next { flow: usize, len: usize },
+    /// A reordered segment starting `gap` bytes past the cursor.
+    Ahead { flow: usize, gap: usize, len: usize },
+    /// A stale/overlapping segment starting `back` bytes before it.
+    Behind { flow: usize, back: usize, len: usize },
+    /// An otherwise-valid in-order segment with a corrupted TCP
+    /// checksum: dropped by verification, cursor not advanced.
+    BadSum { flow: usize, len: usize },
+    /// A frame addressed to someone else's IP: parse drop.
+    BadDst { flow: usize },
+    /// A frame truncated mid-header: parse drop.
+    Runt { flow: usize },
+    /// Client FIN at the cursor (mid-batch teardown begins).
+    Fin { flow: usize },
+    /// Client RST at the cursor (abortive mid-batch teardown).
+    Rst { flow: usize },
+}
+
+impl FrameOp {
+    fn flow(&self) -> usize {
+        match *self {
+            FrameOp::Next { flow, .. }
+            | FrameOp::Ahead { flow, .. }
+            | FrameOp::Behind { flow, .. }
+            | FrameOp::BadSum { flow, .. }
+            | FrameOp::BadDst { flow }
+            | FrameOp::Runt { flow }
+            | FrameOp::Fin { flow }
+            | FrameOp::Rst { flow } => flow,
+        }
+    }
+}
+
+/// Crafts one client→server frame with valid checksums (the `dst`
+/// override builds the misaddressed variant with an internally
+/// consistent IP header, so it exercises the dst check, not the
+/// checksum check).
+fn wire(flow: usize, seq: u32, ack: u32, flags: TcpFlags, payload: &[u8], dst: Ipv4Addr) -> Vec<u8> {
+    let hdr = TcpHeader {
+        src_port: cli_port(flow),
+        dst_port: SRV_PORT,
+        seq,
+        ack,
+        flags,
+        window: 65_535,
+        mss: if flags.syn { Some(1460) } else { None },
+        wscale: None,
+    };
+    let hlen = hdr.len();
+    let mut f = vec![0u8; EthHeader::LEN + Ipv4Header::LEN + hlen + payload.len()];
+    EthHeader { dst: mac(2), src: mac(1), ethertype: EtherType::Ipv4 }.encode(&mut f[..EthHeader::LEN]);
+    Ipv4Header {
+        tos: 0,
+        total_len: (Ipv4Header::LEN + hlen + payload.len()) as u16,
+        ident: 0,
+        ttl: 64,
+        proto: IpProto::Tcp,
+        src: A_IP,
+        dst,
+    }
+    .encode(&mut f[EthHeader::LEN..EthHeader::LEN + Ipv4Header::LEN]);
+    hdr.encode(&mut f[EthHeader::LEN + Ipv4Header::LEN..], A_IP, dst, payload);
+    f[EthHeader::LEN + Ipv4Header::LEN + hlen..].copy_from_slice(payload);
+    f
+}
+
+/// Emitting fewer ACKs shifts the shard's per-packet IPv4 `ident`
+/// counter, so every frame *after* a coalesced ACK differs from the
+/// oracle's in exactly ident + the IP header checksum it perturbs. For
+/// modulo-coalescing comparisons, blank both.
+fn ident_blind(raw: &[u8]) -> Vec<u8> {
+    let mut v = raw.to_vec();
+    v[EthHeader::LEN + 4..EthHeader::LEN + 6].fill(0);
+    v[EthHeader::LEN + 10..EthHeader::LEN + 12].fill(0);
+    v
+}
+
+fn mk_mbuf(w: &[u8]) -> Mbuf {
+    let mut m = Mbuf::standalone();
+    m.append(w.len()).copy_from_slice(w);
+    m
+}
+
+/// A server TX frame, decoded and kept raw for byte-identity checks.
+#[derive(Debug, Clone, PartialEq)]
+struct TxFrame {
+    raw: Vec<u8>,
+    hdr: TcpHeader,
+    plen: usize,
+}
+
+impl TxFrame {
+    fn is_pure_ack(&self) -> bool {
+        let f = self.hdr.flags;
+        f.ack && !f.syn && !f.fin && !f.rst && self.plen == 0
+    }
+}
+
+/// A stack event normalized for cross-shard comparison.
+#[derive(Debug, Clone, PartialEq)]
+enum Ev {
+    Recv(Vec<u8>),
+    Sent(u32, u32),
+    Dead(String),
+    Knock,
+    Connected,
+}
+
+/// Everything one shard produced in one cycle.
+struct CycleOut {
+    tx: Vec<TxFrame>,
+    evs: Vec<(u64, Ev)>,
+    stats: StackStats,
+}
+
+fn drain(shard: &mut TcpShard) -> CycleOut {
+    let mut tx = Vec::new();
+    for mut f in shard.take_tx() {
+        let raw = f.data().to_vec();
+        f.pull(EthHeader::LEN);
+        let ip = Ipv4Header::decode(f.data()).expect("server emits valid IP");
+        f.pull(Ipv4Header::LEN);
+        let (hdr, hlen) = TcpHeader::decode(f.data(), ip.src, ip.dst).expect("server emits valid TCP");
+        let plen = ip.total_len as usize - Ipv4Header::LEN - hlen;
+        tx.push(TxFrame { raw, hdr, plen });
+    }
+    let evs = shard
+        .take_events()
+        .into_iter()
+        .map(|e| match e {
+            TcpEvent::Recv { flow, payload, .. } => (flow.key, Ev::Recv(payload.to_vec())),
+            TcpEvent::Sent { flow, bytes_acked, window, .. } => (flow.key, Ev::Sent(bytes_acked, window)),
+            TcpEvent::Dead { flow, reason, .. } => (flow.key, Ev::Dead(format!("{reason:?}"))),
+            TcpEvent::Knock { flow, .. } => (flow.key, Ev::Knock),
+            TcpEvent::Connected { flow, .. } => (flow.key, Ev::Connected),
+        })
+        .collect();
+    CycleOut { tx, evs, stats: shard.stats }
+}
+
+struct FlowCtx {
+    id: FlowId,
+    /// First payload byte's sequence number (client ISN + 1).
+    base: u32,
+    /// Every injected segment acknowledges this (server ISS + 1).
+    srv_ack: u32,
+    /// In-order bytes enqueued so far (FIN counts one).
+    cursor: usize,
+    /// Cursor at the first FIN sent, if any: a FIN consumes one
+    /// sequence number, so stream positions past it no longer line up
+    /// with `byte_at` offsets.
+    first_fin: Option<usize>,
+}
+
+/// Three shards in lockstep plus the synthesized clients.
+struct Harness {
+    batched: TcpShard,
+    oracle: TcpShard,
+    off: TcpShard,
+    coalesce: bool,
+    now: u64,
+    flows: Vec<FlowCtx>,
+    /// Cumulative per-flow delivered stream (from the oracle; the
+    /// batched shard is asserted identical each cycle).
+    streams: Vec<Vec<u8>>,
+    /// Delivered-but-uncredited bytes per flow.
+    owed: Vec<u32>,
+}
+
+impl Harness {
+    fn establish(policy: AckPolicy, isns: &[u32; N_FLOWS]) -> Harness {
+        let mk = |batch_rx| {
+            let cfg = StackConfig { batch_rx, ack_policy: policy, ..StackConfig::default() };
+            let mut b = TcpShard::new(cfg, B_IP, mac(2));
+            b.arp_seed(A_IP, mac(1));
+            b.listen(SRV_PORT);
+            b
+        };
+        let mut h = Harness {
+            batched: mk(true),
+            oracle: mk(false),
+            off: mk(false),
+            coalesce: matches!(policy, AckPolicy::Immediate | AckPolicy::Delayed(_)),
+            now: 1_000,
+            flows: Vec::new(),
+            streams: vec![Vec::new(); N_FLOWS],
+            owed: vec![0; N_FLOWS],
+        };
+        for (flow, &isn) in isns.iter().enumerate() {
+            // Client ISN is isn-1 so the first payload byte carries isn.
+            h.now += 1_000;
+            let syn = wire(flow, isn.wrapping_sub(1), 0, TcpFlags::SYN, &[], B_IP);
+            let mut srv_ack = None;
+            for shard in [&mut h.batched, &mut h.oracle, &mut h.off] {
+                shard.input(h.now, mk_mbuf(&syn));
+                shard.end_cycle(h.now);
+                let out = drain(shard);
+                let sa = out
+                    .tx
+                    .iter()
+                    .find(|t| t.hdr.flags.syn && t.hdr.flags.ack)
+                    .map(|t| t.hdr.seq.wrapping_add(1))
+                    .expect("SYN-ACK emitted");
+                // Deterministic ISS: all three shards must agree, or the
+                // shared client frames below would be meaningless.
+                assert_eq!(*srv_ack.get_or_insert(sa), sa, "shards diverged on ISS");
+            }
+            let srv_ack = srv_ack.unwrap();
+            h.now += 1_000;
+            let ackf = wire(flow, isn, srv_ack, TcpFlags::ACK, &[], B_IP);
+            let mut id = None;
+            for shard in [&mut h.batched, &mut h.oracle, &mut h.off] {
+                shard.input(h.now, mk_mbuf(&ackf));
+                shard.end_cycle(h.now);
+                for e in shard.take_events() {
+                    if let TcpEvent::Knock { flow: fl, .. } = e {
+                        shard.accept(fl, flow as u64).unwrap();
+                        assert_eq!(*id.get_or_insert(fl), fl, "shards diverged on FlowId");
+                    }
+                }
+                let _ = shard.take_tx();
+            }
+            h.flows.push(FlowCtx { id: id.expect("knock on every shard"), base: isn, srv_ack, cursor: 0, first_fin: None });
+        }
+        h
+    }
+
+    /// Builds the wire bytes for one op and updates the driver cursor.
+    fn build(&mut self, op: &FrameOp) -> Vec<u8> {
+        let fx = op.flow();
+        let (base, srv_ack, cursor) = {
+            let f = &self.flows[fx];
+            (f.base, f.srv_ack, f.cursor)
+        };
+        let seq_at = |off: usize| base.wrapping_add(off as u32);
+        let data = |off: usize, len: usize| -> Vec<u8> { (off..off + len).map(|p| byte_at(fx, p)).collect() };
+        match *op {
+            FrameOp::Next { flow, len } => {
+                let w = wire(flow, seq_at(cursor), srv_ack, TcpFlags::ACK, &data(cursor, len), B_IP);
+                self.flows[fx].cursor += len;
+                w
+            }
+            FrameOp::Ahead { flow, gap, len } => {
+                let off = cursor + gap;
+                wire(flow, seq_at(off), srv_ack, TcpFlags::ACK, &data(off, len), B_IP)
+            }
+            FrameOp::Behind { flow, back, len } => {
+                let off = cursor.saturating_sub(back);
+                wire(flow, seq_at(off), srv_ack, TcpFlags::ACK, &data(off, len), B_IP)
+            }
+            FrameOp::BadSum { flow, len } => {
+                let mut w = wire(flow, seq_at(cursor), srv_ack, TcpFlags::ACK, &data(cursor, len), B_IP);
+                w[EthHeader::LEN + Ipv4Header::LEN + 16] ^= 0x55;
+                w
+            }
+            FrameOp::BadDst { flow } => {
+                wire(flow, seq_at(cursor), srv_ack, TcpFlags::ACK, &data(cursor, 8), Ipv4Addr::new(10, 0, 0, 99))
+            }
+            FrameOp::Runt { flow } => {
+                let mut w = wire(flow, seq_at(cursor), srv_ack, TcpFlags::ACK, &[], B_IP);
+                w.truncate(EthHeader::LEN + Ipv4Header::LEN + 10);
+                w
+            }
+            FrameOp::Fin { flow } => {
+                let w = wire(flow, seq_at(cursor), srv_ack, TcpFlags::FIN_ACK, &[], B_IP);
+                self.flows[fx].first_fin.get_or_insert(cursor);
+                self.flows[fx].cursor += 1;
+                w
+            }
+            FrameOp::Rst { flow } => wire(flow, seq_at(cursor), srv_ack, TcpFlags::RST, &[], B_IP),
+        }
+    }
+
+    /// Feeds one batch to all three shards, cross-checks every
+    /// observable, and credits delivered bytes back.
+    fn run_batch(&mut self, ops: &[FrameOp]) {
+        self.now += 100_000;
+        let wires: Vec<Vec<u8>> = ops.iter().map(|op| self.build(op)).collect();
+
+        let mut fb: Vec<Mbuf> = wires.iter().map(|w| mk_mbuf(w)).collect();
+        self.batched.input_batch(self.now, &mut fb);
+        self.batched.end_cycle(self.now);
+        for w in &wires {
+            self.oracle.input(self.now, mk_mbuf(w));
+        }
+        self.oracle.end_cycle(self.now);
+        let mut fo: Vec<Mbuf> = wires.iter().map(|w| mk_mbuf(w)).collect();
+        self.off.input_batch(self.now, &mut fo);
+        self.off.end_cycle(self.now);
+
+        let cb = drain(&mut self.batched);
+        let co = drain(&mut self.oracle);
+        let cf = drain(&mut self.off);
+
+        // batch_rx off degrades to the per-packet path, byte for byte:
+        // same frames in the same global order, same events, same stats.
+        let raw_o: Vec<&Vec<u8>> = co.tx.iter().map(|t| &t.raw).collect();
+        let raw_f: Vec<&Vec<u8>> = cf.tx.iter().map(|t| &t.raw).collect();
+        assert_eq!(raw_f, raw_o, "batch_rx-off TX diverged from per-frame input()");
+        assert_eq!(cf.evs, co.evs, "batch_rx-off events diverged");
+        assert_eq!(cf.stats, co.stats, "batch_rx-off stats diverged");
+
+        self.compare_batched(&cb, &co);
+
+        // Per-flow streams accumulate from the oracle (batched already
+        // asserted identical); credit everything straight back.
+        for (key, ev) in &co.evs {
+            if let Ev::Recv(bytes) = ev {
+                let fx = self.flow_index(*key);
+                self.streams[fx].extend_from_slice(bytes);
+                self.owed[fx] += bytes.len() as u32;
+            }
+        }
+        for fx in 0..N_FLOWS {
+            let n = std::mem::take(&mut self.owed[fx]);
+            if n == 0 {
+                continue;
+            }
+            let id = self.flows[fx].id;
+            let rb = self.batched.recv_done(self.now, id, n);
+            let ro = self.oracle.recv_done(self.now, id, n);
+            let rf = self.off.recv_done(self.now, id, n);
+            // A torn-down flow refuses credit on every shard alike.
+            assert_eq!(rb.is_ok(), ro.is_ok(), "recv_done outcome diverged (batched)");
+            assert_eq!(rf.is_ok(), ro.is_ok(), "recv_done outcome diverged (off)");
+            // A window-update ACK, if any, must restate agreed state on
+            // the batched shard too; flush both so cycles stay aligned.
+            let wb = drain(&mut self.batched);
+            let wo = drain(&mut self.oracle);
+            let _ = drain(&mut self.off);
+            let rb: Vec<Vec<u8>> = wb.tx.iter().map(|t| ident_blind(&t.raw)).collect();
+            let ro2: Vec<Vec<u8>> = wo.tx.iter().map(|t| ident_blind(&t.raw)).collect();
+            assert_eq!(rb, ro2, "window-update ACKs diverged");
+        }
+    }
+
+    fn flow_index(&self, key: u64) -> usize {
+        self.flows.iter().position(|f| f.id.key == key).expect("event for known flow")
+    }
+
+    /// The batched-vs-oracle differential: per-flow equality, modulo
+    /// the documented pure-ACK coalescing when the policy allows it.
+    fn compare_batched(&self, cb: &CycleOut, co: &CycleOut) {
+        for f in &self.flows {
+            let evs_b: Vec<&Ev> = cb.evs.iter().filter(|(k, _)| *k == f.id.key).map(|(_, e)| e).collect();
+            let evs_o: Vec<&Ev> = co.evs.iter().filter(|(k, _)| *k == f.id.key).map(|(_, e)| e).collect();
+            assert_eq!(evs_b, evs_o, "per-flow event sequence diverged");
+
+            let port = cli_port(self.flows.iter().position(|g| g.id.key == f.id.key).unwrap());
+            let tx_b: Vec<&TxFrame> = cb.tx.iter().filter(|t| t.hdr.dst_port == port).collect();
+            let tx_o: Vec<&TxFrame> = co.tx.iter().filter(|t| t.hdr.dst_port == port).collect();
+            // Flow-grouping reorders emissions *across* flows, which
+            // re-stamps the global IPv4 ident counter; per-flow frames
+            // are compared ident-blind (the strict global byte-identity
+            // pin is the batch_rx-off shard above).
+            if !self.coalesce {
+                let raw_b: Vec<Vec<u8>> = tx_b.iter().map(|t| ident_blind(&t.raw)).collect();
+                let raw_o: Vec<Vec<u8>> = tx_o.iter().map(|t| ident_blind(&t.raw)).collect();
+                assert_eq!(raw_b, raw_o, "per-flow TX diverged (no coalescing in play)");
+            } else {
+                let solid_b: Vec<Vec<u8>> =
+                    tx_b.iter().filter(|t| !t.is_pure_ack()).map(|t| ident_blind(&t.raw)).collect();
+                let solid_o: Vec<Vec<u8>> =
+                    tx_o.iter().filter(|t| !t.is_pure_ack()).map(|t| ident_blind(&t.raw)).collect();
+                assert_eq!(solid_b, solid_o, "per-flow non-ACK TX diverged");
+                let acks_b: Vec<&TxFrame> = tx_b.iter().filter(|t| t.is_pure_ack()).copied().collect();
+                let acks_o: Vec<&TxFrame> = tx_o.iter().filter(|t| t.is_pure_ack()).copied().collect();
+                assert!(
+                    acks_b.len() <= acks_o.len(),
+                    "batching may only coalesce ACKs, never add them ({} > {})",
+                    acks_b.len(),
+                    acks_o.len()
+                );
+                // No presence check: a same-batch teardown can consume a
+                // pending coalesced ACK entirely (the per-frame path had
+                // already flushed per segment before the flow died).
+                if let (Some(b), Some(o)) = (acks_b.last(), acks_o.last()) {
+                    assert_eq!(b.hdr.ack, o.hdr.ack, "final coalesced ack diverged");
+                    assert_eq!(b.hdr.window, o.hdr.window, "final advertised window diverged");
+                }
+            }
+        }
+        assert_eq!(cb.evs.len(), co.evs.len(), "stray events for unknown flows");
+
+        // RX-side counters must agree regardless of policy.
+        let (b, o) = (&cb.stats, &co.stats);
+        assert_eq!(b.rx_segments, o.rx_segments, "rx_segments diverged");
+        assert_eq!(b.parse_drops, o.parse_drops, "parse_drops diverged");
+        assert_eq!(b.checksum_drops, o.checksum_drops, "checksum_drops diverged");
+        assert_eq!(b.rst_rx, o.rst_rx, "rst_rx diverged");
+        assert_eq!(b.bytes_rx, o.bytes_rx, "bytes_rx diverged");
+        assert_eq!(b.rx_pool_outstanding, o.rx_pool_outstanding, "rx_pool_outstanding diverged");
+        assert_eq!(b.rx_payload_copies, o.rx_payload_copies, "rx_payload_copies diverged");
+        assert_eq!(b.rx_ooo_copies, o.rx_ooo_copies, "rx_ooo_copies diverged");
+        if !self.coalesce {
+            // EndOfCycle coalesces identically on both paths: the whole
+            // counter block must match, TX included.
+            assert_eq!(cb.stats, co.stats, "full stats diverged under EndOfCycle");
+        }
+    }
+
+    /// Verifies the cumulative per-flow streams carry the exact bytes
+    /// the plan enqueued in order — exact up to the first FIN, past
+    /// which a consumed sequence number shifts positions off the
+    /// `byte_at` grid (content equality between the shards is still
+    /// asserted every cycle by the differential).
+    fn check_streams(&self) {
+        for (fx, stream) in self.streams.iter().enumerate() {
+            let limit = self.flows[fx].first_fin.unwrap_or(usize::MAX).min(stream.len());
+            let want: Vec<u8> = (0..limit).map(|p| byte_at(fx, p)).collect();
+            assert_eq!(&stream[..limit], &want[..], "flow {fx} stream content corrupted");
+        }
+    }
+}
+
+fn run_plan(policy: AckPolicy, isns: [u32; N_FLOWS], batches: &[Vec<FrameOp>]) -> Harness {
+    let mut h = Harness::establish(policy, &isns);
+    for batch in batches {
+        h.run_batch(batch);
+    }
+    h.check_streams();
+    h
+}
+
+// ---------------------------------------------------------------------
+// Directed scenarios.
+// ---------------------------------------------------------------------
+
+/// 16 interleaved in-order segments (4 flows round-robin): the shape of
+/// the rxbatch microbench. Under Immediate the batched side must
+/// coalesce to exactly one ACK per flow while the per-frame oracle acks
+/// every segment.
+#[test]
+fn interleaved_inorder_runs_coalesce_acks() {
+    let mut h = Harness::establish(AckPolicy::Immediate, &[1_000, 2_000, 3_000, 4_000]);
+    let ops: Vec<FrameOp> = (0..16).map(|j| FrameOp::Next { flow: j % N_FLOWS, len: 100 }).collect();
+    let wires: Vec<Vec<u8>> = ops.iter().map(|op| h.build(op)).collect();
+    let mut fb: Vec<Mbuf> = wires.iter().map(|w| mk_mbuf(w)).collect();
+    h.now += 100_000;
+    h.batched.input_batch(h.now, &mut fb);
+    h.batched.end_cycle(h.now);
+    for w in &wires {
+        h.oracle.input(h.now, mk_mbuf(w));
+    }
+    h.oracle.end_cycle(h.now);
+    let cb = drain(&mut h.batched);
+    let co = drain(&mut h.oracle);
+    assert_eq!(cb.tx.iter().filter(|t| t.is_pure_ack()).count(), N_FLOWS, "one coalesced ACK per flow");
+    assert_eq!(co.tx.iter().filter(|t| t.is_pure_ack()).count(), 16, "per-frame path acks every segment");
+    h.compare_batched(&cb, &co);
+}
+
+#[test]
+fn interleaved_inorder_streams_match() {
+    let batches: Vec<Vec<FrameOp>> = (0..3)
+        .map(|_| (0..16).map(|j| FrameOp::Next { flow: j % N_FLOWS, len: 257 }).collect())
+        .collect();
+    run_plan(AckPolicy::Immediate, [10, 20, 30, 40], &batches);
+    run_plan(AckPolicy::EndOfCycle, [10, 20, 30, 40], &batches);
+}
+
+#[test]
+fn ooo_within_batch_fills_holes() {
+    // Each flow's hole is filled later in the same batch; one flow's
+    // fill lands in the *next* batch.
+    let batches = vec![
+        vec![
+            FrameOp::Ahead { flow: 0, gap: 300, len: 300 },
+            FrameOp::Ahead { flow: 1, gap: 150, len: 150 },
+            FrameOp::Next { flow: 2, len: 500 },
+            FrameOp::Next { flow: 0, len: 300 }, // fills flow 0's hole
+            FrameOp::Ahead { flow: 3, gap: 90, len: 40 },
+            FrameOp::Next { flow: 1, len: 150 }, // fills flow 1's hole
+        ],
+        vec![
+            FrameOp::Next { flow: 3, len: 90 }, // fills flow 3's hole
+            FrameOp::Behind { flow: 2, back: 200, len: 400 },
+            FrameOp::Next { flow: 0, len: 300 },
+        ],
+    ];
+    run_plan(AckPolicy::Immediate, [u32::MAX - 200, 7, 1 << 31, 99_999], &batches);
+    run_plan(AckPolicy::EndOfCycle, [u32::MAX - 200, 7, 1 << 31, 99_999], &batches);
+}
+
+#[test]
+fn corrupted_frames_land_on_drop_counters() {
+    let mut h = Harness::establish(AckPolicy::EndOfCycle, &[5, 6, 7, 8]);
+    let before_b = h.batched.stats;
+    let before_o = h.oracle.stats;
+    h.run_batch(&[
+        FrameOp::Next { flow: 0, len: 64 },
+        FrameOp::BadSum { flow: 1, len: 64 },
+        FrameOp::BadDst { flow: 2 },
+        FrameOp::BadSum { flow: 0, len: 32 },
+        FrameOp::Runt { flow: 3 },
+        FrameOp::Next { flow: 1, len: 64 },
+    ]);
+    for (shard, before) in [(&h.batched, before_b), (&h.oracle, before_o)] {
+        assert_eq!(shard.stats.checksum_drops - before.checksum_drops, 2, "two corrupted checksums");
+        assert_eq!(shard.stats.parse_drops - before.parse_drops, 4, "checksum + misaddressed + runt drops");
+        assert_eq!(shard.stats.rx_segments - before.rx_segments, 2, "only intact segments count");
+    }
+    h.check_streams();
+}
+
+#[test]
+fn mid_batch_fin_teardown() {
+    // Flow 1 FINs mid-batch; its post-FIN data and next-cycle frames
+    // must be handled identically (no fast-path leak past Established).
+    let batches = vec![
+        vec![
+            FrameOp::Next { flow: 1, len: 200 },
+            FrameOp::Next { flow: 0, len: 90 },
+            FrameOp::Fin { flow: 1 },
+            FrameOp::Behind { flow: 1, back: 200, len: 200 },
+            FrameOp::Next { flow: 0, len: 90 },
+        ],
+        vec![FrameOp::Next { flow: 1, len: 50 }, FrameOp::Next { flow: 2, len: 400 }],
+    ];
+    run_plan(AckPolicy::Immediate, [11, 22, 33, 44], &batches);
+    run_plan(AckPolicy::EndOfCycle, [11, 22, 33, 44], &batches);
+}
+
+#[test]
+fn mid_batch_rst_teardown() {
+    let batches = vec![
+        vec![
+            FrameOp::Next { flow: 2, len: 333 },
+            FrameOp::Rst { flow: 2 },
+            FrameOp::Next { flow: 2, len: 100 }, // lands on a dead flow
+            FrameOp::Next { flow: 3, len: 64 },
+        ],
+        vec![FrameOp::Next { flow: 2, len: 10 }, FrameOp::Next { flow: 3, len: 64 }],
+    ];
+    run_plan(AckPolicy::Immediate, [100, 200, 300, 400], &batches);
+    run_plan(AckPolicy::EndOfCycle, [100, 200, 300, 400], &batches);
+}
+
+/// The headline default-config pin, CI-grepped by name: with `batch_rx`
+/// off, `input_batch` must be *globally* byte-identical to the
+/// per-packet oracle — every wire frame (ident included), every event,
+/// the full stats block — across a plan mixing runs, reordering,
+/// corruption, and teardown. (`run_batch` asserts exactly that for the
+/// `off` shard after every cycle; this test exists so the invariant has
+/// a named, directed witness.)
+#[test]
+fn batch_rx_off_is_byte_identical() {
+    let batches = vec![
+        (0..16).map(|j| FrameOp::Next { flow: j % N_FLOWS, len: 128 }).collect(),
+        vec![
+            FrameOp::Ahead { flow: 0, gap: 64, len: 64 },
+            FrameOp::BadSum { flow: 1, len: 64 },
+            FrameOp::Next { flow: 0, len: 64 },
+            FrameOp::Behind { flow: 2, back: 50, len: 80 },
+            FrameOp::Rst { flow: 3 },
+        ],
+        vec![FrameOp::Fin { flow: 1 }, FrameOp::Next { flow: 2, len: 700 }],
+    ];
+    run_plan(AckPolicy::Immediate, [9, 8, 7, 6], &batches);
+    run_plan(AckPolicy::EndOfCycle, [9, 8, 7, 6], &batches);
+}
+
+// ---------------------------------------------------------------------
+// The differential property: random interleavings of everything.
+// ---------------------------------------------------------------------
+
+fn op_strategy() -> impl Strategy<Value = FrameOp> {
+    let fl = 0usize..N_FLOWS;
+    prop_oneof![
+        6 => (fl.clone(), 1usize..900).prop_map(|(flow, len)| FrameOp::Next { flow, len }),
+        2 => (fl.clone(), 1usize..1200, 1usize..600)
+            .prop_map(|(flow, gap, len)| FrameOp::Ahead { flow, gap, len }),
+        2 => (fl.clone(), 1usize..1200, 1usize..600)
+            .prop_map(|(flow, back, len)| FrameOp::Behind { flow, back, len }),
+        1 => (fl.clone(), 1usize..300).prop_map(|(flow, len)| FrameOp::BadSum { flow, len }),
+        1 => fl.clone().prop_map(|flow| FrameOp::BadDst { flow }),
+        1 => fl.clone().prop_map(|flow| FrameOp::Runt { flow }),
+        1 => fl.clone().prop_map(|flow| FrameOp::Fin { flow }),
+        1 => fl.prop_map(|flow| FrameOp::Rst { flow }),
+    ]
+}
+
+props! {
+    #![config(cases = 24)]
+
+    #[test]
+    fn batched_matches_per_packet_oracle_immediate(
+        isns in (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        batches in collection::vec(collection::vec(op_strategy(), 1..48), 1..5),
+    ) {
+        run_plan(AckPolicy::Immediate, [isns.0, isns.1, isns.2, isns.3], &batches);
+    }
+
+    #[test]
+    fn batched_matches_per_packet_oracle_endofcycle(
+        isns in (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        batches in collection::vec(collection::vec(op_strategy(), 1..48), 1..5),
+    ) {
+        run_plan(AckPolicy::EndOfCycle, [isns.0, isns.1, isns.2, isns.3], &batches);
+    }
+}
